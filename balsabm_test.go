@@ -1,0 +1,107 @@
+package balsabm
+
+import (
+	"strings"
+	"testing"
+)
+
+// The public API supports the full quickstart path.
+func TestFacadeQuickstart(t *testing.T) {
+	body, err := ParseCH(`(rep (enc-early (p-to-p passive P)
+	    (seq (p-to-p active A1) (p-to-p active A2))))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateCH(body); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := CompileCH(&CHProgram{Name: "seq2", Body: body})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.NStates != 6 {
+		t.Fatalf("states %d", spec.NStates)
+	}
+	ctrl, err := Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := DefaultLibrary()
+	nl, err := Map(ctrl, MapSpeedSplit, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AuditMapped(ctrl, nl, lib); err != nil {
+		t.Fatal(err)
+	}
+	if nl.Area(lib) <= 0 {
+		t.Fatal("no area")
+	}
+}
+
+func TestFacadeDesigns(t *testing.T) {
+	if len(Designs()) != 4 {
+		t.Fatalf("want 4 designs")
+	}
+	d, err := DesignByName("stack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.Control()
+	after, rep, err := Optimize(before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Components) >= len(before.Components) {
+		t.Fatal("no clustering")
+	}
+	if len(rep.Merges) == 0 {
+		t.Fatal("no merges reported")
+	}
+}
+
+func TestFacadeBalsa(t *testing.T) {
+	src, err := BalsaSource("counter8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := CompileBalsa(src, "counter8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Stats().Control != 6 {
+		t.Fatalf("control components: %d", n.Stats().Control)
+	}
+}
+
+func TestFacadeVerify(t *testing.T) {
+	x, err := ParseCHProgram(`(program act (rep (enc-early (p-to-p passive a) (p-to-p active c))))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := ParseCHProgram(`(program low (rep (enc-early (p-to-p passive c) (p-to-p active d))))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyActivationChannelRemoval("c", x, y); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeRunDesign(t *testing.T) {
+	d, err := DesignByName("systolic-counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunDesign(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SpeedImprovement() <= 0 || r.AreaOverhead() <= 0 {
+		t.Fatalf("improvement %.2f%%, overhead %.2f%%", r.SpeedImprovement(), r.AreaOverhead())
+	}
+	table := Table3([]*DesignResult{r})
+	if !strings.Contains(table, "systolic-counter") {
+		t.Fatalf("table:\n%s", table)
+	}
+}

@@ -1,0 +1,395 @@
+// Command balsabm is the full back-end driver and experiment harness:
+// it regenerates every table and figure of the paper's evaluation.
+//
+// Usage:
+//
+//	balsabm table1            legality matrix (Table 1)
+//	balsabm table2            four-phase expansions (Table 2)
+//	balsabm table3 [design]   full flow: speed/area rows (Table 3)
+//	balsabm fig2 [design]     control collapse before/after (Fig 2)
+//	balsabm fig3              BM specs: sequencer, call, passivator (Fig 3)
+//	balsabm fig4              activation channel removal example (Fig 4)
+//	balsabm fig5              call distribution example (Fig 5)
+//	balsabm verify            Section 4.3 conformance experiment
+//	balsabm flow <design>     detailed per-controller flow report
+//	balsabm artifacts <design> <dir>
+//	                          write the Fig 1 file pipeline (.bms, .sol,
+//	                          .v per controller, both arms) into dir
+//	balsabm designs           list benchmark designs
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"balsabm/internal/cell"
+	"balsabm/internal/ch"
+	"balsabm/internal/chtobm"
+	"balsabm/internal/core"
+	"balsabm/internal/designs"
+	"balsabm/internal/flow"
+	"balsabm/internal/minimalist"
+	"balsabm/internal/techmap"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+	var err error
+	switch cmd {
+	case "table1":
+		err = table1()
+	case "table2":
+		err = table2()
+	case "table3":
+		err = table3(args)
+	case "fig2":
+		err = fig2(args)
+	case "fig3":
+		err = fig3()
+	case "fig4":
+		err = fig4()
+	case "fig5":
+		err = fig5()
+	case "verify":
+		err = verify()
+	case "flow":
+		err = flowReport(args)
+	case "artifacts":
+		err = artifacts(args)
+	case "designs":
+		for _, d := range designs.All() {
+			fmt.Println(d.Name)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "balsabm:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: balsabm <table1|table2|table3|fig2|fig3|fig4|fig5|verify|flow|artifacts|designs> [args]`)
+}
+
+func table1() error {
+	ops := []ch.OpKind{ch.EncEarly, ch.EncLate, ch.EncMiddle, ch.Seq, ch.SeqOv, ch.Mutex}
+	combos := [][2]ch.Activity{{ch.Active, ch.Active}, {ch.Active, ch.Passive},
+		{ch.Passive, ch.Active}, {ch.Passive, ch.Passive}}
+	fmt.Println("Table 1: Legal Combinations of Operators and Arguments")
+	fmt.Printf("%-12s %8s %8s %8s %8s\n", "Operator", "a/a", "a/p", "p/a", "p/p")
+	for _, op := range ops {
+		row := []string{}
+		for _, c := range combos {
+			if ch.Legal(op, c[0], c[1]) {
+				row = append(row, "Yes")
+			} else {
+				row = append(row, "No")
+			}
+		}
+		fmt.Printf("%-12s %8s %8s %8s %8s\n", op, row[0], row[1], row[2], row[3])
+	}
+	return nil
+}
+
+func table2() error {
+	fmt.Println("Table 2: The Four-Phase Expansion of CH Operators")
+	ops := []string{"enc-early", "enc-late", "enc-middle", "seq", "seq-ov", "mutex"}
+	combos := [][2]string{{"active", "active"}, {"active", "passive"},
+		{"passive", "active"}, {"passive", "passive"}}
+	for _, op := range ops {
+		for _, c := range combos {
+			src := fmt.Sprintf("(%s (p-to-p %s a) (p-to-p %s b))", op, c[0], c[1])
+			e, err := ch.Parse(src)
+			if err != nil {
+				return err
+			}
+			x, err := ch.Expand(e)
+			if err != nil {
+				fmt.Printf("%-12s %s/%s:  -\n", op, c[0][:1], c[1][:1])
+				continue
+			}
+			fmt.Printf("%-12s %s/%s:  %s\n", op, c[0][:1], c[1][:1], x)
+		}
+	}
+	return nil
+}
+
+func table3(args []string) error {
+	if len(args) == 1 {
+		d, err := designs.ByName(args[0])
+		if err != nil {
+			return err
+		}
+		r, err := flow.RunDesign(d, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(flow.Table3([]*flow.DesignResult{r}))
+		return nil
+	}
+	results, err := flow.RunAll(nil)
+	if err != nil {
+		return err
+	}
+	fmt.Print(flow.Table3(results))
+	fmt.Println()
+	fmt.Println("Paper's Table 3 for comparison (AMS 0.35um, post-layout):")
+	fmt.Println("  Systolic counter     51.29 -> 40.43 ns  (21.16%)   area +27.09%")
+	fmt.Println("  Wagging register     49.82 -> 42.43 ns  (14.83%)   area +23.92%")
+	fmt.Println("  Stack               121.58 -> 107.70 ns (11.41%)   area +18.66%")
+	fmt.Println("  Microprocessor core  66.48 -> 60.65 ns  ( 8.76%)   area +24.17%")
+	return nil
+}
+
+func fig2(args []string) error {
+	names := []string{"systolic-counter", "wagging-register", "stack", "ssem"}
+	if len(args) == 1 {
+		names = args
+	}
+	fmt.Println("Fig 2: control optimization — components before/after clustering")
+	for _, name := range names {
+		d, err := designs.ByName(name)
+		if err != nil {
+			return err
+		}
+		before, after, rep, err := flow.Fig2Summary(d)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-18s before: %-48s after: %s\n", name, before, after)
+		for _, m := range rep.Merges {
+			fmt.Printf("    merged %s into %s (channel %s eliminated)\n", m.Activated, m.Activator, m.Channel)
+		}
+		if len(rep.CallsRestored) > 0 {
+			fmt.Printf("    calls restored: %s\n", strings.Join(rep.CallsRestored, ", "))
+		}
+	}
+	return nil
+}
+
+func fig3() error {
+	examples := []struct{ name, src string }{
+		{"sequencer", `(rep (enc-early (p-to-p passive P)
+		    (seq (p-to-p active A1) (p-to-p active A2))))`},
+		{"call", `(rep (mutex (enc-early (p-to-p passive A1) (p-to-p active B))
+		    (enc-early (p-to-p passive A2) (p-to-p active B))))`},
+		{"passivator", `(rep (enc-middle (p-to-p passive A) (p-to-p passive B)))`},
+	}
+	fmt.Println("Fig 3: Burst-Mode specifications of three handshake components")
+	for _, e := range examples {
+		body, err := ch.Parse(e.src)
+		if err != nil {
+			return err
+		}
+		sp, err := chtobm.Compile(&ch.Program{Name: e.name, Body: body})
+		if err != nil {
+			return err
+		}
+		fmt.Println(sp)
+	}
+	return nil
+}
+
+func fig4() error {
+	dwSrc := `(rep (enc-early (p-to-p passive a1)
+	    (mutex (enc-early (p-to-p passive i1) (p-to-p active o1))
+	           (enc-early (p-to-p passive i2) (p-to-p active o2)))))`
+	seqSrc := `(rep (enc-early (p-to-p passive o2)
+	    (seq (p-to-p active c1) (p-to-p active c2))))`
+	n := &core.Netlist{}
+	for _, c := range []struct{ name, src string }{{"decision-wait", dwSrc}, {"sequencer", seqSrc}} {
+		body, err := ch.Parse(c.src)
+		if err != nil {
+			return err
+		}
+		n.Components = append(n.Components, &ch.Program{Name: c.name, Body: body})
+	}
+	fmt.Println("Fig 4: activation channel removal (decision-wait + sequencer over channel o2)")
+	out, rep, err := core.T1Clustering(n)
+	if err != nil {
+		return err
+	}
+	for _, m := range rep.Merges {
+		fmt.Printf("  merged %s into %s, channel %s eliminated\n", m.Activated, m.Activator, m.Channel)
+	}
+	fmt.Println("merged CH program:")
+	fmt.Println(ch.FormatProgram(out.Components[0]))
+	sp, err := chtobm.Compile(out.Components[0])
+	if err != nil {
+		return err
+	}
+	fmt.Println("merged Burst-Mode specification:")
+	fmt.Println(sp)
+	if err := core.VerifyActivationChannelRemoval("o2", n.Components[0], n.Components[1]); err != nil {
+		return err
+	}
+	fmt.Println("trace-theory verification: composed||hidden == merged  OK")
+	return nil
+}
+
+func fig5() error {
+	seqSrc := `(rep (enc-early (p-to-p passive a)
+	    (seq (p-to-p active b1) (p-to-p active b2))))`
+	callSrc := `(rep (mutex (enc-early (p-to-p passive b1) (p-to-p active c))
+	    (enc-early (p-to-p passive b2) (p-to-p active c))))`
+	n := &core.Netlist{}
+	for _, c := range []struct{ name, src string }{{"sequencer", seqSrc}, {"call", callSrc}} {
+		body, err := ch.Parse(c.src)
+		if err != nil {
+			return err
+		}
+		n.Components = append(n.Components, &ch.Program{Name: c.name, Body: body})
+	}
+	fmt.Println("Fig 5: call distribution (the systolic counter fragment)")
+	out, rep, err := core.T2Clustering(n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  calls split: %v, restored: %v\n", rep.CallsSplit, rep.CallsRestored)
+	fmt.Println("resulting CH program:")
+	fmt.Println(ch.FormatProgram(out.Components[0]))
+	sp, err := chtobm.Compile(out.Components[0])
+	if err != nil {
+		return err
+	}
+	fmt.Println("resulting Burst-Mode specification:")
+	fmt.Println(sp)
+	return nil
+}
+
+func verify() error {
+	fmt.Println("Section 4.3: trace-theory verification of Activation Channel Removal")
+	fmt.Println("(composed behavior with the activation channel hidden vs. clustered behavior)")
+	results := core.VerifyAllPairs()
+	var pairs []core.OperatorPair
+	for p := range results {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Activating != pairs[j].Activating {
+			return pairs[i].Activating < pairs[j].Activating
+		}
+		return pairs[i].Activated < pairs[j].Activated
+	})
+	failures := 0
+	for _, p := range pairs {
+		status := "conformation equivalent"
+		if err := results[p]; err != nil {
+			status = err.Error()
+			failures++
+		}
+		fmt.Printf("  activating=%-10s activated=%-10s  %s\n", p.Activating, p.Activated, status)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d pairs failed", failures)
+	}
+	fmt.Printf("all %d operator combinations verified\n", len(pairs))
+	return nil
+}
+
+func flowReport(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: balsabm flow <design>")
+	}
+	d, err := designs.ByName(args[0])
+	if err != nil {
+		return err
+	}
+	r, err := flow.RunDesign(d, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("design %s — benchmark: %s\n", r.Design, r.Bench)
+	for _, arm := range []struct {
+		name string
+		a    flow.ArmResult
+	}{{"unoptimized", r.Unopt}, {"optimized", r.Opt}} {
+		fmt.Printf("%s arm: %d controllers, control %.0f um2, datapath %.0f um2, bench %.2f ns (%d events)\n",
+			arm.name, len(arm.a.Controllers), arm.a.ControlArea, arm.a.DatapathArea,
+			arm.a.BenchTime, arm.a.Events)
+		for _, c := range arm.a.Controllers {
+			fmt.Printf("  %-24s %3d states %2d bits %3d products %4d cells %7.0f um2 %5.2f ns\n",
+				c.Name, c.States, c.StateBits, c.Products, c.Cells, c.Area, c.Critical)
+		}
+	}
+	fmt.Printf("speed improvement: %.2f%%   area overhead: %.2f%%\n",
+		r.SpeedImprovement(), r.AreaOverhead())
+	return nil
+}
+
+// artifacts writes the paper's Fig 1 intermediate files for a design:
+// per-controller .bms (Burst-Mode spec), .sol (Minimalist-style
+// solution) and .v (structural Verilog) for both flow arms, plus the
+// CH netlists before and after clustering.
+func artifacts(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: balsabm artifacts <design> <dir>")
+	}
+	d, err := designs.ByName(args[0])
+	if err != nil {
+		return err
+	}
+	dir := args[1]
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	lib := cell.AMS035()
+	write := func(name, content string) error {
+		path := filepath.Join(dir, name)
+		fmt.Println("writing", path)
+		return os.WriteFile(path, []byte(content), 0o644)
+	}
+	unopt := d.Control()
+	if err := write(d.Name+".unopt.ch", unopt.Format()); err != nil {
+		return err
+	}
+	opt, _, err := core.Optimize(unopt)
+	if err != nil {
+		return err
+	}
+	if err := write(d.Name+".opt.ch", opt.Format()); err != nil {
+		return err
+	}
+	for _, arm := range []struct {
+		suffix  string
+		netlist *core.Netlist
+		mode    techmap.Mode
+	}{{"unopt", unopt, techmap.AreaShared}, {"opt", opt, techmap.SpeedSplit}} {
+		for _, comp := range arm.netlist.Components {
+			sp, err := chtobm.Compile(comp)
+			if err != nil {
+				return err
+			}
+			base := fmt.Sprintf("%s.%s", comp.Name, arm.suffix)
+			if err := write(base+".bms", sp.String()); err != nil {
+				return err
+			}
+			ctrl, err := minimalist.Synthesize(sp)
+			if err != nil {
+				return err
+			}
+			if err := write(base+".sol", ctrl.Sol()); err != nil {
+				return err
+			}
+			nl, err := techmap.MapController(ctrl, arm.mode, lib)
+			if err != nil {
+				return err
+			}
+			if err := write(base+".v", techmap.VerilogModules(nl, lib)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+// Command chc is the CH language tool: it parses CH programs, checks
+// the Burst-Mode aware restrictions (Table 1), prints four-phase
+// expansions, and compiles to Burst-Mode specifications (.bms).
+//
+// Usage:
+//
+//	chc expand  'expr'            print the four-phase expansion
+//	chc check   'expr'            validate against Table 1
+//	chc bms     '(program n e)'   compile to a .bms specification
+//	chc pn      '(program n e)'   translate to a 1-safe Petri net
+//	                              (the paper's future-work backend style)
+//	chc bms -f  file.ch           compile a program file
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"balsabm/internal/ch"
+	"balsabm/internal/chtobm"
+	"balsabm/internal/petri"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	cmd := os.Args[1]
+	src := os.Args[2]
+	if src == "-f" {
+		if len(os.Args) < 4 {
+			usage()
+		}
+		data, err := os.ReadFile(os.Args[3])
+		if err != nil {
+			fail(err)
+		}
+		src = string(data)
+	}
+	switch cmd {
+	case "expand":
+		e, err := ch.Parse(src)
+		if err != nil {
+			fail(err)
+		}
+		x, err := ch.Expand(e)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(x)
+	case "check":
+		e, err := ch.Parse(src)
+		if err != nil {
+			fail(err)
+		}
+		if err := ch.Validate(e); err != nil {
+			fail(err)
+		}
+		fmt.Printf("ok: Burst-Mode aware (activity: %s)\n", e.Activity())
+	case "pn":
+		p, err := ch.ParseProgram(src)
+		if err != nil {
+			e, err2 := ch.Parse(src)
+			if err2 != nil {
+				fail(err)
+			}
+			p = &ch.Program{Name: "main", Body: e}
+		}
+		net, err := petri.FromProgram(p)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("; 1-safe Petri net for %s: %d places, %d transitions\n",
+			p.Name, net.Places, len(net.Transitions))
+		for i, tr := range net.Transitions {
+			label := tr.Label
+			if label == "" {
+				label = "tau"
+			}
+			fmt.Printf("t%-3d %-10s pre%v post%v\n", i, label, tr.Pre, tr.Post)
+		}
+		g, err := net.Reachability(0)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("; reachability graph: %d markings, %d edges\n", g.States, len(g.Edges))
+	case "bms":
+		p, err := ch.ParseProgram(src)
+		if err != nil {
+			// Allow a bare expression too.
+			e, err2 := ch.Parse(src)
+			if err2 != nil {
+				fail(err)
+			}
+			p = &ch.Program{Name: "main", Body: e}
+		}
+		sp, err := chtobm.Compile(p)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(sp)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: chc <expand|check|bms> 'expr' | chc bms -f file.ch")
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "chc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,38 @@
+// SSEM microprocessor core: run the paper's benchmark program (store
+// 0..4 to consecutive memory words) on the full back-end, then show the
+// per-controller synthesis report for both arms.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"balsabm"
+)
+
+func main() {
+	d, err := balsabm.DesignByName("ssem")
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := balsabm.RunDesign(d, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchmark: %s\n\n", r.Bench)
+
+	fmt.Printf("unoptimized arm: %d controllers, %.0f um2 control, %.2f ns\n",
+		len(r.Unopt.Controllers), r.Unopt.ControlArea, r.Unopt.BenchTime)
+	for _, c := range r.Unopt.Controllers {
+		fmt.Printf("  %-16s %2d states %7.0f um2\n", c.Name, c.States, c.Area)
+	}
+	fmt.Printf("\noptimized arm: %d controllers, %.0f um2 control, %.2f ns\n",
+		len(r.Opt.Controllers), r.Opt.ControlArea, r.Opt.BenchTime)
+	for _, c := range r.Opt.Controllers {
+		fmt.Printf("  %-16s %2d states %2d bits %3d products %7.0f um2\n",
+			c.Name, c.States, c.StateBits, c.Products, c.Area)
+	}
+	fmt.Printf("\ncalls split: %v, restored: %v\n", r.Report.CallsSplit, r.Report.CallsRestored)
+	fmt.Printf("speed improvement %.2f%%, area overhead %.2f%% (paper: 8.76%%, 24.17%%)\n",
+		r.SpeedImprovement(), r.AreaOverhead())
+}

@@ -1,0 +1,49 @@
+// Stack from Balsa source: compile the embedded stack.balsa with the
+// balsa-c substitute, inspect the handshake-component netlist, then run
+// the complete back-end on the resulting design (push/pop benchmark
+// with a LIFO correctness check inside the flow).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"balsabm"
+)
+
+func main() {
+	src, err := balsabm.BalsaSource("stack")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Balsa source:")
+	fmt.Println(src)
+
+	// balsa-c: syntax-directed translation to handshake components.
+	netlist, err := balsabm.CompileBalsa(src, "stack")
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := netlist.Stats()
+	fmt.Printf("compiled: %d control + %d datapath components\n\n", s.Control, s.Datapath)
+
+	// The balsa-compiled design runs the same benchmark as the
+	// hand-built Table 3 design: three pushes then three pops, with the
+	// popped values checked for LIFO order.
+	all, err := balsabm.BalsaDesigns()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range all {
+		if d.Name != "stack-balsa" {
+			continue
+		}
+		r, err := balsabm.RunDesign(d, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("unoptimized: %6.2f ns with %d controllers\n", r.Unopt.BenchTime, len(r.Unopt.Controllers))
+		fmt.Printf("optimized:   %6.2f ns with %d controllers (%.2f%% faster, %.2f%% larger)\n",
+			r.Opt.BenchTime, len(r.Opt.Controllers), r.SpeedImprovement(), r.AreaOverhead())
+	}
+}

@@ -1,0 +1,41 @@
+// Systolic counter end to end: the design whose sequencer/call cells
+// are the paper's Fig 5 example. Shows the control netlist collapsing
+// under clustering (Fig 2) and the resulting Table 3 row.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"balsabm"
+)
+
+func main() {
+	d, err := balsabm.DesignByName("systolic-counter")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fig 2: the control network before and after clustering.
+	before := d.Control()
+	after, report, err := balsabm.Optimize(before)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("control components: %d before, %d after clustering\n",
+		len(before.Components), len(after.Components))
+	for _, m := range report.Merges {
+		fmt.Printf("  channel %-6s eliminated (merged %s into %s)\n", m.Channel, m.Activated, m.Activator)
+	}
+	fmt.Printf("calls distributed: %v\n\n", report.CallsSplit)
+
+	// The full two-arm flow: baseline (hand cells) vs clustered
+	// (speed-mode split mapping), both simulated at gate level on the
+	// paper's benchmark (one full 8-handshake cycle).
+	r, err := balsabm.RunDesign(d, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(balsabm.Table3([]*balsabm.DesignResult{r}))
+	fmt.Printf("benchmark: %s\n", r.Bench)
+}

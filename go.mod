@@ -1,0 +1,3 @@
+module balsabm
+
+go 1.22

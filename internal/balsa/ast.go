@@ -1,0 +1,150 @@
+package balsa
+
+// AST node definitions for the Balsa subset.
+
+// Program is a parsed source file.
+type Program struct {
+	Vars       []VarDecl
+	Mems       []MemDecl
+	Procedures []*Procedure
+}
+
+// VarDecl declares a variable (top-level or procedure-local).
+type VarDecl struct {
+	Name  string
+	Width int
+}
+
+// MemDecl declares a word memory.
+type MemDecl struct {
+	Name  string
+	Width int
+	Size  int
+}
+
+// Param is a procedure port.
+type Param struct {
+	Kind  string // "sync", "input", "output"
+	Name  string
+	Width int
+}
+
+// Procedure is a named entry point: the environment activates it over
+// an implicit sync channel bearing the procedure's name.
+type Procedure struct {
+	Name   string
+	Params []Param
+	Vars   []VarDecl
+	Shared []SharedDecl
+	Body   Stmt
+}
+
+// SharedDecl is a shared sub-procedure (call sites merge through a
+// Call component).
+type SharedDecl struct {
+	Name string
+	Body Stmt
+}
+
+// Stmt is a statement node.
+type Stmt interface{ isStmt() }
+
+// SeqStmt is sequential composition (compiled to a binary sequencer
+// tree).
+type SeqStmt struct{ Stmts []Stmt }
+
+// ParStmt is parallel composition (compiled to a binary concur tree).
+type ParStmt struct{ Stmts []Stmt }
+
+// SyncStmt performs one handshake on a sync port.
+type SyncStmt struct{ Chan string }
+
+// CallStmt invokes a shared procedure.
+type CallStmt struct{ Name string }
+
+// AssignStmt is variable := expr (a transferrer activation).
+type AssignStmt struct {
+	Var  string
+	Expr Expr
+}
+
+// MemWriteStmt is memory[addr] := expr.
+type MemWriteStmt struct {
+	Mem  string
+	Addr Expr
+	Expr Expr
+}
+
+// OutputStmt is port ! expr.
+type OutputStmt struct {
+	Chan string
+	Expr Expr
+}
+
+// InputStmt is port ? variable.
+type InputStmt struct {
+	Chan string
+	Var  string
+}
+
+// IfStmt is a two-way data-dependent choice.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // nil = continue
+}
+
+// CaseStmt dispatches on a selector value.
+type CaseStmt struct {
+	Sel  Expr
+	Arms map[int]Stmt
+	Else Stmt // nil = continue
+}
+
+// ContinueStmt is the no-op.
+type ContinueStmt struct{}
+
+func (SeqStmt) isStmt()      {}
+func (ParStmt) isStmt()      {}
+func (SyncStmt) isStmt()     {}
+func (CallStmt) isStmt()     {}
+func (AssignStmt) isStmt()   {}
+func (MemWriteStmt) isStmt() {}
+func (OutputStmt) isStmt()   {}
+func (InputStmt) isStmt()    {}
+func (IfStmt) isStmt()       {}
+func (CaseStmt) isStmt()     {}
+func (ContinueStmt) isStmt() {}
+
+// Expr is an expression node (a pull network).
+type Expr interface{ isExpr() }
+
+// NumExpr is a literal.
+type NumExpr struct{ Value uint64 }
+
+// VarExpr reads a variable (or pulls an input port).
+type VarExpr struct{ Name string }
+
+// MemReadExpr reads memory[addr].
+type MemReadExpr struct {
+	Mem  string
+	Addr Expr
+}
+
+// BinExpr applies a binary operator.
+type BinExpr struct {
+	Op   string // add, sub, and, or, xor, shl, shr, eq, ne, lt
+	A, B Expr
+}
+
+// UnExpr applies a unary operator (not, sext13).
+type UnExpr struct {
+	Op string
+	A  Expr
+}
+
+func (NumExpr) isExpr()     {}
+func (VarExpr) isExpr()     {}
+func (MemReadExpr) isExpr() {}
+func (BinExpr) isExpr()     {}
+func (UnExpr) isExpr()      {}

@@ -1,0 +1,337 @@
+package balsa
+
+import (
+	"strings"
+	"testing"
+
+	"balsabm/internal/hc"
+)
+
+func compileOK(t *testing.T, src string) *hc.Netlist {
+	t.Helper()
+	n, err := CompileSource(src, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func kinds(n *hc.Netlist) map[string]int {
+	out := map[string]int{}
+	for _, c := range n.Components {
+		out[c.Kind]++
+	}
+	return out
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"procedure",
+		"procedure p ( is begin continue end",
+		"procedure p () is begin end",
+		"procedure p () is begin x := end",
+		"procedure p () is begin if x then continue end", // x unknown caught later; missing end
+		"procedure p () is begin case 1 of 0 then continue | 0 then continue end end",
+		"variable v",
+		"memory m : 8",
+		"procedure p () is begin sync end",
+		"procedure p (bogus x) is begin continue end",
+	}
+	for _, src := range bad {
+		if _, err := CompileSource(src, "t"); err == nil {
+			t.Errorf("accepted bad program:\n%s", src)
+		}
+	}
+}
+
+func TestLexer(t *testing.T) {
+	toks, err := lex("a := b + 0x1F -- comment\n||;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tk := range toks {
+		texts = append(texts, tk.text)
+	}
+	want := "a := b + 0x1F || ; "
+	if strings.Join(texts, " ") != want {
+		t.Fatalf("got %q want %q", strings.Join(texts, " "), want)
+	}
+	if _, err := lex("a @ b"); err == nil {
+		t.Fatal("accepted bad character")
+	}
+}
+
+func TestSimpleSequence(t *testing.T) {
+	n := compileOK(t, `
+variable a : 8
+variable b : 8
+procedure p (input in : 8) is
+begin
+  a := in ; b := a
+end`)
+	k := kinds(n)
+	if k[hc.KSequencer] != 1 || k[hc.KFetch] != 2 || k[hc.KVariable] != 2 {
+		t.Fatalf("kinds: %v", k)
+	}
+	ctl, err := n.Control()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ctl.Components) != 1 {
+		t.Fatalf("control: %d components", len(ctl.Components))
+	}
+}
+
+func TestParallelCompose(t *testing.T) {
+	n := compileOK(t, `
+variable a : 4
+variable b : 4
+procedure p () is
+begin
+  a := 1 || b := 2
+end`)
+	if kinds(n)[hc.KConcur] != 1 {
+		t.Fatalf("kinds: %v", kinds(n))
+	}
+}
+
+// Two uses of a sync port merge through a call-mux, and shared
+// procedures with two call sites through a call — the systolic counter
+// cell structure (Fig 5).
+func TestCallMuxInsertion(t *testing.T) {
+	n := compileOK(t, `
+procedure cell (sync leaf) is
+  shared c1 is begin sync leaf ; sync leaf end
+begin
+  c1() ; c1()
+end`)
+	k := kinds(n)
+	if k[hc.KCall] != 2 {
+		t.Fatalf("want 2 calls (shared + sync mux), got %v", k)
+	}
+	if k[hc.KSequencer] != 2 {
+		t.Fatalf("want 2 sequencers, got %v", k)
+	}
+}
+
+// A single call site inlines without a call component.
+func TestSingleCallSiteInlines(t *testing.T) {
+	n := compileOK(t, `
+variable a : 4
+procedure p () is
+  shared once is begin a := 1 end
+begin
+  once()
+end`)
+	if kinds(n)[hc.KCall] != 0 {
+		t.Fatalf("unexpected call component: %v", kinds(n))
+	}
+}
+
+func TestIfCompilesToSelector(t *testing.T) {
+	n := compileOK(t, `
+variable a : 4
+procedure p () is
+begin
+  if a = 0 then a := 1 else a := 2 end
+end`)
+	k := kinds(n)
+	if k[hc.KCaseSel] != 1 || k[hc.KFunc] != 1 || k[hc.KConst] != 3 || k[hc.KFetch] != 2 {
+		t.Fatalf("kinds: %v", k)
+	}
+	// The selector has else at index 0 and then at index 1.
+	for _, c := range n.Components {
+		if c.Kind == hc.KCaseSel && len(c.Outs) != 2 {
+			t.Fatalf("selector outs: %v", c.Outs)
+		}
+	}
+}
+
+func TestCaseWithGapsAndElse(t *testing.T) {
+	n := compileOK(t, `
+variable a : 4
+procedure p () is
+begin
+  case a of 0 then a := 1 | 2 then a := 3 else continue end
+end`)
+	for _, c := range n.Components {
+		if c.Kind == hc.KCaseSel {
+			if len(c.Outs) != 3 {
+				t.Fatalf("outs: %v", c.Outs)
+			}
+		}
+	}
+	// Arm 1 (the gap) gets the else body: a continue component exists.
+	if kinds(n)[hc.KContinue] == 0 {
+		t.Fatal("no continue for the gap arm")
+	}
+}
+
+func TestMemoryPorts(t *testing.T) {
+	n := compileOK(t, `
+variable a : 8
+memory m : 8 [ 16 ]
+procedure p () is
+begin
+  a := m[3] ; m[4] := a
+end`)
+	k := kinds(n)
+	if k[hc.KMemory] != 1 || k[hc.KMemRead] != 1 || k[hc.KMemWrite] != 1 {
+		t.Fatalf("kinds: %v", k)
+	}
+}
+
+func TestVariableReadPortsPerUse(t *testing.T) {
+	n := compileOK(t, `
+variable a : 8
+variable b : 8
+procedure p () is
+begin
+  b := a + a
+end`)
+	for _, c := range n.Components {
+		if c.Kind == hc.KVariable && c.Name == "a" {
+			if len(c.Reads) != 2 {
+				t.Fatalf("a should have 2 read ports, got %v", c.Reads)
+			}
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		`procedure p () is begin a := 1 end`,                                  // unknown var
+		`procedure p () is begin q() end`,                                     // unknown shared
+		`procedure p () is shared s is begin continue end begin continue end`, // shared never called
+		`procedure p () is begin sync s end`,                                  // unknown sync port
+		`variable v : 8
+procedure p () is begin v ! 1 end`, // ! on non-port
+		`variable v : 8
+procedure p () is begin v ? v end`, // ? on non-port
+		`variable v : 8
+variable v : 8
+procedure p () is begin continue end`, // duplicate var
+	}
+	for _, src := range bad {
+		if _, err := CompileSource(src, "t"); err == nil {
+			t.Errorf("accepted bad program:\n%s", src)
+		}
+	}
+}
+
+func TestNetlistFormat(t *testing.T) {
+	n := compileOK(t, `
+variable a : 8
+procedure p (input in : 8) is
+begin
+  a := in
+end`)
+	text := n.Format()
+	for _, want := range []string{"(breeze test", "component fetch", "component variable a"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// Expression precedence: logic < comparison < additive < shift < unary.
+func TestExpressionPrecedence(t *testing.T) {
+	prog, err := Parse(`
+variable a : 8
+variable b : 8
+procedure p () is
+begin
+  a := b + 1 shl 2 = 5 and not b
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := prog.Procedures[0].Body.(AssignStmt)
+	// Top: and(eq(add(b, shl(1,2)), 5), not(b))
+	top, ok := assign.Expr.(BinExpr)
+	if !ok || top.Op != "and" {
+		t.Fatalf("top %#v", assign.Expr)
+	}
+	eq, ok := top.A.(BinExpr)
+	if !ok || eq.Op != "eq" {
+		t.Fatalf("left of and: %#v", top.A)
+	}
+	add, ok := eq.A.(BinExpr)
+	if !ok || add.Op != "add" {
+		t.Fatalf("left of eq: %#v", eq.A)
+	}
+	shl, ok := add.B.(BinExpr)
+	if !ok || shl.Op != "shl" {
+		t.Fatalf("right of add: %#v", add.B)
+	}
+	if _, ok := top.B.(UnExpr); !ok {
+		t.Fatalf("right of and: %#v", top.B)
+	}
+}
+
+// Parenthesization overrides precedence.
+func TestParens(t *testing.T) {
+	prog, err := Parse(`
+variable a : 8
+procedure p () is
+begin
+  a := (a + 1) shl 2
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := prog.Procedures[0].Body.(AssignStmt).Expr.(BinExpr)
+	if e.Op != "shl" {
+		t.Fatalf("top op %s", e.Op)
+	}
+	if inner, ok := e.A.(BinExpr); !ok || inner.Op != "add" {
+		t.Fatalf("inner %#v", e.A)
+	}
+}
+
+// sext13 parses as a builtin.
+func TestSext13Builtin(t *testing.T) {
+	prog, err := Parse(`
+variable a : 32
+procedure p () is
+begin
+  a := a + sext13(a)
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := prog.Procedures[0].Body.(AssignStmt).Expr.(BinExpr)
+	u, ok := e.B.(UnExpr)
+	if !ok || u.Op != "sext13" {
+		t.Fatalf("got %#v", e.B)
+	}
+}
+
+// Shared procedures may call other shared procedures (compiled in
+// caller-before-callee order); recursion is rejected.
+func TestSharedCallingShared(t *testing.T) {
+	n := compileOK(t, `
+procedure p (sync leaf) is
+  shared inner is begin sync leaf ; sync leaf end
+  shared outer is begin inner() ; inner() end
+begin
+  outer() ; outer()
+end`)
+	k := kinds(n)
+	// outer (2 sites) and inner (2 sites) and leaf (2 uses) each merge
+	// through a call.
+	if k[hc.KCall] != 3 {
+		t.Fatalf("want 3 calls, got %v", k)
+	}
+	if _, err := CompileSource(`
+procedure p () is
+  shared a is begin b() end
+  shared b is begin a() end
+begin
+  a()
+end`, "t"); err == nil {
+		t.Fatal("recursive shared procedures accepted")
+	}
+}

@@ -1,0 +1,540 @@
+package balsa
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"balsabm/internal/hc"
+)
+
+// Compile performs syntax-directed translation of a parsed program into
+// a handshake-component netlist, as balsa-c does: every language
+// construct maps to a fixed component pattern.
+//
+//   - ";"  -> binary sequencer tree
+//   - "||" -> binary concur tree
+//   - multiple activations of the same sync port or shared procedure
+//     merge through a Call component (Balsa's CallMux)
+//   - v := e, ch ! e, ch ? v -> transferrer (Fetch) plus a pull network
+//     of function/constant/read components for e
+//   - if/case -> data-dependent selector (CaseSel) feeding the arm
+//     activations
+//
+// Each procedure becomes an entry point activated on a sync channel
+// bearing its name.
+func Compile(prog *Program, designName string) (*hc.Netlist, error) {
+	c := &compiler{
+		n:     &hc.Netlist{Name: designName},
+		vars:  map[string]*varInfo{},
+		mems:  map[string]*MemDecl{},
+		ports: map[string]Param{},
+	}
+	for _, v := range prog.Vars {
+		if err := c.declareVar(v); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range prog.Mems {
+		m := m
+		if _, dup := c.mems[m.Name]; dup {
+			return nil, fmt.Errorf("balsa: duplicate memory %q", m.Name)
+		}
+		c.mems[m.Name] = &m
+		c.n.Add(&hc.Component{Kind: hc.KMemory, Name: m.Name, Width: m.Width, Size: m.Size})
+	}
+	for _, proc := range prog.Procedures {
+		if err := c.procedure(proc); err != nil {
+			return nil, err
+		}
+	}
+	// Emit variables after all read/write ports are known.
+	var names []string
+	for name := range c.vars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := c.vars[name]
+		c.n.Add(&hc.Component{
+			Kind: hc.KVariable, Name: name, Width: v.width,
+			Write: name + ".w", Reads: v.reads,
+		})
+	}
+	return c.n, nil
+}
+
+// CompileSource parses and compiles in one step.
+func CompileSource(src, designName string) (*hc.Netlist, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(prog, designName)
+}
+
+type varInfo struct {
+	width int
+	reads []string
+}
+
+type compiler struct {
+	n     *hc.Netlist
+	vars  map[string]*varInfo
+	mems  map[string]*MemDecl
+	ports map[string]Param
+	seq   int
+
+	// per-procedure state
+	proc      string
+	shared    map[string]*sharedState
+	syncSites map[string][]string // sync port -> activation sites
+}
+
+type sharedState struct {
+	body  Stmt
+	sites []string
+}
+
+func (c *compiler) fresh(prefix string) string {
+	c.seq++
+	return fmt.Sprintf("%s.%s%d", c.proc, prefix, c.seq)
+}
+
+func (c *compiler) declareVar(v VarDecl) error {
+	if _, dup := c.vars[v.Name]; dup {
+		return fmt.Errorf("balsa: duplicate variable %q", v.Name)
+	}
+	c.vars[v.Name] = &varInfo{width: v.Width}
+	return nil
+}
+
+// readChan allocates a fresh read port on a variable.
+func (c *compiler) readChan(name string) (string, int, error) {
+	v, ok := c.vars[name]
+	if !ok {
+		return "", 0, fmt.Errorf("balsa: unknown variable %q", name)
+	}
+	ch := fmt.Sprintf("%s.r%d", name, len(v.reads)+1)
+	v.reads = append(v.reads, ch)
+	return ch, v.width, nil
+}
+
+func (c *compiler) procedure(proc *Procedure) error {
+	c.proc = proc.Name
+	c.shared = map[string]*sharedState{}
+	c.syncSites = map[string][]string{}
+	for _, p := range proc.Params {
+		if _, dup := c.ports[p.Name]; dup && c.ports[p.Name] != p {
+			return fmt.Errorf("balsa: port %q redeclared differently", p.Name)
+		}
+		c.ports[p.Name] = p
+	}
+	for _, v := range proc.Vars {
+		if err := c.declareVar(v); err != nil {
+			return err
+		}
+	}
+	for _, s := range proc.Shared {
+		if _, dup := c.shared[s.Name]; dup {
+			return fmt.Errorf("balsa: duplicate shared procedure %q", s.Name)
+		}
+		c.shared[s.Name] = &sharedState{body: s.Body}
+	}
+	// The procedure body is activated on a channel named after it.
+	if err := c.stmt(proc.Body, proc.Name); err != nil {
+		return err
+	}
+	// Shared procedures: single call sites inline directly; multiple
+	// sites merge through a Call component. A shared procedure may call
+	// other shared procedures, so each is compiled only after every
+	// potential caller (callers before callees — hardware cannot
+	// recurse, so the call graph must be acyclic).
+	compiled := map[string]bool{}
+	for len(compiled) < len(c.shared) {
+		progress := false
+		var names []string
+		for name := range c.shared {
+			if !compiled[name] {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			// Only compile once no uncompiled shared procedure can
+			// still add call sites.
+			blocked := false
+			for other, so := range c.shared {
+				if other != name && !compiled[other] && callsShared(so.body, name) {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				continue
+			}
+			s := c.shared[name]
+			switch len(s.sites) {
+			case 0:
+				return fmt.Errorf("balsa: shared procedure %q is never called", name)
+			case 1:
+				if err := c.stmt(s.body, s.sites[0]); err != nil {
+					return err
+				}
+			default:
+				act := fmt.Sprintf("%s.%s", proc.Name, name)
+				c.n.Add(&hc.Component{
+					Kind: hc.KCall, Name: c.fresh("call"),
+					Subs: s.sites, Out: act,
+				})
+				if err := c.stmt(s.body, act); err != nil {
+					return err
+				}
+			}
+			compiled[name] = true
+			progress = true
+		}
+		if !progress {
+			return fmt.Errorf("balsa: recursive shared procedures in %q", proc.Name)
+		}
+	}
+	// Sync ports: multiple activation sites merge through a Call.
+	var syncNames []string
+	for name := range c.syncSites {
+		syncNames = append(syncNames, name)
+	}
+	sort.Strings(syncNames)
+	for _, name := range syncNames {
+		sites := c.syncSites[name]
+		if len(sites) > 1 {
+			c.n.Add(&hc.Component{
+				Kind: hc.KCall, Name: c.fresh("callmux"),
+				Subs: sites, Out: name,
+			})
+		}
+	}
+	c.finalizeAliases()
+	return nil
+}
+
+// callsShared reports whether a statement (transitively through its
+// structure, not through other shared procedures) contains a call to
+// the named shared procedure.
+func callsShared(s Stmt, name string) bool {
+	switch n := s.(type) {
+	case CallStmt:
+		return n.Name == name
+	case SeqStmt:
+		for _, sub := range n.Stmts {
+			if callsShared(sub, name) {
+				return true
+			}
+		}
+	case ParStmt:
+		for _, sub := range n.Stmts {
+			if callsShared(sub, name) {
+				return true
+			}
+		}
+	case IfStmt:
+		if callsShared(n.Then, name) {
+			return true
+		}
+		if n.Else != nil && callsShared(n.Else, name) {
+			return true
+		}
+	case CaseStmt:
+		for _, arm := range n.Arms {
+			if callsShared(arm, name) {
+				return true
+			}
+		}
+		if n.Else != nil && callsShared(n.Else, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// renameChannel rewrites one channel name throughout the netlist (used
+// to alias a statement's activation to a specific channel).
+func (c *compiler) renameChannel(old, new string) {
+	for _, comp := range c.n.Components {
+		fields := []*string{&comp.Act, &comp.Write, &comp.Src, &comp.Dst, &comp.Out,
+			&comp.Sel, &comp.Addr, &comp.Data}
+		for _, f := range fields {
+			if *f == old {
+				*f = new
+			}
+		}
+		lists := [][]string{comp.Subs, comp.Reads, comp.Ins, comp.Outs}
+		for _, l := range lists {
+			for i := range l {
+				if l[i] == old {
+					l[i] = new
+				}
+			}
+		}
+	}
+}
+
+// stmt compiles a statement activated on channel act.
+func (c *compiler) stmt(s Stmt, act string) error {
+	switch n := s.(type) {
+	case SeqStmt:
+		return c.compose(hc.KSequencer, "seq", n.Stmts, act)
+	case ParStmt:
+		return c.compose(hc.KConcur, "par", n.Stmts, act)
+	case SyncStmt:
+		p, ok := c.ports[n.Chan]
+		if !ok || p.Kind != "sync" {
+			return fmt.Errorf("balsa: sync on %q, which is not a sync port", n.Chan)
+		}
+		// Record an activation site; single sites alias directly.
+		site := fmt.Sprintf("%s.u%d", n.Chan, len(c.syncSites[n.Chan])+1)
+		c.syncSites[n.Chan] = append(c.syncSites[n.Chan], site)
+		c.renameChannel(act, site)
+		return nil
+	case CallStmt:
+		sh, ok := c.shared[n.Name]
+		if !ok {
+			return fmt.Errorf("balsa: call of unknown shared procedure %q", n.Name)
+		}
+		site := fmt.Sprintf("%s.%s.s%d", c.proc, n.Name, len(sh.sites)+1)
+		sh.sites = append(sh.sites, site)
+		c.renameChannel(act, site)
+		return nil
+	case ContinueStmt:
+		c.n.Add(&hc.Component{Kind: hc.KContinue, Name: c.fresh("skip"), Act: act})
+		return nil
+	case AssignStmt:
+		v, ok := c.vars[n.Var]
+		if !ok {
+			return fmt.Errorf("balsa: assignment to unknown variable %q", n.Var)
+		}
+		src, _, err := c.expr(n.Expr, v.width)
+		if err != nil {
+			return err
+		}
+		c.n.Add(&hc.Component{Kind: hc.KFetch, Name: c.fresh("f"), Act: act, Src: src, Dst: n.Var + ".w"})
+		return nil
+	case MemWriteStmt:
+		m, ok := c.mems[n.Mem]
+		if !ok {
+			return fmt.Errorf("balsa: write to unknown memory %q", n.Mem)
+		}
+		addr, _, err := c.expr(n.Addr, addrWidth(m.Size))
+		if err != nil {
+			return err
+		}
+		data, _, err := c.expr(n.Expr, m.Width)
+		if err != nil {
+			return err
+		}
+		c.n.Add(&hc.Component{Kind: hc.KMemWrite, Name: c.fresh("mw"), Act: act,
+			Mem: n.Mem, Addr: addr, Data: data, Width: m.Width})
+		return nil
+	case OutputStmt:
+		p, ok := c.ports[n.Chan]
+		if !ok || p.Kind != "output" {
+			return fmt.Errorf("balsa: output on %q, which is not an output port", n.Chan)
+		}
+		src, _, err := c.expr(n.Expr, p.Width)
+		if err != nil {
+			return err
+		}
+		c.n.Add(&hc.Component{Kind: hc.KFetch, Name: c.fresh("f"), Act: act, Src: src, Dst: n.Chan})
+		return nil
+	case InputStmt:
+		p, ok := c.ports[n.Chan]
+		if !ok || p.Kind != "input" {
+			return fmt.Errorf("balsa: input on %q, which is not an input port", n.Chan)
+		}
+		if _, ok := c.vars[n.Var]; !ok {
+			return fmt.Errorf("balsa: input into unknown variable %q", n.Var)
+		}
+		c.n.Add(&hc.Component{Kind: hc.KFetch, Name: c.fresh("f"), Act: act, Src: n.Chan, Dst: n.Var + ".w"})
+		return nil
+	case IfStmt:
+		cond, _, err := c.expr(n.Cond, 1)
+		if err != nil {
+			return err
+		}
+		thenAct := c.fresh("then")
+		elseAct := c.fresh("else")
+		c.n.Add(&hc.Component{Kind: hc.KCaseSel, Name: c.fresh("if"), Act: act,
+			Sel: cond, Outs: []string{elseAct, thenAct}})
+		if err := c.stmt(n.Then, thenAct); err != nil {
+			return err
+		}
+		if n.Else != nil {
+			return c.stmt(n.Else, elseAct)
+		}
+		c.n.Add(&hc.Component{Kind: hc.KContinue, Name: c.fresh("skip"), Act: elseAct})
+		return nil
+	case CaseStmt:
+		max := 0
+		for idx := range n.Arms {
+			if idx < 0 {
+				return fmt.Errorf("balsa: negative case arm")
+			}
+			if idx > max {
+				max = idx
+			}
+		}
+		sel, _, err := c.expr(n.Sel, addrWidth(max+1))
+		if err != nil {
+			return err
+		}
+		outs := make([]string, max+1)
+		for i := range outs {
+			outs[i] = c.fresh(fmt.Sprintf("arm%d_", i))
+		}
+		c.n.Add(&hc.Component{Kind: hc.KCaseSel, Name: c.fresh("case"), Act: act,
+			Sel: sel, Outs: outs})
+		for i := 0; i <= max; i++ {
+			body, ok := n.Arms[i]
+			if !ok {
+				body = n.Else
+			}
+			if body == nil {
+				body = ContinueStmt{}
+			}
+			if err := c.stmt(body, outs[i]); err != nil {
+				return err
+			}
+		}
+		// Selector values beyond max complete without activation
+		// (CaseSel's out-of-range behavior), matching "else continue";
+		// an explicit else body beyond max is not representable.
+		return nil
+	default:
+		return fmt.Errorf("balsa: unknown statement %T", s)
+	}
+}
+
+// compose builds a binary sequencer/concur tree over the sub-statements.
+func (c *compiler) compose(kind, prefix string, stmts []Stmt, act string) error {
+	var build func(ss []Stmt, act string) error
+	build = func(ss []Stmt, act string) error {
+		if len(ss) == 1 {
+			return c.stmt(ss[0], act)
+		}
+		mid := (len(ss) + 1) / 2
+		left := c.fresh(prefix + "l")
+		right := c.fresh(prefix + "r")
+		c.n.Add(&hc.Component{Kind: kind, Name: c.fresh(prefix), Act: act, Subs: []string{left, right}})
+		if err := build(ss[:mid], left); err != nil {
+			return err
+		}
+		return build(ss[mid:], right)
+	}
+	return build(stmts, act)
+}
+
+// finalizeAliases collapses single-site sync ports back to the port
+// name (called from procedure()).
+func (c *compiler) finalizeAliases() {
+	for name, sites := range c.syncSites {
+		if len(sites) == 1 {
+			c.renameChannel(sites[0], name)
+		}
+	}
+}
+
+// expr compiles an expression into a pull network, returning its served
+// channel and width.
+func (c *compiler) expr(e Expr, hint int) (string, int, error) {
+	switch n := e.(type) {
+	case NumExpr:
+		w := bits.Len64(n.Value)
+		if w == 0 {
+			w = 1
+		}
+		if hint > w {
+			w = hint
+		}
+		ch := c.fresh("k")
+		c.n.Add(&hc.Component{Kind: hc.KConst, Name: c.fresh("const"), Out: ch, Value: n.Value, Width: w})
+		return ch, w, nil
+	case VarExpr:
+		if p, ok := c.ports[n.Name]; ok && p.Kind == "input" {
+			// Pulling an input port directly.
+			return n.Name, p.Width, nil
+		}
+		ch, w, err := c.readChan(n.Name)
+		return ch, w, err
+	case MemReadExpr:
+		m, ok := c.mems[n.Mem]
+		if !ok {
+			return "", 0, fmt.Errorf("balsa: read of unknown memory %q", n.Mem)
+		}
+		addr, _, err := c.expr(n.Addr, addrWidth(m.Size))
+		if err != nil {
+			return "", 0, err
+		}
+		ch := c.fresh("m")
+		c.n.Add(&hc.Component{Kind: hc.KMemRead, Name: c.fresh("mr"), Out: ch,
+			Mem: n.Mem, Addr: addr, Width: m.Width})
+		return ch, m.Width, nil
+	case BinExpr:
+		a, wa, err := c.expr(n.A, hint)
+		if err != nil {
+			return "", 0, err
+		}
+		b, wb, err := c.expr(n.B, hint)
+		if err != nil {
+			return "", 0, err
+		}
+		w := wa
+		if wb > w {
+			w = wb
+		}
+		switch n.Op {
+		case "eq", "ne", "lt":
+			// Comparison results are single-bit, but the unit computes
+			// on the operand width.
+		case "add", "sub", "and", "or", "xor", "shl", "shr":
+		default:
+			return "", 0, fmt.Errorf("balsa: unknown operator %q", n.Op)
+		}
+		outW := w
+		if n.Op == "eq" || n.Op == "ne" || n.Op == "lt" {
+			outW = 1
+		}
+		ch := c.fresh("e")
+		c.n.Add(&hc.Component{Kind: hc.KFunc, Name: c.fresh("fn"), Out: ch,
+			Op: n.Op, Ins: []string{a, b}, Width: maxInt(outW, w)})
+		return ch, outW, nil
+	case UnExpr:
+		a, wa, err := c.expr(n.A, hint)
+		if err != nil {
+			return "", 0, err
+		}
+		w := wa
+		if n.Op == "sext13" {
+			w = 32
+		}
+		ch := c.fresh("e")
+		c.n.Add(&hc.Component{Kind: hc.KFunc, Name: c.fresh("fn"), Out: ch,
+			Op: n.Op, Ins: []string{a}, Width: w})
+		return ch, w, nil
+	default:
+		return "", 0, fmt.Errorf("balsa: unknown expression %T", e)
+	}
+}
+
+func addrWidth(size int) int {
+	w := bits.Len(uint(size - 1))
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,155 @@
+// Package balsa implements a front end for a subset of the Balsa
+// asynchronous hardware description language [Bardsley & Edwards]:
+// lexer, parser and the syntax-directed compiler to handshake-component
+// netlists (package hc) that stands in for balsa-c in the paper's flow
+// (Fig 1).
+//
+// Supported subset (what the paper's four designs need):
+//
+//	program    := {topdecl}
+//	topdecl    := "variable" ID ":" NUM
+//	            | "memory" ID ":" NUM "[" NUM "]"
+//	            | "procedure" ID "(" [params] ")" "is" {local} "begin" stmt "end"
+//	params     := param {";" param}
+//	param      := "sync" ID | "input" ID ":" NUM | "output" ID ":" NUM
+//	local      := "variable" ID ":" NUM | "shared" ID "is" "begin" stmt "end"
+//	stmt       := par {";" par} ; par := base {"||" base}
+//	base       := "continue" | "sync" ID | ID "(" ")" | ID ":=" expr
+//	            | ID "[" expr "]" ":=" expr | ID "!" expr | ID "?" ID
+//	            | "if" expr "then" stmt ["else" stmt] "end"
+//	            | "case" expr "of" NUM "then" stmt {"|" NUM "then" stmt}
+//	              ["else" stmt] "end"
+//	            | "begin" stmt "end"
+//	expr       := the usual operators: + - and or xor shl shr = /= < not
+//	              sext13(e), memory reads m[e], decimal/hex literals
+//
+// Deviations from full Balsa are documented in DESIGN.md: top-level
+// variables may be shared between procedures (standing in for Balsa's
+// single-procedure designs with multiple select arms), and infinite
+// loops are expressed by the environment re-activating a procedure.
+package balsa
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokSymbol  // punctuation / operators
+	tokKeyword // reserved words
+)
+
+var keywords = map[string]bool{
+	"procedure": true, "is": true, "begin": true, "end": true,
+	"variable": true, "memory": true, "shared": true,
+	"sync": true, "input": true, "output": true,
+	"if": true, "then": true, "else": true,
+	"case": true, "of": true, "continue": true,
+	"and": true, "or": true, "xor": true, "not": true,
+	"shl": true, "shr": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexError struct {
+	line, col int
+	msg       string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("balsa: %d:%d: %s", e.line, e.col, e.msg)
+}
+
+// lex tokenizes a source text. Comments run from "--" to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case unicode.IsSpace(rune(c)):
+			advance(1)
+		case unicode.IsLetter(rune(c)) || c == '_':
+			startLine, startCol := line, col
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			text := src[i:j]
+			kind := tokIdent
+			if keywords[text] {
+				kind = tokKeyword
+			}
+			toks = append(toks, token{kind, text, startLine, startCol})
+			advance(j - i)
+		case unicode.IsDigit(rune(c)):
+			startLine, startCol := line, col
+			j := i
+			for j < len(src) && (unicode.IsDigit(rune(src[j])) || src[j] == 'x' || src[j] == 'X' ||
+				(src[j] >= 'a' && src[j] <= 'f') || (src[j] >= 'A' && src[j] <= 'F')) {
+				j++
+			}
+			text := src[i:j]
+			if _, err := strconv.ParseUint(text, 0, 64); err != nil {
+				return nil, &lexError{startLine, startCol, fmt.Sprintf("bad number %q", text)}
+			}
+			toks = append(toks, token{tokNumber, text, startLine, startCol})
+			advance(j - i)
+		default:
+			startLine, startCol := line, col
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case ":=", "/=", "||":
+				toks = append(toks, token{tokSymbol, two, startLine, startCol})
+				advance(2)
+				continue
+			}
+			switch c {
+			case '(', ')', '[', ']', ';', ':', '!', '?', '+', '-', '=', '<', '|', ',':
+				toks = append(toks, token{tokSymbol, string(c), startLine, startCol})
+				advance(1)
+			default:
+				return nil, &lexError{startLine, startCol, fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line, col})
+	return toks, nil
+}

@@ -1,0 +1,584 @@
+package balsa
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+type parseError struct {
+	tok token
+	msg string
+}
+
+func (e *parseError) Error() string {
+	return fmt.Sprintf("balsa: %d:%d: %s (got %s)", e.tok.line, e.tok.col, e.msg, e.tok)
+}
+
+// Parse reads a Balsa-subset source file.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(tokEOF, "") {
+		switch {
+		case p.at(tokKeyword, "variable"):
+			v, err := p.varDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Vars = append(prog.Vars, v)
+		case p.at(tokKeyword, "memory"):
+			m, err := p.memDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Mems = append(prog.Mems, m)
+		case p.at(tokKeyword, "procedure"):
+			proc, err := p.procedure()
+			if err != nil {
+				return nil, err
+			}
+			prog.Procedures = append(prog.Procedures, proc)
+		default:
+			return nil, p.errf("expected variable, memory or procedure")
+		}
+	}
+	if len(prog.Procedures) == 0 {
+		return nil, fmt.Errorf("balsa: no procedures in program")
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	what := text
+	if what == "" {
+		what = map[tokenKind]string{tokIdent: "identifier", tokNumber: "number"}[kind]
+	}
+	return token{}, p.errf("expected %s", what)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &parseError{tok: p.cur(), msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) ident() (string, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return "", err
+	}
+	return t.text, nil
+}
+
+func (p *parser) number() (uint64, error) {
+	t, err := p.expect(tokNumber, "")
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseUint(t.text, 0, 64)
+	if err != nil {
+		return 0, &parseError{tok: t, msg: "bad number"}
+	}
+	return v, nil
+}
+
+func (p *parser) varDecl() (VarDecl, error) {
+	p.next() // variable
+	name, err := p.ident()
+	if err != nil {
+		return VarDecl{}, err
+	}
+	if _, err := p.expect(tokSymbol, ":"); err != nil {
+		return VarDecl{}, err
+	}
+	w, err := p.number()
+	if err != nil {
+		return VarDecl{}, err
+	}
+	if w == 0 || w > 64 {
+		return VarDecl{}, p.errf("width must be 1..64")
+	}
+	return VarDecl{Name: name, Width: int(w)}, nil
+}
+
+func (p *parser) memDecl() (MemDecl, error) {
+	p.next() // memory
+	name, err := p.ident()
+	if err != nil {
+		return MemDecl{}, err
+	}
+	if _, err := p.expect(tokSymbol, ":"); err != nil {
+		return MemDecl{}, err
+	}
+	w, err := p.number()
+	if err != nil {
+		return MemDecl{}, err
+	}
+	if _, err := p.expect(tokSymbol, "["); err != nil {
+		return MemDecl{}, err
+	}
+	size, err := p.number()
+	if err != nil {
+		return MemDecl{}, err
+	}
+	if _, err := p.expect(tokSymbol, "]"); err != nil {
+		return MemDecl{}, err
+	}
+	return MemDecl{Name: name, Width: int(w), Size: int(size)}, nil
+}
+
+func (p *parser) procedure() (*Procedure, error) {
+	p.next() // procedure
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	proc := &Procedure{Name: name}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	if !p.accept(tokSymbol, ")") {
+		for {
+			param, err := p.param()
+			if err != nil {
+				return nil, err
+			}
+			proc.Params = append(proc.Params, param)
+			if p.accept(tokSymbol, ")") {
+				break
+			}
+			if _, err := p.expect(tokSymbol, ";"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := p.expect(tokKeyword, "is"); err != nil {
+		return nil, err
+	}
+	for {
+		if p.at(tokKeyword, "variable") {
+			v, err := p.varDecl()
+			if err != nil {
+				return nil, err
+			}
+			proc.Vars = append(proc.Vars, v)
+			continue
+		}
+		if p.at(tokKeyword, "shared") {
+			p.next()
+			sname, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokKeyword, "is"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokKeyword, "begin"); err != nil {
+				return nil, err
+			}
+			body, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokKeyword, "end"); err != nil {
+				return nil, err
+			}
+			proc.Shared = append(proc.Shared, SharedDecl{Name: sname, Body: body})
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokKeyword, "begin"); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "end"); err != nil {
+		return nil, err
+	}
+	proc.Body = body
+	return proc, nil
+}
+
+func (p *parser) param() (Param, error) {
+	switch {
+	case p.accept(tokKeyword, "sync"):
+		name, err := p.ident()
+		if err != nil {
+			return Param{}, err
+		}
+		return Param{Kind: "sync", Name: name}, nil
+	case p.accept(tokKeyword, "input"), p.at(tokKeyword, "output"):
+		kind := "input"
+		if p.at(tokKeyword, "output") {
+			p.next()
+			kind = "output"
+		}
+		name, err := p.ident()
+		if err != nil {
+			return Param{}, err
+		}
+		if _, err := p.expect(tokSymbol, ":"); err != nil {
+			return Param{}, err
+		}
+		w, err := p.number()
+		if err != nil {
+			return Param{}, err
+		}
+		return Param{Kind: kind, Name: name, Width: int(w)}, nil
+	}
+	return Param{}, p.errf("expected sync, input or output parameter")
+}
+
+// stmt parses sequential composition (lowest precedence).
+func (p *parser) stmt() (Stmt, error) {
+	first, err := p.parStmt()
+	if err != nil {
+		return nil, err
+	}
+	stmts := []Stmt{first}
+	for p.accept(tokSymbol, ";") {
+		s, err := p.parStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	if len(stmts) == 1 {
+		return stmts[0], nil
+	}
+	return SeqStmt{Stmts: stmts}, nil
+}
+
+func (p *parser) parStmt() (Stmt, error) {
+	first, err := p.baseStmt()
+	if err != nil {
+		return nil, err
+	}
+	stmts := []Stmt{first}
+	for p.accept(tokSymbol, "||") {
+		s, err := p.baseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	if len(stmts) == 1 {
+		return stmts[0], nil
+	}
+	return ParStmt{Stmts: stmts}, nil
+}
+
+func (p *parser) baseStmt() (Stmt, error) {
+	switch {
+	case p.accept(tokKeyword, "continue"):
+		return ContinueStmt{}, nil
+	case p.accept(tokKeyword, "sync"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return SyncStmt{Chan: name}, nil
+	case p.accept(tokKeyword, "begin"):
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "end"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case p.accept(tokKeyword, "if"):
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "then"); err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		var els Stmt
+		if p.accept(tokKeyword, "else") {
+			els, err = p.stmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokKeyword, "end"); err != nil {
+			return nil, err
+		}
+		return IfStmt{Cond: cond, Then: then, Else: els}, nil
+	case p.accept(tokKeyword, "case"):
+		sel, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "of"); err != nil {
+			return nil, err
+		}
+		arms := map[int]Stmt{}
+		for {
+			n, err := p.number()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokKeyword, "then"); err != nil {
+				return nil, err
+			}
+			body, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := arms[int(n)]; dup {
+				return nil, p.errf("duplicate case arm %d", n)
+			}
+			arms[int(n)] = body
+			if !p.accept(tokSymbol, "|") {
+				break
+			}
+		}
+		var els Stmt
+		if p.accept(tokKeyword, "else") {
+			var err error
+			els, err = p.stmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokKeyword, "end"); err != nil {
+			return nil, err
+		}
+		return CaseStmt{Sel: sel, Arms: arms, Else: els}, nil
+	case p.at(tokIdent, ""):
+		name := p.next().text
+		switch {
+		case p.accept(tokSymbol, "("):
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return CallStmt{Name: name}, nil
+		case p.accept(tokSymbol, ":="):
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return AssignStmt{Var: name, Expr: e}, nil
+		case p.accept(tokSymbol, "["):
+			addr, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, "]"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, ":="); err != nil {
+				return nil, err
+			}
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return MemWriteStmt{Mem: name, Addr: addr, Expr: e}, nil
+		case p.accept(tokSymbol, "!"):
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return OutputStmt{Chan: name, Expr: e}, nil
+		case p.accept(tokSymbol, "?"):
+			v, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return InputStmt{Chan: name, Var: v}, nil
+		}
+		return nil, p.errf("expected (), :=, [, ! or ? after %q", name)
+	}
+	return nil, p.errf("expected statement")
+}
+
+// Expression precedence: logic < comparison < additive < shift < unary.
+func (p *parser) expr() (Expr, error) {
+	a, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(tokKeyword, "and"):
+			op = "and"
+		case p.accept(tokKeyword, "or"):
+			op = "or"
+		case p.accept(tokKeyword, "xor"):
+			op = "xor"
+		default:
+			return a, nil
+		}
+		b, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		a = BinExpr{Op: op, A: a, B: b}
+	}
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	a, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(tokSymbol, "="):
+			op = "eq"
+		case p.accept(tokSymbol, "/="):
+			op = "ne"
+		case p.accept(tokSymbol, "<"):
+			op = "lt"
+		default:
+			return a, nil
+		}
+		b, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		a = BinExpr{Op: op, A: a, B: b}
+	}
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	a, err := p.shiftExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(tokSymbol, "+"):
+			op = "add"
+		case p.accept(tokSymbol, "-"):
+			op = "sub"
+		default:
+			return a, nil
+		}
+		b, err := p.shiftExpr()
+		if err != nil {
+			return nil, err
+		}
+		a = BinExpr{Op: op, A: a, B: b}
+	}
+}
+
+func (p *parser) shiftExpr() (Expr, error) {
+	a, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(tokKeyword, "shl"):
+			op = "shl"
+		case p.accept(tokKeyword, "shr"):
+			op = "shr"
+		default:
+			return a, nil
+		}
+		b, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		a = BinExpr{Op: op, A: a, B: b}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.accept(tokKeyword, "not") {
+		a, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return UnExpr{Op: "not", A: a}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	switch {
+	case p.at(tokNumber, ""):
+		v, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		return NumExpr{Value: v}, nil
+	case p.accept(tokSymbol, "("):
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.at(tokIdent, ""):
+		name := p.next().text
+		if name == "sext13" {
+			if _, err := p.expect(tokSymbol, "("); err != nil {
+				return nil, err
+			}
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return UnExpr{Op: "sext13", A: e}, nil
+		}
+		if p.accept(tokSymbol, "[") {
+			addr, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, "]"); err != nil {
+				return nil, err
+			}
+			return MemReadExpr{Mem: name, Addr: addr}, nil
+		}
+		return VarExpr{Name: name}, nil
+	}
+	return nil, p.errf("expected expression")
+}

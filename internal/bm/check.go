@@ -1,0 +1,197 @@
+package bm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckError reports a Burst-Mode well-formedness violation.
+type CheckError struct {
+	Spec string
+	Msg  string
+}
+
+func (e *CheckError) Error() string { return fmt.Sprintf("bm: %s: %s", e.Spec, e.Msg) }
+
+func (sp *Spec) errf(format string, args ...any) error {
+	return &CheckError{Spec: sp.Name, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Check verifies the Burst-Mode well-formedness conditions:
+//
+//  1. every arc's input burst is non-empty;
+//  2. outputs never appear in input bursts and vice versa;
+//  3. the maximal-set property: for any two distinct arcs leaving the
+//     same state, neither input burst is a subset of the other (so the
+//     machine can always tell which burst has completed);
+//  4. polarity consistency: starting from the all-zero initial values,
+//     every transition on every reachable path toggles its signal from
+//     the value it actually holds (no x+ when x is already 1);
+//  5. every reachable state has at least one outgoing arc (our
+//     controllers are non-terminating), and all states are reachable.
+func (sp *Spec) Check() error {
+	inSet := map[string]bool{}
+	for _, s := range sp.Inputs {
+		inSet[s] = true
+	}
+	outSet := map[string]bool{}
+	for _, s := range sp.Outputs {
+		outSet[s] = true
+	}
+	for _, a := range sp.Arcs {
+		if len(a.In) == 0 {
+			return sp.errf("arc %s has an empty input burst", a)
+		}
+		seen := map[string]bool{}
+		for _, s := range a.In {
+			if !inSet[s.Name] {
+				return sp.errf("arc %s: %s is not an input", a, s.Name)
+			}
+			if seen[s.Name] {
+				return sp.errf("arc %s: signal %s appears twice in input burst", a, s.Name)
+			}
+			seen[s.Name] = true
+		}
+		seen = map[string]bool{}
+		for _, s := range a.Out {
+			if !outSet[s.Name] {
+				return sp.errf("arc %s: %s is not an output", a, s.Name)
+			}
+			if seen[s.Name] {
+				return sp.errf("arc %s: signal %s appears twice in output burst", a, s.Name)
+			}
+			seen[s.Name] = true
+		}
+	}
+	// Maximal-set property.
+	for s := 0; s < sp.NStates; s++ {
+		arcs := sp.ArcsFrom(s)
+		for i := 0; i < len(arcs); i++ {
+			for j := i + 1; j < len(arcs); j++ {
+				if arcs[i].In.SubsetOf(arcs[j].In) || arcs[j].In.SubsetOf(arcs[i].In) {
+					return sp.errf("state %d violates the maximal-set property: %q vs %q",
+						s, arcs[i].In.String(), arcs[j].In.String())
+				}
+			}
+		}
+	}
+	// Polarity consistency + reachability, by BFS over (state, values).
+	// Values are tracked per specification state: a state must be
+	// entered with a unique signal-value vector (Burst-Mode machines
+	// are deterministic in total state).
+	values := make([]map[string]bool, sp.NStates)
+	start := map[string]bool{}
+	for _, s := range sp.Inputs {
+		start[s] = false
+	}
+	for _, s := range sp.Outputs {
+		start[s] = false
+	}
+	values[sp.Start] = start
+	queue := []int{sp.Start}
+	reached := map[int]bool{sp.Start: true}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		v := values[s]
+		for _, a := range sp.ArcsFrom(s) {
+			next := cloneVals(v)
+			for _, sig := range append(a.In.Clone(), a.Out...) {
+				if next[sig.Name] == sig.Rise {
+					return sp.errf("arc %s: transition %s but %s already holds value %v",
+						a, sig, sig.Name, boolBit(next[sig.Name]))
+				}
+				next[sig.Name] = sig.Rise
+			}
+			if values[a.To] == nil {
+				values[a.To] = next
+			} else if !sameVals(values[a.To], next) {
+				return sp.errf("state %d entered with inconsistent signal values via arc %s", a.To, a)
+			}
+			if !reached[a.To] {
+				reached[a.To] = true
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	for s := 0; s < sp.NStates; s++ {
+		if !reached[s] {
+			return sp.errf("state %d is unreachable", s)
+		}
+		if len(sp.ArcsFrom(s)) == 0 {
+			return sp.errf("state %d has no outgoing arcs", s)
+		}
+	}
+	return nil
+}
+
+// StateValues returns, for each state, the signal-value vector with
+// which the state is entered (inputs and outputs, after the entering
+// arc's bursts complete). Valid only for specs that pass Check.
+func (sp *Spec) StateValues() ([]map[string]bool, error) {
+	if err := sp.Check(); err != nil {
+		return nil, err
+	}
+	values := make([]map[string]bool, sp.NStates)
+	start := map[string]bool{}
+	for _, s := range sp.Inputs {
+		start[s] = false
+	}
+	for _, s := range sp.Outputs {
+		start[s] = false
+	}
+	values[sp.Start] = start
+	queue := []int{sp.Start}
+	seen := map[int]bool{sp.Start: true}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, a := range sp.ArcsFrom(s) {
+			if seen[a.To] {
+				continue
+			}
+			next := cloneVals(values[s])
+			for _, sig := range append(a.In.Clone(), a.Out...) {
+				next[sig.Name] = sig.Rise
+			}
+			values[a.To] = next
+			seen[a.To] = true
+			queue = append(queue, a.To)
+		}
+	}
+	return values, nil
+}
+
+func cloneVals(v map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(v))
+	for k, val := range v {
+		out[k] = val
+	}
+	return out
+}
+
+func sameVals(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func boolBit(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Signals returns all signal names (inputs then outputs), sorted.
+func (sp *Spec) Signals() []string {
+	out := append(append([]string{}, sp.Inputs...), sp.Outputs...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,170 @@
+// Package cell models a standard-cell library in the spirit of the AMS
+// 0.35µm library the paper maps to. Areas are in µm², delays in ns
+// (single pin-to-pin figure per cell — adequate for the paper's
+// relative speed/area comparisons, which is what Table 3 reports).
+//
+// The library includes the combinational cells the technology mapper
+// targets, plus the Muller C-element and transparent latch used by the
+// handshake-component baseline circuits and the datapath.
+package cell
+
+import "fmt"
+
+// Kind is the logical function of a cell.
+type Kind int
+
+const (
+	Inv Kind = iota
+	Buf
+	Nand
+	And
+	Or
+	Nor
+	Xor
+	C     // Muller C-element (stateful: output follows when all inputs agree)
+	Latch // transparent latch: inputs [enable, data]
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Inv:
+		return "INV"
+	case Buf:
+		return "BUF"
+	case Nand:
+		return "NAND"
+	case And:
+		return "AND"
+	case Or:
+		return "OR"
+	case Nor:
+		return "NOR"
+	case Xor:
+		return "XOR"
+	case C:
+		return "C"
+	case Latch:
+		return "LATCH"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Cell is one library cell.
+type Cell struct {
+	Name   string
+	Kind   Kind
+	Inputs int
+	Area   float64 // µm²
+	Delay  float64 // ns
+}
+
+// Eval computes the cell's output from its inputs; for stateful cells
+// (C, Latch) prev is the current output value.
+func (c *Cell) Eval(ins []bool, prev bool) bool {
+	switch c.Kind {
+	case Inv:
+		return !ins[0]
+	case Buf:
+		return ins[0]
+	case Nand:
+		for _, v := range ins {
+			if !v {
+				return true
+			}
+		}
+		return false
+	case And:
+		for _, v := range ins {
+			if !v {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, v := range ins {
+			if v {
+				return true
+			}
+		}
+		return false
+	case Nor:
+		for _, v := range ins {
+			if v {
+				return false
+			}
+		}
+		return true
+	case Xor:
+		out := false
+		for _, v := range ins {
+			out = out != v
+		}
+		return out
+	case C:
+		all1, all0 := true, true
+		for _, v := range ins {
+			if v {
+				all0 = false
+			} else {
+				all1 = false
+			}
+		}
+		if all1 {
+			return true
+		}
+		if all0 {
+			return false
+		}
+		return prev
+	case Latch:
+		if ins[0] {
+			return ins[1]
+		}
+		return prev
+	}
+	return false
+}
+
+// Library is a named set of cells.
+type Library struct {
+	Name  string
+	Cells map[string]*Cell
+}
+
+// Get returns the named cell, panicking on unknown names (library
+// contents are fixed at build time; a miss is a programming error).
+func (l *Library) Get(name string) *Cell {
+	c, ok := l.Cells[name]
+	if !ok {
+		panic(fmt.Sprintf("cell: no cell %q in library %s", name, l.Name))
+	}
+	return c
+}
+
+// AMS035 returns the default library, calibrated to 0.35µm-class
+// standard cells.
+func AMS035() *Library {
+	cells := []*Cell{
+		{Name: "INV", Kind: Inv, Inputs: 1, Area: 18, Delay: 0.06},
+		{Name: "BUF", Kind: Buf, Inputs: 1, Area: 27, Delay: 0.10},
+		{Name: "NAND2", Kind: Nand, Inputs: 2, Area: 27, Delay: 0.08},
+		{Name: "NAND3", Kind: Nand, Inputs: 3, Area: 36, Delay: 0.10},
+		{Name: "NAND4", Kind: Nand, Inputs: 4, Area: 46, Delay: 0.13},
+		{Name: "AND2", Kind: And, Inputs: 2, Area: 36, Delay: 0.12},
+		{Name: "AND3", Kind: And, Inputs: 3, Area: 46, Delay: 0.14},
+		{Name: "AND4", Kind: And, Inputs: 4, Area: 55, Delay: 0.17},
+		{Name: "OR2", Kind: Or, Inputs: 2, Area: 36, Delay: 0.13},
+		{Name: "OR3", Kind: Or, Inputs: 3, Area: 46, Delay: 0.16},
+		{Name: "OR4", Kind: Or, Inputs: 4, Area: 55, Delay: 0.19},
+		{Name: "NOR2", Kind: Nor, Inputs: 2, Area: 27, Delay: 0.09},
+		{Name: "XOR2", Kind: Xor, Inputs: 2, Area: 55, Delay: 0.16},
+		{Name: "C2", Kind: C, Inputs: 2, Area: 64, Delay: 0.16},
+		{Name: "C3", Kind: C, Inputs: 3, Area: 82, Delay: 0.20},
+		{Name: "LATCH", Kind: Latch, Inputs: 2, Area: 64, Delay: 0.18},
+	}
+	lib := &Library{Name: "ams035-like", Cells: map[string]*Cell{}}
+	for _, c := range cells {
+		lib.Cells[c.Name] = c
+	}
+	return lib
+}

@@ -1,0 +1,105 @@
+package cell
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLibraryComplete(t *testing.T) {
+	lib := AMS035()
+	for _, name := range []string{"INV", "BUF", "NAND2", "NAND3", "NAND4",
+		"AND2", "AND3", "AND4", "OR2", "OR3", "OR4", "NOR2", "XOR2",
+		"C2", "C3", "LATCH"} {
+		c := lib.Get(name)
+		if c.Area <= 0 || c.Delay <= 0 {
+			t.Errorf("%s: degenerate area/delay %+v", name, c)
+		}
+		if c.Inputs <= 0 {
+			t.Errorf("%s: no inputs", name)
+		}
+	}
+}
+
+func TestGetUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AMS035().Get("FLUXCAP")
+}
+
+func TestCombinationalEval(t *testing.T) {
+	lib := AMS035()
+	cases := []struct {
+		cell string
+		ins  []bool
+		want bool
+	}{
+		{"INV", []bool{true}, false},
+		{"BUF", []bool{true}, true},
+		{"NAND2", []bool{true, true}, false},
+		{"NAND2", []bool{true, false}, true},
+		{"AND3", []bool{true, true, true}, true},
+		{"AND3", []bool{true, false, true}, false},
+		{"OR2", []bool{false, false}, false},
+		{"OR2", []bool{false, true}, true},
+		{"NOR2", []bool{false, false}, true},
+		{"XOR2", []bool{true, true}, false},
+		{"XOR2", []bool{true, false}, true},
+	}
+	for _, c := range cases {
+		if got := lib.Get(c.cell).Eval(c.ins, false); got != c.want {
+			t.Errorf("%s(%v) = %v, want %v", c.cell, c.ins, got, c.want)
+		}
+	}
+}
+
+func TestCElementSemantics(t *testing.T) {
+	c2 := AMS035().Get("C2")
+	if c2.Eval([]bool{true, true}, false) != true {
+		t.Fatal("C2 must set on all-1")
+	}
+	if c2.Eval([]bool{false, false}, true) != false {
+		t.Fatal("C2 must reset on all-0")
+	}
+	if c2.Eval([]bool{true, false}, true) != true || c2.Eval([]bool{true, false}, false) != false {
+		t.Fatal("C2 must hold on disagreement")
+	}
+}
+
+func TestLatchSemantics(t *testing.T) {
+	l := AMS035().Get("LATCH")
+	if l.Eval([]bool{true, true}, false) != true {
+		t.Fatal("transparent latch must pass data when enabled")
+	}
+	if l.Eval([]bool{false, true}, false) != false {
+		t.Fatal("latch must hold when disabled")
+	}
+}
+
+// Property: DeMorgan holds between the NAND/AND/OR/NOR cells — the
+// foundation of the hazard-non-increasing mapping transformations.
+func TestQuickDeMorgan(t *testing.T) {
+	lib := AMS035()
+	nand, and2 := lib.Get("NAND2"), lib.Get("AND2")
+	or2, nor := lib.Get("OR2"), lib.Get("NOR2")
+	inv := lib.Get("INV")
+	f := func(a, b bool) bool {
+		ins := []bool{a, b}
+		notIns := []bool{!a, !b}
+		if nand.Eval(ins, false) != inv.Eval([]bool{and2.Eval(ins, false)}, false) {
+			return false
+		}
+		if nand.Eval(ins, false) != or2.Eval(notIns, false) {
+			return false
+		}
+		if nor.Eval(ins, false) != and2.Eval(notIns, false) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

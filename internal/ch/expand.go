@@ -1,0 +1,287 @@
+package ch
+
+import "fmt"
+
+// ExpandError reports an expansion failure (an operator applied to an
+// activity combination for which Table 2 defines no expansion).
+type ExpandError struct {
+	Op   OpKind
+	ActA Activity
+	ActB Activity
+}
+
+func (e *ExpandError) Error() string {
+	return fmt.Sprintf("ch: no four-phase expansion for %s with %s/%s arguments",
+		e.Op, e.ActA, e.ActB)
+}
+
+// expandCtx carries state for a single expansion: fresh-label
+// generation and the stack of enclosing loops for break resolution.
+type expandCtx struct {
+	nextLabel int
+	loops     []loopLabels
+}
+
+type loopLabels struct{ start, end string }
+
+func (c *expandCtx) fresh(prefix string) string {
+	c.nextLabel++
+	return fmt.Sprintf("%s%d", prefix, c.nextLabel)
+}
+
+// Expand computes the four-phase handshake expansion of a program body
+// per Section 3 of the paper.
+func Expand(e Expr) (Expansion, error) {
+	ctx := &expandCtx{}
+	return expand(e, ctx)
+}
+
+func expand(e Expr, ctx *expandCtx) (Expansion, error) {
+	switch n := e.(type) {
+	case *Chan:
+		return expandChan(n), nil
+	case *Void:
+		return Expansion{}, nil
+	case *Break:
+		if len(ctx.loops) == 0 {
+			return Expansion{}, fmt.Errorf("ch: break outside of rep loop")
+		}
+		end := ctx.loops[len(ctx.loops)-1].end
+		return Expansion{Event{BGoto{Name: end}}, nil, nil, nil}, nil
+	case *Rep:
+		lbl := loopLabels{start: ctx.fresh("L"), end: ctx.fresh("E")}
+		ctx.loops = append(ctx.loops, lbl)
+		body, err := expand(n.Body, ctx)
+		ctx.loops = ctx.loops[:len(ctx.loops)-1]
+		if err != nil {
+			return Expansion{}, err
+		}
+		ev := Event{Label{Name: lbl.start}}
+		ev = append(ev, body.Flatten()...)
+		ev = append(ev, Goto{Name: lbl.start}, Label{Name: lbl.end})
+		return Expansion{ev, nil, nil, nil}, nil
+	case *Op:
+		return expandOp(n, ctx)
+	case *MuxAck:
+		return expandMuxAck(n, ctx)
+	case *MuxReq:
+		return expandMuxReq(n, ctx)
+	default:
+		return Expansion{}, fmt.Errorf("ch: cannot expand %T", e)
+	}
+}
+
+// expandChan produces the channel expansions of Section 3.1.
+func expandChan(c *Chan) Expansion {
+	switch c.Kind {
+	case PToP:
+		req, ack := c.Name+"_r", c.Name+"_a"
+		if c.Act == Active {
+			return Expansion{
+				Event{Trans{req, Out, true}},
+				Event{Trans{ack, In, true}},
+				Event{Trans{req, Out, false}},
+				Event{Trans{ack, In, false}},
+			}
+		}
+		return Expansion{
+			Event{Trans{req, In, true}},
+			Event{Trans{ack, Out, true}},
+			Event{Trans{req, In, false}},
+			Event{Trans{ack, Out, false}},
+		}
+	case MultReq:
+		// One request wire, N acknowledge wires; all acknowledge
+		// transitions are grouped into a single event.
+		req := c.Name + "_r"
+		acks := func(rise bool, dir Dir) Event {
+			ev := make(Event, c.N)
+			for i := 0; i < c.N; i++ {
+				ev[i] = Trans{fmt.Sprintf("%s_a%d", c.Name, i+1), dir, rise}
+			}
+			return ev
+		}
+		if c.Act == Active {
+			return Expansion{
+				Event{Trans{req, Out, true}}, acks(true, In),
+				Event{Trans{req, Out, false}}, acks(false, In),
+			}
+		}
+		return Expansion{
+			Event{Trans{req, In, true}}, acks(true, Out),
+			Event{Trans{req, In, false}}, acks(false, Out),
+		}
+	case MultAck:
+		// N request wires, one acknowledge wire; all request
+		// transitions are grouped into a single event.
+		ack := c.Name + "_a"
+		reqs := func(rise bool, dir Dir) Event {
+			ev := make(Event, c.N)
+			for i := 0; i < c.N; i++ {
+				ev[i] = Trans{fmt.Sprintf("%s_r%d", c.Name, i+1), dir, rise}
+			}
+			return ev
+		}
+		if c.Act == Active {
+			return Expansion{
+				reqs(true, Out), Event{Trans{ack, In, true}},
+				reqs(false, Out), Event{Trans{ack, In, false}},
+			}
+		}
+		return Expansion{
+			reqs(true, In), Event{Trans{ack, Out, true}},
+			reqs(false, In), Event{Trans{ack, Out, false}},
+		}
+	case Verb:
+		return c.Ev
+	}
+	return Expansion{}
+}
+
+// expandOp applies Table 2. The four events of the first argument's
+// expansion are a1..a4; the second argument's are b1..b4.
+func expandOp(o *Op, ctx *expandCtx) (Expansion, error) {
+	a, err := expand(o.A, ctx)
+	if err != nil {
+		return Expansion{}, err
+	}
+	b, err := expand(o.B, ctx)
+	if err != nil {
+		return Expansion{}, err
+	}
+	actA, actB := o.A.Activity(), o.B.Activity()
+	fail := func() (Expansion, error) {
+		return Expansion{}, &ExpandError{Op: o.Kind, ActA: actA, ActB: actB}
+	}
+	// Neutral arguments (void, break) contribute no transitions and
+	// combine under any operator except mutex (which requires genuine
+	// external passive choices on both sides).
+	neutral := actA == Neutral || actB == Neutral
+
+	cat := func(evs ...Event) Event {
+		var out Event
+		for _, e := range evs {
+			out = append(out, e...)
+		}
+		return out
+	}
+
+	switch o.Kind {
+	case EncEarly:
+		// active/active: [a1][a2 b1 b2 b3 b4][a3][a4]
+		// passive/*:     [a1 b1 b2 b3 b4][a2][a3][a4]
+		switch {
+		case actA == Active && actB == Active:
+			return Expansion{a[0], cat(a[1], b[0], b[1], b[2], b[3]), a[2], a[3]}, nil
+		case actA == Passive && actB != Neutral:
+			return Expansion{cat(a[0], b[0], b[1], b[2], b[3]), a[1], a[2], a[3]}, nil
+		case neutral:
+			return Expansion{cat(a[0], b[0], b[1], b[2], b[3]), a[1], a[2], a[3]}, nil
+		default:
+			return fail()
+		}
+	case EncLate:
+		// passive/*: [a1][a2][a3][b1 b2 b3 b4 a4]
+		if (actA == Passive && actB != Neutral) || neutral {
+			return Expansion{a[0], a[1], a[2], cat(b[0], b[1], b[2], b[3], a[3])}, nil
+		}
+		return fail()
+	case EncMiddle:
+		// [a1 b1][b2 a2][a3 b3][b4 a4]
+		if actA == Active && actB == Passive {
+			return fail()
+		}
+		return Expansion{cat(a[0], b[0]), cat(b[1], a[1]), cat(a[2], b[2]), cat(b[3], a[3])}, nil
+	case Seq:
+		// [a1 a2 a3 a4 b1][b2][b3][b4]
+		if actA == Active && actB == Passive {
+			return fail()
+		}
+		return Expansion{cat(a[0], a[1], a[2], a[3], b[0]), b[1], b[2], b[3]}, nil
+	case SeqOv:
+		// active/active only: [a1 a2][b1 b2][a3 a4][b3 b4]
+		if actA == Active && actB == Active {
+			return Expansion{cat(a[0], a[1]), cat(b[0], b[1]), cat(a[2], a[3]), cat(b[2], b[3])}, nil
+		}
+		return fail()
+	case Mutex:
+		// passive/passive only: [(choice a b)][][][]
+		if actA == Passive && actB == Passive {
+			return Expansion{Event{Choice{Branches: [][]Item{a.Flatten(), b.Flatten()}}}, nil, nil, nil}, nil
+		}
+		return fail()
+	}
+	return Expansion{}, fmt.Errorf("ch: unknown operator %v", o.Kind)
+}
+
+// muxBranch builds the implicit-first-argument expansion of one mux arm
+// and combines it with the arm's expression under the arm's operator.
+func muxBranch(pseudo Expansion, pseudoAct Activity, arm MuxArm, ctx *expandCtx) ([]Item, error) {
+	argExp, err := expand(arm.Arg, ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Combine pseudo (first argument) with arg (second) per Table 2.
+	op := &Op{Kind: arm.Op,
+		A: &Chan{Kind: Verb, Act: pseudoAct, Ev: pseudo},
+		B: &Chan{Kind: Verb, Act: arm.Arg.Activity(), Ev: argExp},
+	}
+	comb, err := expandOp(op, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return comb.Flatten(), nil
+}
+
+// expandMuxAck: the channel is always active. The request rises outside
+// the choice; each branch begins with the distinguishing acknowledge
+// input, encloses the arm's behavior per the arm operator, and finishes
+// the handshake (request falls, acknowledge falls).
+//
+// Per-branch implicit events: [][(i name_a<i> +)][(o name_r -)][(i name_a<i> -)].
+func expandMuxAck(m *MuxAck, ctx *expandCtx) (Expansion, error) {
+	req := m.Name + "_r"
+	branches := make([][]Item, len(m.Arms))
+	for i, arm := range m.Arms {
+		ack := fmt.Sprintf("%s_a%d", m.Name, i+1)
+		pseudo := Expansion{
+			nil,
+			Event{Trans{ack, In, true}},
+			Event{Trans{req, Out, false}},
+			Event{Trans{ack, In, false}},
+		}
+		b, err := muxBranch(pseudo, Active, arm, ctx)
+		if err != nil {
+			return Expansion{}, fmt.Errorf("ch: mux-ack %s arm %d: %w", m.Name, i+1, err)
+		}
+		branches[i] = b
+	}
+	ev := Event{Trans{req, Out, true}, Choice{Branches: branches}}
+	return Expansion{ev, nil, nil, nil}, nil
+}
+
+// expandMuxReq: the channel is always passive. Each branch begins with
+// the distinguishing request input and completes a full handshake on
+// its request wire and the shared acknowledge, enclosing the arm's
+// behavior per the arm operator.
+//
+// Per-branch implicit events: [(i name_r<i> +)][(o name_a +)][(i name_r<i> -)][(o name_a -)].
+func expandMuxReq(m *MuxReq, ctx *expandCtx) (Expansion, error) {
+	ack := m.Name + "_a"
+	branches := make([][]Item, len(m.Arms))
+	for i, arm := range m.Arms {
+		req := fmt.Sprintf("%s_r%d", m.Name, i+1)
+		pseudo := Expansion{
+			Event{Trans{req, In, true}},
+			Event{Trans{ack, Out, true}},
+			Event{Trans{req, In, false}},
+			Event{Trans{ack, Out, false}},
+		}
+		b, err := muxBranch(pseudo, Passive, arm, ctx)
+		if err != nil {
+			return Expansion{}, fmt.Errorf("ch: mux-req %s arm %d: %w", m.Name, i+1, err)
+		}
+		branches[i] = b
+	}
+	return Expansion{Event{Choice{Branches: branches}}, nil, nil, nil}, nil
+}

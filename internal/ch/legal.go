@@ -1,0 +1,131 @@
+package ch
+
+import "fmt"
+
+// Legal reports whether Table 1 of the paper permits the given operator
+// on arguments of the given activities — the "Burst-Mode aware"
+// restrictions that guarantee CH-to-BM translation yields a valid
+// Burst-Mode specification.
+//
+//	Operator    a/a  a/p  p/a  p/p
+//	enc-early   yes  no   yes  yes
+//	enc-late    no   no   yes  yes
+//	enc-middle  yes  no   yes  yes
+//	seq         yes  no   yes  yes
+//	seq-ov      yes  no   no   no
+//	mutex       no   no   no   yes
+//
+// Neutral arguments (void after hiding, break) contribute no
+// transitions; they are accepted wherever at least one orientation of
+// the combination is legal, except under mutex, which requires two
+// genuine passive external choices.
+func Legal(op OpKind, a, b Activity) bool {
+	if a == Neutral || b == Neutral {
+		if op == Mutex {
+			return false
+		}
+		if a == Neutral && b == Neutral {
+			return op != SeqOv
+		}
+		// Try both concrete orientations for the neutral side.
+		if a == Neutral {
+			return Legal(op, Passive, b) || Legal(op, Active, b)
+		}
+		return Legal(op, a, Passive) || Legal(op, a, Active)
+	}
+	switch op {
+	case EncEarly, EncMiddle, Seq:
+		return !(a == Active && b == Passive)
+	case EncLate:
+		return a == Passive
+	case SeqOv:
+		return a == Active && b == Active
+	case Mutex:
+		return a == Passive && b == Passive
+	}
+	return false
+}
+
+// ValidationError reports a Burst-Mode aware restriction violation.
+type ValidationError struct {
+	Op   OpKind
+	ActA Activity
+	ActB Activity
+	Path string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("ch: %s: illegal combination %s applied to %s/%s arguments (Table 1)",
+		e.Path, e.Op, e.ActA, e.ActB)
+}
+
+// Validate checks the whole expression tree against the Burst-Mode
+// aware restrictions (Table 1), including the implicit first arguments
+// of mux-ack and mux-req channels, and structural rules (verb channels
+// well-formed, break only inside rep).
+func Validate(e Expr) error {
+	return validate(e, "body", 0)
+}
+
+func validate(e Expr, path string, loopDepth int) error {
+	switch n := e.(type) {
+	case *Chan:
+		if n.Kind != Verb && n.Act == Neutral {
+			return fmt.Errorf("ch: %s: channel %q must be passive or active", path, n.Name)
+		}
+		if (n.Kind == MultReq || n.Kind == MultAck) && n.N < 1 {
+			return fmt.Errorf("ch: %s: channel %q needs positive wire count, got %d", path, n.Name, n.N)
+		}
+		return nil
+	case *Void:
+		return nil
+	case *Break:
+		if loopDepth == 0 {
+			return fmt.Errorf("ch: %s: break outside of rep loop", path)
+		}
+		return nil
+	case *Rep:
+		return validate(n.Body, path+"/rep", loopDepth+1)
+	case *Op:
+		actA, actB := n.A.Activity(), n.B.Activity()
+		if !Legal(n.Kind, actA, actB) {
+			return &ValidationError{Op: n.Kind, ActA: actA, ActB: actB, Path: path}
+		}
+		if err := validate(n.A, fmt.Sprintf("%s/%s[1]", path, n.Kind), loopDepth); err != nil {
+			return err
+		}
+		return validate(n.B, fmt.Sprintf("%s/%s[2]", path, n.Kind), loopDepth)
+	case *MuxAck:
+		if len(n.Arms) < 1 {
+			return fmt.Errorf("ch: %s: mux-ack %q has no arms", path, n.Name)
+		}
+		for i, arm := range n.Arms {
+			// The implicit first argument is the channel's active
+			// continuation.
+			if !Legal(arm.Op, Active, arm.Arg.Activity()) {
+				return &ValidationError{Op: arm.Op, ActA: Active, ActB: arm.Arg.Activity(),
+					Path: fmt.Sprintf("%s/mux-ack[%d]", path, i+1)}
+			}
+			if err := validate(arm.Arg, fmt.Sprintf("%s/mux-ack[%d]", path, i+1), loopDepth); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *MuxReq:
+		if len(n.Arms) < 1 {
+			return fmt.Errorf("ch: %s: mux-req %q has no arms", path, n.Name)
+		}
+		for i, arm := range n.Arms {
+			if !Legal(arm.Op, Passive, arm.Arg.Activity()) {
+				return &ValidationError{Op: arm.Op, ActA: Passive, ActB: arm.Arg.Activity(),
+					Path: fmt.Sprintf("%s/mux-req[%d]", path, i+1)}
+			}
+			if err := validate(arm.Arg, fmt.Sprintf("%s/mux-req[%d]", path, i+1), loopDepth); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("ch: %s: unknown expression type %T", path, e)
+	}
+}

@@ -1,0 +1,281 @@
+package ch
+
+import (
+	"fmt"
+	"strings"
+
+	"balsabm/internal/sexp"
+)
+
+// Parse reads a CH expression from its s-expression concrete syntax:
+//
+//	(p-to-p activity name)
+//	(mult-req activity name n)        ; 1 request wire, n acknowledge wires
+//	(mult-ack activity name n)        ; n request wires, 1 acknowledge wire
+//	(mux-ack name (op expr) ...)      ; always active
+//	(mux-req name (op expr) ...)      ; always passive
+//	(verb ((i sig +) ...) () () ())   ; four explicit events
+//	void | (void)
+//	(rep expr)
+//	(break)
+//	(enc-early|enc-middle|enc-late|seq|seq-ov expr expr expr...)
+//	(mutex expr expr expr...)
+//
+// Underscore spellings (mux_ack, seq_ov, ...) are accepted as in the
+// paper. seq and mutex with more than two arguments desugar into
+// right-nested binary applications.
+func Parse(src string) (Expr, error) {
+	n, err := sexp.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return FromSexp(n)
+}
+
+// ParseProgram reads a named CH program: (program name expr).
+func ParseProgram(src string) (*Program, error) {
+	n, err := sexp.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	l, ok := n.(sexp.List)
+	if !ok || l.Head() != "program" || l.Len() != 3 {
+		return nil, fmt.Errorf("ch: expected (program name expr)")
+	}
+	name, ok := l.Items[1].(sexp.Atom)
+	if !ok {
+		return nil, fmt.Errorf("ch: program name must be an atom")
+	}
+	body, err := FromSexp(l.Items[2])
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Name: name.Text, Body: body}, nil
+}
+
+func canon(s string) string { return strings.ReplaceAll(s, "_", "-") }
+
+var opKinds = map[string]OpKind{
+	"enc-early":  EncEarly,
+	"enc-middle": EncMiddle,
+	"enc-late":   EncLate,
+	"seq":        Seq,
+	"seq-ov":     SeqOv,
+	"mutex":      Mutex,
+}
+
+func parseActivity(n sexp.Node) (Activity, error) {
+	a, ok := n.(sexp.Atom)
+	if !ok {
+		return 0, fmt.Errorf("ch: expected activity, got %s", n)
+	}
+	switch a.Text {
+	case "passive":
+		return Passive, nil
+	case "active":
+		return Active, nil
+	}
+	return 0, fmt.Errorf("ch: %d:%d: unknown activity %q", a.Line, a.Col, a.Text)
+}
+
+func atomText(n sexp.Node, what string) (string, error) {
+	a, ok := n.(sexp.Atom)
+	if !ok {
+		return "", fmt.Errorf("ch: expected %s, got %s", what, n)
+	}
+	return a.Text, nil
+}
+
+// FromSexp converts a parsed s-expression into a CH expression.
+func FromSexp(n sexp.Node) (Expr, error) {
+	if a, ok := n.(sexp.Atom); ok {
+		if canon(a.Text) == "void" {
+			return &Void{}, nil
+		}
+		return nil, fmt.Errorf("ch: %d:%d: unexpected atom %q", a.Line, a.Col, a.Text)
+	}
+	l := n.(sexp.List)
+	head := canon(l.Head())
+	switch head {
+	case "void":
+		return &Void{}, nil
+	case "break":
+		return &Break{}, nil
+	case "rep":
+		if l.Len() != 2 {
+			return nil, fmt.Errorf("ch: %d:%d: rep takes one argument", l.Line, l.Col)
+		}
+		body, err := FromSexp(l.Items[1])
+		if err != nil {
+			return nil, err
+		}
+		return &Rep{Body: body}, nil
+	case "p-to-p":
+		if l.Len() != 3 {
+			return nil, fmt.Errorf("ch: %d:%d: (p-to-p activity name)", l.Line, l.Col)
+		}
+		act, err := parseActivity(l.Items[1])
+		if err != nil {
+			return nil, err
+		}
+		name, err := atomText(l.Items[2], "channel name")
+		if err != nil {
+			return nil, err
+		}
+		return &Chan{Kind: PToP, Act: act, Name: name}, nil
+	case "mult-req", "mult-ack":
+		if l.Len() != 4 {
+			return nil, fmt.Errorf("ch: %d:%d: (%s activity name n)", l.Line, l.Col, head)
+		}
+		act, err := parseActivity(l.Items[1])
+		if err != nil {
+			return nil, err
+		}
+		name, err := atomText(l.Items[2], "channel name")
+		if err != nil {
+			return nil, err
+		}
+		na, ok := l.Items[3].(sexp.Atom)
+		if !ok {
+			return nil, fmt.Errorf("ch: %d:%d: wire count must be an atom", l.Line, l.Col)
+		}
+		count, err := na.Int()
+		if err != nil {
+			return nil, err
+		}
+		kind := MultReq
+		if head == "mult-ack" {
+			kind = MultAck
+		}
+		return &Chan{Kind: kind, Act: act, Name: name, N: count}, nil
+	case "mux-ack", "mux-req":
+		if l.Len() < 3 {
+			return nil, fmt.Errorf("ch: %d:%d: (%s name (op expr)...)", l.Line, l.Col, head)
+		}
+		name, err := atomText(l.Items[1], "channel name")
+		if err != nil {
+			return nil, err
+		}
+		arms := make([]MuxArm, 0, l.Len()-2)
+		for _, item := range l.Items[2:] {
+			al, ok := item.(sexp.List)
+			if !ok || al.Len() != 2 {
+				return nil, fmt.Errorf("ch: %s arm must be (op expr), got %s", head, item)
+			}
+			op, ok := opKinds[canon(al.Head())]
+			if !ok {
+				return nil, fmt.Errorf("ch: unknown arm operator %q", al.Head())
+			}
+			arg, err := FromSexp(al.Items[1])
+			if err != nil {
+				return nil, err
+			}
+			arms = append(arms, MuxArm{Op: op, Arg: arg})
+		}
+		if head == "mux-ack" {
+			return &MuxAck{Name: name, Arms: arms}, nil
+		}
+		return &MuxReq{Name: name, Arms: arms}, nil
+	case "verb":
+		if l.Len() != 5 {
+			return nil, fmt.Errorf("ch: %d:%d: verb takes exactly four event lists", l.Line, l.Col)
+		}
+		var c Chan
+		c.Kind = Verb
+		c.Act = Neutral
+		for i := 0; i < 4; i++ {
+			ev, err := parseEvent(l.Items[i+1])
+			if err != nil {
+				return nil, err
+			}
+			c.Ev[i] = ev
+		}
+		// The activity of a verb channel is given by its first
+		// transition (Section 3.1).
+		for _, e := range c.Ev {
+			for _, it := range e {
+				if t, ok := it.(Trans); ok {
+					if t.Dir == Out {
+						c.Act = Active
+					} else {
+						c.Act = Passive
+					}
+					return &c, nil
+				}
+			}
+		}
+		return &c, nil
+	default:
+		op, ok := opKinds[head]
+		if !ok {
+			return nil, fmt.Errorf("ch: %d:%d: unknown form %q", l.Line, l.Col, l.Head())
+		}
+		if l.Len() < 3 {
+			return nil, fmt.Errorf("ch: %d:%d: %s needs at least two arguments", l.Line, l.Col, head)
+		}
+		if (op != Seq && op != Mutex) && l.Len() != 3 {
+			return nil, fmt.Errorf("ch: %d:%d: %s takes exactly two arguments", l.Line, l.Col, head)
+		}
+		args := make([]Expr, 0, l.Len()-1)
+		for _, item := range l.Items[1:] {
+			e, err := FromSexp(item)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, e)
+		}
+		// (seq c1 c2 c3) = (seq c1 (seq c2 c3)); likewise mutex.
+		expr := args[len(args)-1]
+		for i := len(args) - 2; i >= 0; i-- {
+			expr = &Op{Kind: op, A: args[i], B: expr}
+		}
+		return expr, nil
+	}
+}
+
+// parseEvent reads one verb event: a list of (i|o signal +|-) triples.
+func parseEvent(n sexp.Node) (Event, error) {
+	l, ok := n.(sexp.List)
+	if !ok {
+		return nil, fmt.Errorf("ch: verb event must be a list, got %s", n)
+	}
+	ev := make(Event, 0, l.Len())
+	for _, item := range l.Items {
+		tl, ok := item.(sexp.List)
+		if !ok || tl.Len() != 3 {
+			return nil, fmt.Errorf("ch: verb transition must be (i|o signal +|-), got %s", item)
+		}
+		dirText, err := atomText(tl.Items[0], "direction")
+		if err != nil {
+			return nil, err
+		}
+		var dir Dir
+		switch dirText {
+		case "i":
+			dir = In
+		case "o":
+			dir = Out
+		default:
+			return nil, fmt.Errorf("ch: bad direction %q", dirText)
+		}
+		sig, err := atomText(tl.Items[1], "signal name")
+		if err != nil {
+			return nil, err
+		}
+		edge, err := atomText(tl.Items[2], "edge")
+		if err != nil {
+			return nil, err
+		}
+		var rise bool
+		switch edge {
+		case "+":
+			rise = true
+		case "-":
+			rise = false
+		default:
+			return nil, fmt.Errorf("ch: bad edge %q", edge)
+		}
+		ev = append(ev, Trans{Signal: sig, Dir: dir, Rise: rise})
+	}
+	return ev, nil
+}

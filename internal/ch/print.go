@@ -1,0 +1,69 @@
+package ch
+
+import (
+	"balsabm/internal/sexp"
+)
+
+// ToSexp renders the expression back into its concrete syntax. The
+// result parses back (FromSexp) to a structurally identical expression.
+func ToSexp(e Expr) sexp.Node {
+	switch n := e.(type) {
+	case *Void:
+		return sexp.Sym("void")
+	case *Break:
+		return sexp.L(sexp.Sym("break"))
+	case *Rep:
+		return sexp.L(sexp.Sym("rep"), ToSexp(n.Body))
+	case *Chan:
+		switch n.Kind {
+		case PToP:
+			return sexp.L(sexp.Sym("p-to-p"), sexp.Sym(n.Act.String()), sexp.Sym(n.Name))
+		case MultReq, MultAck:
+			return sexp.L(sexp.Sym(n.Kind.String()), sexp.Sym(n.Act.String()),
+				sexp.Sym(n.Name), sexp.Num(n.N))
+		case Verb:
+			items := []sexp.Node{sexp.Sym("verb")}
+			for _, ev := range n.Ev {
+				items = append(items, eventToSexp(ev))
+			}
+			return sexp.List{Items: items}
+		}
+	case *MuxAck:
+		items := []sexp.Node{sexp.Sym("mux-ack"), sexp.Sym(n.Name)}
+		for _, arm := range n.Arms {
+			items = append(items, sexp.L(sexp.Sym(arm.Op.String()), ToSexp(arm.Arg)))
+		}
+		return sexp.List{Items: items}
+	case *MuxReq:
+		items := []sexp.Node{sexp.Sym("mux-req"), sexp.Sym(n.Name)}
+		for _, arm := range n.Arms {
+			items = append(items, sexp.L(sexp.Sym(arm.Op.String()), ToSexp(arm.Arg)))
+		}
+		return sexp.List{Items: items}
+	case *Op:
+		return sexp.L(sexp.Sym(n.Kind.String()), ToSexp(n.A), ToSexp(n.B))
+	}
+	return sexp.Sym("?")
+}
+
+func eventToSexp(ev Event) sexp.Node {
+	items := make([]sexp.Node, 0, len(ev))
+	for _, it := range ev {
+		if t, ok := it.(Trans); ok {
+			edge := "-"
+			if t.Rise {
+				edge = "+"
+			}
+			items = append(items, sexp.L(sexp.Sym(t.Dir.String()), sexp.Sym(t.Signal), sexp.Sym(edge)))
+		}
+	}
+	return sexp.List{Items: items}
+}
+
+// Format renders the expression as indented concrete syntax.
+func Format(e Expr) string { return sexp.Pretty(ToSexp(e), 72) }
+
+// FormatProgram renders a named program as (program name expr).
+func FormatProgram(p *Program) string {
+	return sexp.Pretty(sexp.L(sexp.Sym("program"), sexp.Sym(p.Name), ToSexp(p.Body)), 72)
+}

@@ -1,0 +1,123 @@
+// Package chmap provides the Balsa-to-CH translation templates: each
+// control handshake component kind produced by syntax-directed
+// compilation has a canonical CH program describing its interface and
+// four-phase behavior (Section 3.4 of the paper gives the sequencer,
+// call and passivator examples reproduced here).
+package chmap
+
+import (
+	"fmt"
+
+	"balsabm/internal/ch"
+)
+
+// pp builds a point-to-point channel declaration.
+func pp(act ch.Activity, name string) *ch.Chan {
+	return &ch.Chan{Kind: ch.PToP, Act: act, Name: name}
+}
+
+// seqTree right-nests subchannels under seq.
+func seqTree(subs []ch.Expr) ch.Expr {
+	e := subs[len(subs)-1]
+	for i := len(subs) - 2; i >= 0; i-- {
+		e = &ch.Op{Kind: ch.Seq, A: subs[i], B: e}
+	}
+	return e
+}
+
+// Sequencer is the n-way sequencer: activated on act, it completes a
+// handshake on each sub channel in order before completing act.
+func Sequencer(name, act string, subs ...string) *ch.Program {
+	if len(subs) == 0 {
+		panic("chmap: sequencer needs sub channels")
+	}
+	exprs := make([]ch.Expr, len(subs))
+	for i, s := range subs {
+		exprs[i] = pp(ch.Active, s)
+	}
+	var body ch.Expr
+	if len(exprs) == 1 {
+		body = exprs[0]
+	} else {
+		body = seqTree(exprs)
+	}
+	return &ch.Program{Name: name, Body: &ch.Rep{Body: &ch.Op{
+		Kind: ch.EncEarly, A: pp(ch.Passive, act), B: body,
+	}}}
+}
+
+// Concur is the n-way parallel composition: all sub handshakes proceed
+// in lockstep phases within the activation (enc-middle models the
+// C-element synchronization, Section 3.3).
+func Concur(name, act string, subs ...string) *ch.Program {
+	if len(subs) == 0 {
+		panic("chmap: concur needs sub channels")
+	}
+	body := ch.Expr(pp(ch.Active, subs[len(subs)-1]))
+	for i := len(subs) - 2; i >= 0; i-- {
+		body = &ch.Op{Kind: ch.EncMiddle, A: pp(ch.Active, subs[i]), B: body}
+	}
+	return &ch.Program{Name: name, Body: &ch.Rep{Body: &ch.Op{
+		Kind: ch.EncEarly, A: pp(ch.Passive, act), B: body,
+	}}}
+}
+
+// Call is the n-way call: mutually exclusive activations on the ins
+// channels each perform one handshake on out (Section 3.4).
+func Call(name string, ins []string, out string) *ch.Program {
+	if len(ins) < 2 {
+		panic("chmap: call needs at least two call sites")
+	}
+	arm := func(in string) ch.Expr {
+		return &ch.Op{Kind: ch.EncEarly, A: pp(ch.Passive, in), B: pp(ch.Active, out)}
+	}
+	body := arm(ins[len(ins)-1])
+	for i := len(ins) - 2; i >= 0; i-- {
+		body = &ch.Op{Kind: ch.Mutex, A: arm(ins[i]), B: body}
+	}
+	return &ch.Program{Name: name, Body: &ch.Rep{Body: body}}
+}
+
+// Passivator synchronizes two passive channels (Section 3.4).
+func Passivator(name, a, b string) *ch.Program {
+	return &ch.Program{Name: name, Body: &ch.Rep{Body: &ch.Op{
+		Kind: ch.EncMiddle, A: pp(ch.Passive, a), B: pp(ch.Passive, b),
+	}}}
+}
+
+// DecisionWait is activated on act; a handshake on exactly one of the
+// ins channels triggers the corresponding outs channel (Section 4.1).
+func DecisionWait(name, act string, ins, outs []string) *ch.Program {
+	if len(ins) != len(outs) || len(ins) < 2 {
+		panic("chmap: decision-wait needs matching ins/outs (>=2)")
+	}
+	arm := func(i int) ch.Expr {
+		return &ch.Op{Kind: ch.EncEarly, A: pp(ch.Passive, ins[i]), B: pp(ch.Active, outs[i])}
+	}
+	body := arm(len(ins) - 1)
+	for i := len(ins) - 2; i >= 0; i-- {
+		body = &ch.Op{Kind: ch.Mutex, A: arm(i), B: body}
+	}
+	return &ch.Program{Name: name, Body: &ch.Rep{Body: &ch.Op{
+		Kind: ch.EncEarly, A: pp(ch.Passive, act), B: body,
+	}}}
+}
+
+// Fork broadcasts the activation to n sub channels via a mult-req
+// channel (one request wire, n acknowledge wires).
+func Fork(name, act, out string, n int) *ch.Program {
+	return &ch.Program{Name: name, Body: &ch.Rep{Body: &ch.Op{
+		Kind: ch.EncEarly,
+		A:    pp(ch.Passive, act),
+		B:    &ch.Chan{Kind: ch.MultReq, Act: ch.Active, Name: out, N: n},
+	}}}
+}
+
+// Validate checks that a template instantiates to a Burst-Mode aware
+// program.
+func Validate(p *ch.Program) error {
+	if err := ch.Validate(p.Body); err != nil {
+		return fmt.Errorf("chmap: %s: %w", p.Name, err)
+	}
+	return nil
+}

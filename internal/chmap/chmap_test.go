@@ -1,0 +1,88 @@
+package chmap
+
+import (
+	"fmt"
+	"testing"
+
+	"balsabm/internal/ch"
+	"balsabm/internal/chtobm"
+)
+
+// Every template must validate and compile to a well-formed Burst-Mode
+// specification, across a range of arities.
+func TestTemplatesSynthesizable(t *testing.T) {
+	var progs []*ch.Program
+	for n := 1; n <= 5; n++ {
+		subs := make([]string, n)
+		for i := range subs {
+			subs[i] = fmt.Sprintf("s%d", i)
+		}
+		progs = append(progs, Sequencer(fmt.Sprintf("seq%d", n), "a", subs...))
+		if n >= 2 {
+			progs = append(progs,
+				Concur(fmt.Sprintf("con%d", n), "a", subs...),
+				Call(fmt.Sprintf("call%d", n), subs, "out"),
+				DecisionWait(fmt.Sprintf("dw%d", n), "a", subs, repeatPrefix("o", n)))
+		}
+		progs = append(progs, Fork(fmt.Sprintf("fork%d", n), "a", "m", n))
+	}
+	progs = append(progs, Passivator("pass", "x", "y"))
+	for _, p := range progs {
+		if err := Validate(p); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+			continue
+		}
+		sp, err := chtobm.Compile(p)
+		if err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+			continue
+		}
+		if err := sp.Check(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func repeatPrefix(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%d", prefix, i)
+	}
+	return out
+}
+
+// The templates reproduce the paper's state counts.
+func TestTemplateStateCounts(t *testing.T) {
+	cases := []struct {
+		p      *ch.Program
+		states int
+	}{
+		{Sequencer("s", "a", "x", "y"), 6},      // Fig 3
+		{Call("c", []string{"i", "j"}, "o"), 7}, // Fig 3
+		{Passivator("p", "x", "y"), 2},          // Fig 3
+		{Concur("k", "a", "x", "y"), 4},
+	}
+	for _, c := range cases {
+		sp, err := chtobm.Compile(c.p)
+		if err != nil {
+			t.Fatalf("%s: %v", c.p.Name, err)
+		}
+		if sp.NStates != c.states {
+			t.Errorf("%s: %d states, want %d", c.p.Name, sp.NStates, c.states)
+		}
+	}
+}
+
+func TestTemplatePanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("empty sequencer", func() { Sequencer("s", "a") })
+	expectPanic("one-way call", func() { Call("c", []string{"x"}, "o") })
+	expectPanic("mismatched dw", func() { DecisionWait("d", "a", []string{"x"}, []string{"p", "q"}) })
+}

@@ -1,0 +1,121 @@
+package chtobm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"balsabm/internal/ch"
+)
+
+// genCtx generates random CH expressions that respect the Burst-Mode
+// aware restrictions by construction, so the correct-by-construction
+// claim (Section 3.5) can be fuzzed: every generated program must
+// compile into a specification passing the Burst-Mode checks.
+type genCtx struct {
+	rng  *rand.Rand
+	next int
+}
+
+func (g *genCtx) fresh() string {
+	g.next++
+	return fmt.Sprintf("c%d", g.next)
+}
+
+// gen produces an expression with the requested activity.
+func (g *genCtx) gen(act ch.Activity, depth int) ch.Expr {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		return &ch.Chan{Kind: ch.PToP, Act: act, Name: g.fresh()}
+	}
+	if act == ch.Active {
+		// Operators that can be active: enc-early/enc-middle/seq with
+		// an active first argument (second argument must then be
+		// active per Table 1), or seq-ov (both active).
+		switch g.rng.Intn(4) {
+		case 0:
+			return &ch.Op{Kind: ch.EncEarly, A: g.gen(ch.Active, depth-1), B: g.gen(ch.Active, depth-1)}
+		case 1:
+			return &ch.Op{Kind: ch.EncMiddle, A: g.gen(ch.Active, depth-1), B: g.gen(ch.Active, depth-1)}
+		case 2:
+			return &ch.Op{Kind: ch.Seq, A: g.gen(ch.Active, depth-1), B: g.gen(ch.Active, depth-1)}
+		default:
+			return &ch.Op{Kind: ch.SeqOv, A: g.gen(ch.Active, depth-1), B: g.gen(ch.Active, depth-1)}
+		}
+	}
+	// Passive expressions: enclosures/seq with passive first argument
+	// (second may be anything), or mutex of two passive arms.
+	switch g.rng.Intn(5) {
+	case 0:
+		return &ch.Op{Kind: ch.EncEarly, A: g.gen(ch.Passive, depth-1), B: g.genAny(depth - 1)}
+	case 1:
+		return &ch.Op{Kind: ch.EncMiddle, A: g.gen(ch.Passive, depth-1), B: g.genAny(depth - 1)}
+	case 2:
+		return &ch.Op{Kind: ch.EncLate, A: g.gen(ch.Passive, depth-1), B: g.genAny(depth - 1)}
+	case 3:
+		return &ch.Op{Kind: ch.Seq, A: g.gen(ch.Passive, depth-1), B: g.genAny(depth - 1)}
+	default:
+		return &ch.Op{Kind: ch.Mutex, A: g.gen(ch.Passive, depth-1), B: g.gen(ch.Passive, depth-1)}
+	}
+}
+
+func (g *genCtx) genAny(depth int) ch.Expr {
+	if g.rng.Intn(2) == 0 {
+		return g.gen(ch.Active, depth)
+	}
+	return g.gen(ch.Passive, depth)
+}
+
+// TestFuzzCorrectByConstruction generates hundreds of random legal CH
+// programs and checks the paper's central claim: with the Table 1
+// restrictions obeyed, CH-to-BMS always yields a well-formed Burst-Mode
+// specification.
+func TestFuzzCorrectByConstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(20020304)) // DATE 2002
+	for i := 0; i < 400; i++ {
+		g := &genCtx{rng: rng}
+		body := &ch.Rep{Body: &ch.Op{
+			Kind: ch.EncEarly,
+			A:    &ch.Chan{Kind: ch.PToP, Act: ch.Passive, Name: "act"},
+			B:    g.genAny(rng.Intn(4) + 1),
+		}}
+		p := &ch.Program{Name: fmt.Sprintf("fuzz%d", i), Body: body}
+		if err := ch.Validate(p.Body); err != nil {
+			t.Fatalf("generator produced an illegal program: %v\n%s", err, ch.Format(p.Body))
+		}
+		sp, err := Compile(p)
+		if err != nil {
+			t.Fatalf("fuzz %d: %v\n%s", i, err, ch.Format(p.Body))
+		}
+		if err := sp.Check(); err != nil {
+			t.Fatalf("fuzz %d: spec fails checks: %v\n%s", i, err, ch.Format(p.Body))
+		}
+		// The machine must be a closed loop back to the start state.
+		backToStart := false
+		for _, a := range sp.Arcs {
+			if a.To == sp.Start {
+				backToStart = true
+			}
+		}
+		if !backToStart {
+			t.Fatalf("fuzz %d: no arc returns to start\n%s", i, sp)
+		}
+	}
+}
+
+// TestFuzzRoundTrip: generated programs survive print/parse round trips
+// structurally.
+func TestFuzzRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		g := &genCtx{rng: rng}
+		e := g.genAny(3)
+		text := ch.Format(e)
+		back, err := ch.Parse(text)
+		if err != nil {
+			t.Fatalf("re-parse: %v\n%s", err, text)
+		}
+		if ch.Format(back) != text {
+			t.Fatalf("round trip mismatch:\n%s\n%s", text, ch.Format(back))
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"balsabm/internal/ch"
+	"balsabm/internal/chmap"
+	"balsabm/internal/chtobm"
+)
+
+// counterNetlist builds the systolic counter control network (three
+// sequencer/call cells).
+func counterNetlist() *Netlist {
+	n := &Netlist{}
+	stages := []string{"tick", "a2", "a3", "leaf"}
+	for i := 0; i < 3; i++ {
+		b1 := fmt.Sprintf("b%d_1", i+1)
+		b2 := fmt.Sprintf("b%d_2", i+1)
+		n.Components = append(n.Components,
+			chmap.Sequencer(fmt.Sprintf("seq%d", i+1), stages[i], b1, b2),
+			chmap.Call(fmt.Sprintf("call%d", i+1), []string{b1, b2}, stages[i+1]),
+		)
+	}
+	return n
+}
+
+// A state bound keeps clusters small: the unlimited run collapses the
+// counter to one 18-state controller; bounded runs stop earlier, every
+// cluster within the bound — the "manageable synthesis" knob from the
+// paper's conclusions.
+func TestClusterStateLimit(t *testing.T) {
+	unlimited, _, err := OptimizeOpt(counterNetlist(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unlimited.Components) != 1 {
+		t.Fatalf("unlimited: %d components", len(unlimited.Components))
+	}
+	prevComponents := 1
+	for _, limit := range []int{12, 8} {
+		out, _, err := OptimizeOpt(counterNetlist(), Options{MaxStates: limit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Components) < prevComponents {
+			t.Errorf("limit %d produced fewer components (%d) than a looser limit (%d)",
+				limit, len(out.Components), prevComponents)
+		}
+		prevComponents = len(out.Components)
+		for _, c := range out.Components {
+			sp, err := chtobm.Compile(c)
+			if err != nil {
+				t.Fatalf("limit %d: %s: %v", limit, c.Name, err)
+			}
+			if sp.NStates > limit {
+				t.Errorf("limit %d: %s has %d states", limit, c.Name, sp.NStates)
+			}
+		}
+	}
+	// A bound below any mergeable size must keep the netlist unchanged
+	// apart from no-op reporting.
+	out, rep, err := OptimizeOpt(counterNetlist(), Options{MaxStates: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Merges) != 0 || len(out.Components) != 6 {
+		t.Errorf("limit 4: %d components, %d merges", len(out.Components), len(rep.Merges))
+	}
+}
+
+// The bound only rejects merges; existing components above the bound
+// are left alone.
+func TestClusterLimitLeavesBigComponentsAlone(t *testing.T) {
+	big := chmap.Sequencer("big", "go", "a", "b", "c", "d", "e")
+	n := &Netlist{Components: []*ch.Program{big}}
+	out, _, err := OptimizeOpt(n, Options{MaxStates: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Components) != 1 || out.Components[0].Name != "big" {
+		t.Fatalf("netlist changed: %s", out.Format())
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+
+	"balsabm/internal/ch"
+)
+
+// Section 4.3: "The experiment has succeeded for all operator
+// combinations" — rerun it mechanically. For every legal pairing of an
+// operator in the activating component and one in the activated
+// component, the composed-and-hidden behavior must be conformation-
+// equivalent to the clustered behavior.
+func TestOptimizationConformance(t *testing.T) {
+	results := VerifyAllPairs()
+	if len(results) == 0 {
+		t.Fatal("empty verification grid")
+	}
+	for pair, err := range results {
+		if err != nil {
+			t.Errorf("activating=%s activated=%s: %v", pair.Activating, pair.Activated, err)
+		}
+	}
+}
+
+func TestVerificationGridSize(t *testing.T) {
+	// Four operators are legal with passive/active arguments
+	// (4 activating) crossed with the three enclosures (activated): 4x3.
+	grid := VerificationGrid()
+	if len(grid) != 12 {
+		t.Fatalf("grid has %d cells, want 12", len(grid))
+	}
+}
+
+// The worked Fig 4 example also verifies end to end.
+func TestVerifyFig4Example(t *testing.T) {
+	n := dwSeqNetlist(t)
+	if err := VerifyActivationChannelRemoval("o2", n.Find("dw"), n.Find("seq")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A deliberately *wrong* transformation must be caught: inline the body
+// at the wrong position (sequenced after rather than enclosed within).
+func TestVerifyCatchesWrongTransformation(t *testing.T) {
+	x := prog(t, "x", `(rep (enc-early (p-to-p passive a) (p-to-p active c)))`)
+	y := prog(t, "y", `(rep (enc-early (p-to-p passive c) (p-to-p active d)))`)
+	// Correct removal passes.
+	if err := VerifyActivationChannelRemoval("c", x, y); err != nil {
+		t.Fatalf("correct removal rejected: %v", err)
+	}
+	// Wrong "optimization": claim the merged behavior sequences d
+	// after the a handshake instead of enclosing it.
+	wrong := prog(t, "x", `(rep (seq (p-to-p passive a) (enc-early void (p-to-p active d))))`)
+	dm, _, err := traceStructure(wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dx, _, err := traceStructure(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dy, _, err := traceStructure(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	composed, err := composeAndHide(dx, dy, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := equivalentDFA(composed, dm); ok {
+		t.Fatal("wrong transformation accepted as equivalent")
+	}
+}
+
+// Call distribution is verified by composing the sequencer with the
+// original call and comparing against the distributed result with the
+// b1/b2 channels hidden.
+func TestVerifyCallDistribution(t *testing.T) {
+	n := seqCallNetlist(t)
+	dseq, _, err := traceStructure(n.Find("seq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcall, _, err := traceStructure(n.Find("call"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	composed, err := composeAndHide(dseq, dcall, "b1", "b2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := T2Clustering(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Components) != 1 {
+		t.Fatalf("expected one component:\n%s", out.Format())
+	}
+	dres, _, err := traceStructure(out.Components[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, tr := equivalentDFA(composed, dres); !ok {
+		t.Fatalf("call distribution changed behavior; differ after %q", tr)
+	}
+}
+
+// T1 merges on arbitrary sequencer trees preserve the tree's external
+// behavior.
+func TestVerifyTreeClustering(t *testing.T) {
+	n := sequencerTree(2)
+	// Compose all three components pairwise, hide internal channels.
+	var dfas []*traceDFA
+	for _, c := range n.Components {
+		d, _, err := traceStructure(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dfas = append(dfas, d)
+	}
+	composed := dfas[0]
+	var err error
+	for _, d := range dfas[1:] {
+		composed, err = composeDFA(composed, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	internal, err := n.InternalPToP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hide []string
+	for _, c := range internal {
+		hide = append(hide, c+"_r", c+"_a")
+	}
+	spec := composed.HideSignals(hide...)
+
+	out, _, err := T1Clustering(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Components) != 1 {
+		t.Fatalf("tree did not fully cluster:\n%s", out.Format())
+	}
+	impl, _, err := traceStructure(out.Components[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, tr := equivalentDFA(spec, impl); !ok {
+		t.Fatalf("clustered tree differs after %q", tr)
+	}
+}
+
+func TestGridComponentsShape(t *testing.T) {
+	for _, pair := range VerificationGrid() {
+		x, y := GridComponents(pair)
+		if err := ch.Validate(x.Body); err != nil {
+			t.Errorf("%v: activating invalid: %v", pair, err)
+		}
+		if err := ch.Validate(y.Body); err != nil {
+			t.Errorf("%v: activated invalid: %v", pair, err)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package designs
+
+import (
+	"embed"
+	"fmt"
+
+	"balsabm/internal/balsa"
+	"balsabm/internal/core"
+	"balsabm/internal/dpath"
+	"balsabm/internal/hc"
+	"balsabm/internal/sim"
+)
+
+//go:embed balsa/*.balsa
+var balsaFS embed.FS
+
+// BalsaSource returns the embedded Balsa source for a design.
+func BalsaSource(name string) (string, error) {
+	data, err := balsaFS.ReadFile("balsa/" + name + ".balsa")
+	if err != nil {
+		return "", fmt.Errorf("designs: no balsa source %q: %w", name, err)
+	}
+	return string(data), nil
+}
+
+// CompileBalsa compiles an embedded design source into a handshake
+// component netlist (the balsa-c step of Fig 1).
+func CompileBalsa(name string) (*hc.Netlist, error) {
+	src, err := BalsaSource(name)
+	if err != nil {
+		return nil, err
+	}
+	return balsa.CompileSource(src, name)
+}
+
+// fromBalsa builds a Design around a compiled netlist.
+func fromBalsa(name string, bench func(n *hc.Netlist, b *dpath.Builder) *BenchRun) (*Design, error) {
+	n, err := CompileBalsa(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Design{
+		Name: name + "-balsa",
+		Control: func() *core.Netlist {
+			ctl, err := n.Control()
+			if err != nil {
+				panic(err) // compile-checked in tests
+			}
+			return ctl
+		},
+		Datapath: func(b *dpath.Builder) {
+			if err := n.Build(b); err != nil {
+				panic(err)
+			}
+		},
+		Bench: func(b *dpath.Builder) *BenchRun { return bench(n, b) },
+	}, nil
+}
+
+// BalsaCounter is the systolic counter compiled from counter8.balsa.
+func BalsaCounter() (*Design, error) {
+	return fromBalsa("counter8", func(n *hc.Netlist, b *dpath.Builder) *BenchRun {
+		// The leaf port drives the count register.
+		b.Variable("cnt", 8, "cntw", "cntrd")
+		b.Func("cntinc", 8, func(ins []uint64) uint64 { return (ins[0] + 1) & 0xFF }, "cntrd")
+		b.Fetch("leaf", "cntinc", "cntw")
+		leafCount := 0
+		b.S.Watch("leaf_r", func(s *sim.Simulator, _ int, val bool) {
+			if val {
+				leafCount++
+			}
+		})
+		done := false
+		act := b.NewActivator("counter8", 0.25, 1, func(s *sim.Simulator) {
+			done = true
+			s.Stop()
+		})
+		return &BenchRun{
+			Description: "one full 8-handshake cycle (balsa-compiled)",
+			Start:       act.Start,
+			Done:        func() bool { return done },
+			Validate: func() error {
+				if leafCount != 8 {
+					return fmt.Errorf("counter8: %d leaf handshakes, want 8", leafCount)
+				}
+				if got := b.Bus("cntw").Val; got != 8 {
+					return fmt.Errorf("counter8: count register reached %d, want 8", got)
+				}
+				return nil
+			},
+		}
+	})
+}
+
+// BalsaStack is the stack compiled from stack.balsa.
+func BalsaStack() (*Design, error) {
+	return fromBalsa("stack", func(n *hc.Netlist, b *dpath.Builder) *BenchRun {
+		pushVals := []uint64{11, 22, 33}
+		pushes := 0
+		var popped []uint64
+		b.EnvServePull("sin", 0.2, func() uint64 {
+			v := pushVals[pushes%len(pushVals)]
+			pushes++
+			return v
+		})
+		b.EnvConsumePush("sout", 0.2, func(v uint64) { popped = append(popped, v) })
+		done := false
+		var popAct *dpath.Activator
+		pushAct := b.NewActivator("push", 0.25, 3, func(s *sim.Simulator) {
+			popAct.Start()
+		})
+		popAct = b.NewActivator("pop", 0.25, 3, func(s *sim.Simulator) {
+			done = true
+			s.Stop()
+		})
+		return &BenchRun{
+			Description: "three pushes then three pops (balsa-compiled)",
+			Start:       pushAct.Start,
+			Done:        func() bool { return done },
+			Validate: func() error {
+				want := []uint64{33, 22, 11}
+				if len(popped) != 3 {
+					return fmt.Errorf("stack: popped %d values, want 3", len(popped))
+				}
+				for i := range want {
+					if popped[i] != want[i] {
+						return fmt.Errorf("stack: popped %v, want %v", popped, want)
+					}
+				}
+				return nil
+			},
+		}
+	})
+}
+
+// BalsaWagging is the wagging register compiled from wagging.balsa.
+func BalsaWagging() (*Design, error) {
+	return fromBalsa("wagging", func(n *hc.Netlist, b *dpath.Builder) *BenchRun {
+		var ins, outs []uint64
+		next := uint64(100)
+		b.EnvServePull("win", 0.2, func() uint64 {
+			next++
+			ins = append(ins, next)
+			return next
+		})
+		b.EnvConsumePush("wout", 0.2, func(v uint64) { outs = append(outs, v) })
+		const cycles = 10
+		done := false
+		act := b.NewActivator("cycle", 0.25, cycles, func(s *sim.Simulator) {
+			done = true
+			s.Stop()
+		})
+		return &BenchRun{
+			Description: "10 wagging cycles (balsa-compiled)",
+			Start:       act.Start,
+			Done:        func() bool { return done },
+			Validate: func() error {
+				if len(outs) != cycles || len(ins) != cycles {
+					return fmt.Errorf("wagging: %d outs / %d ins, want %d", len(outs), len(ins), cycles)
+				}
+				if outs[8] != ins[0] || outs[9] != ins[1] {
+					return fmt.Errorf("wagging: forward data mismatch: %v vs %v", outs[8:10], ins[:2])
+				}
+				return nil
+			},
+		}
+	})
+}
+
+// BalsaSSEM is the microprocessor core compiled from ssem.balsa.
+func BalsaSSEM() (*Design, error) {
+	return fromBalsa("ssem", func(n *hc.Netlist, b *dpath.Builder) *BenchRun {
+		mem := b.LastMemory()
+		copy(mem.Words, SSEMStoreProgram())
+		halted := false
+		b.EnvServeSync("hlt", 0.2)
+		b.S.Watch("hlt_r", func(s *sim.Simulator, _ int, val bool) {
+			if val {
+				halted = true
+			}
+		})
+		done := false
+		act := b.NewActivator("step", 0.25, 1<<30, func(s *sim.Simulator) {})
+		b.S.Watch("step_a", func(s *sim.Simulator, _ int, val bool) {
+			if !val && halted {
+				done = true
+				s.Stop()
+			}
+		})
+		return &BenchRun{
+			Description: "store 0..4 program until HLT (balsa-compiled)",
+			Start:       act.Start,
+			Done:        func() bool { return done },
+			Validate: func() error {
+				for i := 0; i <= 4; i++ {
+					if mem.Words[16+i] != uint64(i) {
+						return fmt.Errorf("ssem: mem[%d] = %d, want %d", 16+i, mem.Words[16+i], i)
+					}
+				}
+				return nil
+			},
+		}
+	})
+}
+
+// AllBalsa returns the four designs compiled from their Balsa sources.
+func AllBalsa() ([]*Design, error) {
+	var out []*Design
+	for _, f := range []func() (*Design, error){BalsaCounter, BalsaWagging, BalsaStack, BalsaSSEM} {
+		d, err := f()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}

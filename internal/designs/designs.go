@@ -1,0 +1,497 @@
+// Package designs contains the four benchmark designs the paper
+// evaluates (Section 6): the 8-handshake systolic counter, the 8-place
+// 8-bit wagging register, the 8-place 8-bit stack, and a small 32-bit
+// non-pipelined RISC-like microprocessor core (SSEM). Each design
+// provides its control netlist (CH programs for the control handshake
+// components produced by syntax-directed compilation), its behavioral
+// datapath, and the paper's benchmark run:
+//
+//   - systolic counter: one full 8-handshake cycle;
+//   - wagging register: forward latency (data through the register);
+//   - stack: three pushes followed by three pops;
+//   - SSEM: a small program writing 0..4 to consecutive memory words.
+package designs
+
+import (
+	"fmt"
+
+	"balsabm/internal/chmap"
+	"balsabm/internal/core"
+	"balsabm/internal/dpath"
+	"balsabm/internal/sim"
+)
+
+// BenchRun is one benchmark execution harness.
+type BenchRun struct {
+	Description string
+	Start       func()
+	Done        func() bool
+	Validate    func() error
+}
+
+// Design bundles a benchmark circuit.
+type Design struct {
+	Name     string
+	Control  func() *core.Netlist
+	Datapath func(b *dpath.Builder)
+	Bench    func(b *dpath.Builder) *BenchRun
+}
+
+// seqTree adds a binary tree of two-way sequencers, rooted at the act
+// channel, activating the given leaf channels in order — the shape
+// balsa-c's syntax-directed translation produces for sequential blocks
+// ("a ; b ; c ; ...").
+func seqTree(n *core.Netlist, prefix, act string, leaves []string) {
+	counter := 0
+	var build func(act string, ls []string)
+	build = func(act string, ls []string) {
+		counter++
+		name := fmt.Sprintf("%s_seq%d", prefix, counter)
+		if len(ls) <= 2 {
+			n.Components = append(n.Components, chmap.Sequencer(name, act, ls...))
+			return
+		}
+		mid := (len(ls) + 1) / 2
+		left := fmt.Sprintf("%s_l%d", prefix, counter)
+		right := fmt.Sprintf("%s_r%d", prefix, counter)
+		n.Components = append(n.Components, chmap.Sequencer(name, act, left, right))
+		build(left, ls[:mid])
+		build(right, ls[mid:])
+	}
+	build(act, leaves)
+}
+
+// All returns the paper's four designs in Table 3 order.
+func All() []*Design {
+	return []*Design{SystolicCounter(), WaggingRegister(), Stack(), SSEM()}
+}
+
+// ByName returns a design by its Table 3 name.
+func ByName(name string) (*Design, error) {
+	for _, d := range All() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("designs: unknown design %q", name)
+}
+
+// ---------------------------------------------------------------------
+// Systolic counter: three doubling cells; each cell performs two
+// downstream handshakes per upstream handshake through a sequencer and
+// a two-way call (the exact structure of the paper's Fig 5 example,
+// which is "taken from one of the simulated circuits (the systolic
+// counter)"). One activation of tick yields 8 handshakes on leaf.
+func SystolicCounter() *Design {
+	control := func() *core.Netlist {
+		n := &core.Netlist{}
+		stages := []string{"tick", "a2", "a3", "leaf"}
+		for i := 0; i < 3; i++ {
+			up, down := stages[i], stages[i+1]
+			b1 := fmt.Sprintf("b%d_1", i+1)
+			b2 := fmt.Sprintf("b%d_2", i+1)
+			n.Components = append(n.Components,
+				chmap.Sequencer(fmt.Sprintf("seq%d", i+1), up, b1, b2),
+				chmap.Call(fmt.Sprintf("call%d", i+1), []string{b1, b2}, down),
+			)
+		}
+		return n
+	}
+	return &Design{
+		Name:    "systolic-counter",
+		Control: control,
+		Datapath: func(b *dpath.Builder) {
+			// The counted event: each leaf handshake increments an
+			// 8-bit count register (the counter's actual datapath).
+			b.Variable("cnt", 8, "cntw", "cntrd")
+			b.Func("cntinc", 8, func(ins []uint64) uint64 { return (ins[0] + 1) & 0xFF }, "cntrd")
+			b.Fetch("leaf", "cntinc", "cntw")
+		},
+		Bench: func(b *dpath.Builder) *BenchRun {
+			leafCount := 0
+			b.S.Watch("leaf_r", func(s *sim.Simulator, _ int, val bool) {
+				if val {
+					leafCount++
+				}
+			})
+			done := false
+			act := b.NewActivator("tick", 0.25, 1, func(s *sim.Simulator) {
+				done = true
+				s.Stop()
+			})
+			return &BenchRun{
+				Description: "one full 8-handshake cycle",
+				Start:       act.Start,
+				Done:        func() bool { return done },
+				Validate: func() error {
+					if leafCount != 8 {
+						return fmt.Errorf("systolic counter: %d leaf handshakes, want 8", leafCount)
+					}
+					if got := b.Bus("cntw").Val; got != 8 {
+						return fmt.Errorf("systolic counter: count register reached %d, want 8", got)
+					}
+					return nil
+				},
+			}
+		},
+	}
+}
+
+// ---------------------------------------------------------------------
+// Wagging register: 8 places, 8 bits, organized as two wagging banks of
+// four. A toggle bit steers each incoming datum to alternating banks
+// through a data-dependent selector (the "wagging" proper); each bank
+// is a four-place shift chain; the output side shares an emit procedure
+// through a two-way call. Because the bank activations come from the
+// datapath selector, clustering stays within each bank (the paper's
+// observation that the algorithms yield several clustered components
+// rather than one monolith), and the emit call's fragments land in
+// different clusters, exercising call restoration. Benchmarked for
+// forward latency: cycles for an input datum to traverse a bank.
+func WaggingRegister() *Design {
+	control := func() *core.Netlist {
+		n := &core.Netlist{}
+		n.Components = append(n.Components,
+			// Top cycle: steer one datum (wsel goes to the datapath
+			// selector), then flip the toggle.
+			chmap.Sequencer("wtop", "wr", "wsel", "wflip"),
+			chmap.Call("wcall", []string{"e1", "e2"}, "we"),
+			chmap.Sequencer("wemit", "we", "oe"),
+		)
+		seqTree(n, "wchA", "wa", []string{"ca", "e1", "sa3", "sa2", "sa1", "sa0"})
+		seqTree(n, "wchB", "wb", []string{"cb", "e2", "sb3", "sb2", "sb1", "sb0"})
+		return n
+	}
+	datapath := func(b *dpath.Builder) {
+		const w = 8
+		// Wagging steering: the toggle selects the bank; wflip inverts
+		// the toggle.
+		b.Variable("wtog", 1, "wtogw", "wtogrd", "wtogrd2")
+		b.CaseSel("wsel", "wtogrd", "wa", "wb")
+		b.Func("wnot", 1, func(ins []uint64) uint64 { return ins[0] ^ 1 }, "wtogrd2")
+		b.Fetch("wflip", "wnot", "wtogw")
+		for _, bank := range []string{"a", "b"} {
+			for i := 0; i < 4; i++ {
+				b.Variable(fmt.Sprintf("v%s%d", bank, i), w,
+					fmt.Sprintf("v%s%dw", bank, i), fmt.Sprintf("v%s%drd", bank, i))
+			}
+		}
+		b.Variable("obuf", w, "obufw", "obufrd")
+		for _, bank := range []string{"a", "b"} {
+			// Copy the oldest place into the shared output buffer.
+			b.Fetch("c"+bank, fmt.Sprintf("v%s3rd", bank), "obufw")
+			// Shift the bank (oldest first so nothing is clobbered).
+			for i := 3; i >= 1; i-- {
+				b.Fetch(fmt.Sprintf("s%s%d", bank, i),
+					fmt.Sprintf("v%s%drd", bank, i-1), fmt.Sprintf("v%s%dw", bank, i))
+			}
+			b.Fetch(fmt.Sprintf("s%s0", bank), "win", fmt.Sprintf("v%s0w", bank))
+		}
+		// Shared emit: out <- obuf.
+		b.Fetch("oe", "obufrd", "wout")
+	}
+	return &Design{
+		Name:     "wagging-register",
+		Control:  control,
+		Datapath: datapath,
+		Bench: func(b *dpath.Builder) *BenchRun {
+			var ins, outs []uint64
+			next := uint64(100)
+			b.EnvServePull("win", 0.2, func() uint64 {
+				next++
+				ins = append(ins, next)
+				return next
+			})
+			b.EnvConsumePush("wout", 0.2, func(v uint64) { outs = append(outs, v) })
+			const cycles = 10
+			done := false
+			act := b.NewActivator("wr", 0.25, cycles, func(s *sim.Simulator) {
+				done = true
+				s.Stop()
+			})
+			return &BenchRun{
+				Description: "forward latency: 10 wagging cycles push a datum through each 4-place bank",
+				Start:       act.Start,
+				Done:        func() bool { return done },
+				Validate: func() error {
+					if len(outs) != cycles || len(ins) != cycles {
+						return fmt.Errorf("wagging: %d outs / %d ins, want %d each", len(outs), len(ins), cycles)
+					}
+					// Each bank shifts on alternate cycles; the datum
+					// accepted in cycle 0 (bank A) emerges on the
+					// bank's fifth activation, i.e. global cycle 8.
+					if outs[8] != ins[0] || outs[9] != ins[1] {
+						return fmt.Errorf("wagging: forward data mismatch: outs[8..9]=%v,%v want %v,%v",
+							outs[8], outs[9], ins[0], ins[1])
+					}
+					for i := 0; i < 8; i++ {
+						if outs[i] != 0 {
+							return fmt.Errorf("wagging: out %d = %d, want 0 (register was empty)", i, outs[i])
+						}
+					}
+					return nil
+				},
+			}
+		},
+	}
+}
+
+// ---------------------------------------------------------------------
+// Stack: 8 places, 8 bits. A push shifts every place up and loads the
+// new datum at the bottom; a pop emits the bottom and shifts down. Both
+// operations decompose into two four-step sub-sequencers (the shape the
+// Balsa compiler produces for long sequential blocks), which T1
+// clustering collapses. Benchmark: three pushes then three pops.
+func Stack() *Design { return StackWithWidth("stack", 8) }
+
+// StackWithWidth parameterizes the stack's data width — used by the
+// control-vs-datapath-domination ablation: the paper explains that the
+// overall speed improvement depends on the ratio between control and
+// datapath, so widening the datapath (identical control) must shrink
+// the percentage gain.
+func StackWithWidth(name string, width int) *Design {
+	control := func() *core.Netlist {
+		n := &core.Netlist{}
+		seqTree(n, "push", "push", []string{"p7", "p6", "p5", "p4", "p3", "p2", "p1", "p0"})
+		seqTree(n, "pop", "pop", []string{"o0", "d0", "d1", "d2", "d3", "d4", "d5", "d6"})
+		return n
+	}
+	datapath := func(b *dpath.Builder) {
+		w := width
+		for i := 0; i < 8; i++ {
+			// Each place is read by the push path (copy up) and the
+			// pop path (copy down); v0 is also read by the output.
+			reads := []string{fmt.Sprintf("v%drp", i), fmt.Sprintf("v%drq", i)}
+			if i == 0 {
+				reads = append(reads, "v0ro")
+			}
+			b.Variable(fmt.Sprintf("v%d", i), w, fmt.Sprintf("v%dw", i), reads...)
+		}
+		// Push: p7: v7 := v6 ... p1: v1 := v0; p0: v0 := in.
+		for i := 7; i >= 1; i-- {
+			b.Fetch(fmt.Sprintf("p%d", i), fmt.Sprintf("v%drp", i-1), fmt.Sprintf("v%dw", i))
+		}
+		b.Fetch("p0", "sin", "v0w")
+		// Pop: o0: out := v0; d0: v0 := v1 ... d6: v6 := v7.
+		b.Fetch("o0", "v0ro", "soutw")
+		for i := 0; i <= 6; i++ {
+			b.Fetch(fmt.Sprintf("d%d", i), fmt.Sprintf("v%drq", i+1), fmt.Sprintf("v%dw", i))
+		}
+	}
+	return &Design{
+		Name:     name,
+		Control:  control,
+		Datapath: datapath,
+		Bench: func(b *dpath.Builder) *BenchRun {
+			pushVals := []uint64{11, 22, 33}
+			var popped []uint64
+			pushes := 0
+			b.EnvServePull("sin", 0.2, func() uint64 {
+				v := pushVals[pushes%len(pushVals)]
+				pushes++
+				return v
+			})
+			b.EnvConsumePush("soutw", 0.2, func(v uint64) { popped = append(popped, v) })
+			done := false
+			var popAct *dpath.Activator
+			pushAct := b.NewActivator("push", 0.25, 3, func(s *sim.Simulator) {
+				popAct.Start()
+			})
+			popAct = b.NewActivator("pop", 0.25, 3, func(s *sim.Simulator) {
+				done = true
+				s.Stop()
+			})
+			origStart := pushAct.Start
+			return &BenchRun{
+				Description: "three pushes followed by three pops",
+				Start: func() {
+					origStart()
+				},
+				Done: func() bool { return done },
+				Validate: func() error {
+					if pushes != 3 {
+						return fmt.Errorf("stack: %d pushes served, want 3", pushes)
+					}
+					want := []uint64{33, 22, 11}
+					if len(popped) != 3 {
+						return fmt.Errorf("stack: popped %d values, want 3", len(popped))
+					}
+					for i := range want {
+						if popped[i] != want[i] {
+							return fmt.Errorf("stack: popped %v, want %v (LIFO)", popped, want)
+						}
+					}
+					return nil
+				},
+			}
+		},
+	}
+}
+
+// ---------------------------------------------------------------------
+// SSEM: a small 32-bit non-pipelined RISC-like core. ISA (op in bits
+// 13..15, arg in bits 0..12): 0 LDI, 1 ADDI, 2 STO, 3 JMP, 4 BNZ,
+// 5 HLT. The control is a fetch/decode/execute hierarchy; the decode
+// dispatch and the branch decision are data-dependent selectors
+// (datapath components). JMP and BNZ share the pc-writing procedure
+// through a two-way call. The benchmark program writes 0..4 to memory
+// words 16..20 and halts.
+func SSEM() *Design {
+	return SSEMWithProgram("ssem", SSEMStoreProgram(),
+		"program writing 0..4 to memory words 16..20, then HLT",
+		func(mem *dpath.Memory) error {
+			for i := 0; i <= 4; i++ {
+				if mem.Words[16+i] != uint64(i) {
+					return fmt.Errorf("ssem: mem[%d] = %d, want %d", 16+i, mem.Words[16+i], i)
+				}
+			}
+			return nil
+		})
+}
+
+// SSEMWithProgram builds the SSEM design around an arbitrary program
+// and result check — used, e.g., to exercise the ADDI/BNZ/JMP paths
+// with the countdown loop program.
+func SSEMWithProgram(name string, program []uint64, desc string, validate func(mem *dpath.Memory) error) *Design {
+	control := func() *core.Netlist {
+		n := &core.Netlist{}
+		n.Components = append(n.Components,
+			chmap.Sequencer("stepctl", "step", "fa", "dec"),
+			chmap.Sequencer("fetchctl", "fa", "fir", "fpc"),
+			chmap.Sequencer("opldi", "ldiA", "eldi"),
+			chmap.Sequencer("opaddi", "addiA", "addi2"),
+			chmap.Sequencer("opaddi2", "addi2", "t1", "t2"),
+			chmap.Sequencer("opsto", "stoA", "sto2"),
+			chmap.Sequencer("opsto2", "sto2", "ew"),
+			chmap.Call("calljmp", []string{"jmpA", "jmpB"}, "jmpin"),
+			chmap.Sequencer("opjmp", "jmpin", "ejmp"),
+		)
+		return n
+	}
+	datapath := func(b *dpath.Builder) {
+		const w = 32
+		b.Variable("pc", w, "pcw", "pcrdf", "pcrdi")
+		b.Variable("ir", w, "irw", "irrdop", "irrd1", "irrd2", "irrd3", "irrd4")
+		b.Variable("acc", w, "accw", "accrdadd", "accrdsto", "accrdbnz")
+		b.Variable("tmp", w, "tmpw", "tmprd")
+		mem := b.Memory(32, w)
+		mem.ReadPort("mrd", "pcrdf", w)
+		b.Fetch("fir", "mrd", "irw")
+		b.Func("pcinc", w, func(ins []uint64) uint64 { return ins[0] + 1 }, "pcrdi")
+		b.Fetch("fpc", "pcinc", "pcw")
+		b.Func("irop", 3, func(ins []uint64) uint64 { return (ins[0] >> 13) & 7 }, "irrdop")
+		arg := func(out, in string) {
+			b.Func(out, 13, func(ins []uint64) uint64 { return ins[0] & 0x1FFF }, in)
+		}
+		arg("arg1", "irrd1")
+		arg("arg2", "irrd2")
+		arg("arg3", "irrd3")
+		arg("arg4", "irrd4")
+		b.CaseSel("dec", "irop", "ldiA", "addiA", "stoA", "jmpA", "bnzA", "hltA")
+		b.Fetch("eldi", "arg1", "accw")
+		b.Func("addv", w, func(ins []uint64) uint64 {
+			imm := ins[1]
+			if imm&0x1000 != 0 { // sign-extend the 13-bit immediate
+				imm |= ^uint64(0x1FFF)
+			}
+			return (ins[0] + imm) & 0xFFFFFFFF
+		}, "accrdadd", "arg2")
+		b.Fetch("t1", "addv", "tmpw")
+		b.Fetch("t2", "tmprd", "accw")
+		mem.WritePort("ew", "arg3", "accrdsto", w)
+		b.Fetch("ejmp", "arg4", "pcw")
+		b.Func("nz", 1, func(ins []uint64) uint64 {
+			if ins[0] != 0 {
+				return 1
+			}
+			return 0
+		}, "accrdbnz")
+		// BNZ: selector 0 -> fall through (bskip), 1 -> taken (jmpB).
+		b.CaseSel("bnzA", "nz", "bskip", "jmpB")
+		b.EnvServeSync("bskip", 0.2)
+	}
+	return &Design{
+		Name:     name,
+		Control:  control,
+		Datapath: datapath,
+		Bench: func(b *dpath.Builder) *BenchRun {
+			mem := findMemory(b)
+			copy(mem.Words, program)
+			halted := false
+			b.EnvServeSync("hltA", 0.2)
+			b.S.Watch("hltA_r", func(s *sim.Simulator, _ int, val bool) {
+				if val {
+					halted = true
+				}
+			})
+			done := false
+			act := b.NewActivator("step", 0.25, 1<<30, func(s *sim.Simulator) {})
+			// Stop re-activating once the program halts.
+			b.S.Watch("step_a", func(s *sim.Simulator, _ int, val bool) {
+				if !val && halted {
+					done = true
+					s.Stop()
+				}
+			})
+			return &BenchRun{
+				Description: desc,
+				Start:       act.Start,
+				Done:        func() bool { return done },
+				Validate: func() error {
+					if !halted {
+						return fmt.Errorf("%s: did not halt", name)
+					}
+					return validate(mem)
+				},
+			}
+		},
+	}
+}
+
+// SSEM instruction encoding helpers.
+const (
+	OpLDI = iota
+	OpADDI
+	OpSTO
+	OpJMP
+	OpBNZ
+	OpHLT
+)
+
+// Encode builds an SSEM instruction word.
+func Encode(op int, arg int) uint64 {
+	return uint64(op)<<13 | uint64(arg&0x1FFF)
+}
+
+// SSEMStoreProgram is the Table 3 benchmark program: write 0..4 to
+// memory words 16..20 and halt.
+func SSEMStoreProgram() []uint64 {
+	return []uint64{
+		Encode(OpLDI, 0), Encode(OpSTO, 16),
+		Encode(OpLDI, 1), Encode(OpSTO, 17),
+		Encode(OpLDI, 2), Encode(OpSTO, 18),
+		Encode(OpLDI, 3), Encode(OpSTO, 19),
+		Encode(OpLDI, 4), Encode(OpSTO, 20),
+		Encode(OpHLT, 0),
+	}
+}
+
+// SSEMLoopProgram exercises ADDI/BNZ/JMP: count acc from 3 down to 0
+// with a backwards branch, then halt.
+func SSEMLoopProgram() []uint64 {
+	return []uint64{
+		Encode(OpLDI, 3),       // 0: acc = 3
+		Encode(OpADDI, 0x1FFF), // 1: acc += -1 (13-bit two's complement)
+		Encode(OpSTO, 21),      // 2: mem[21] = acc
+		Encode(OpBNZ, 1),       // 3: if acc != 0 goto 1
+		Encode(OpHLT, 0),       // 4
+	}
+}
+
+// findMemory digs the single memory instance out of the builder; the
+// datapath constructor stores it via the closure in SSEM above, so the
+// bench reconstructs access by rebuilding: instead, the builder records
+// memories.
+func findMemory(b *dpath.Builder) *dpath.Memory {
+	return b.LastMemory()
+}

@@ -1,0 +1,87 @@
+package designs
+
+import (
+	"testing"
+
+	"balsabm/internal/chtobm"
+)
+
+// Every design's control netlist must consist of Burst-Mode
+// synthesizable components.
+func TestDesignControlsSynthesizable(t *testing.T) {
+	for _, d := range All() {
+		n := d.Control()
+		for _, comp := range n.Components {
+			if _, err := chtobm.Compile(comp); err != nil {
+				t.Errorf("%s/%s: %v", d.Name, comp.Name, err)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"systolic-counter", "wagging-register", "stack", "ssem"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%s): %v", name, err)
+		}
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Error("expected error for unknown design")
+	}
+}
+
+func TestSSEMEncoding(t *testing.T) {
+	w := Encode(OpSTO, 17)
+	if (w>>13)&7 != OpSTO || w&0x1FFF != 17 {
+		t.Fatalf("encode broken: %x", w)
+	}
+	prog := SSEMStoreProgram()
+	if len(prog) != 11 || (prog[10]>>13)&7 != OpHLT {
+		t.Fatalf("store program malformed")
+	}
+	loop := SSEMLoopProgram()
+	if (loop[3]>>13)&7 != OpBNZ {
+		t.Fatalf("loop program malformed")
+	}
+}
+
+// The Balsa sources compile into netlists whose control parts mirror
+// the hand-built design netlists.
+func TestBalsaSourcesCompile(t *testing.T) {
+	for _, name := range []string{"counter8", "stack", "wagging", "ssem"} {
+		n, err := CompileBalsa(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ctl, err := n.Control()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, comp := range ctl.Components {
+			if _, err := chtobm.Compile(comp); err != nil {
+				t.Errorf("%s/%s: %v", name, comp.Name, err)
+			}
+		}
+	}
+}
+
+// The balsa-compiled counter has the same control structure as the
+// hand-built one: three sequencers plus three calls.
+func TestBalsaCounterStructure(t *testing.T) {
+	n, err := CompileBalsa("counter8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := n.Stats()
+	if s.Control != 6 {
+		t.Fatalf("control components = %d, want 6 (3 sequencers + 3 calls)", s.Control)
+	}
+	hand := SystolicCounter().Control()
+	ctl, err := n.Control()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ctl.Components) != len(hand.Components) {
+		t.Fatalf("balsa %d vs hand %d control components", len(ctl.Components), len(hand.Components))
+	}
+}

@@ -1,0 +1,253 @@
+package dpath
+
+import (
+	"testing"
+
+	"balsabm/internal/cell"
+	"balsabm/internal/sim"
+)
+
+func newSim() (*sim.Simulator, *Builder) {
+	s := sim.New(cell.AMS035())
+	return s, NewBuilder(s)
+}
+
+func run(t *testing.T, s *sim.Simulator) {
+	t.Helper()
+	if err := s.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(1e6, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pullOnce performs a full four-phase pull handshake on ch and returns
+// the value carried by the acknowledge.
+func pullOnce(t *testing.T, s *sim.Simulator, b *Builder, ch string) uint64 {
+	t.Helper()
+	var got uint64
+	doneFall := false
+	s.Watch(ch+"_a", func(s *sim.Simulator, _ int, val bool) {
+		if val {
+			got = b.Bus(ch).Val
+			s.Schedule(ch+"_r", false, 0.1)
+		} else {
+			doneFall = true
+		}
+	})
+	s.Schedule(ch+"_r", true, 0.1)
+	run(t, s)
+	if !doneFall {
+		t.Fatalf("pull on %s did not complete", ch)
+	}
+	return got
+}
+
+func TestConstAndFunc(t *testing.T) {
+	s, b := newSim()
+	b.Const("k", 42)
+	b.Func("twice", 8, func(ins []uint64) uint64 { return ins[0] * 2 }, "k")
+	if got := pullOnce(t, s, b, "twice"); got != 84 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestVariableWriteRead(t *testing.T) {
+	s, b := newSim()
+	b.Variable("v", 8, "vw", "vr")
+	// Push 7 into the variable.
+	b.Bus("vw").Val = 7
+	completed := false
+	s.Watch("vw_a", func(s *sim.Simulator, _ int, val bool) {
+		if val {
+			s.Schedule("vw_r", false, 0.1)
+		} else {
+			completed = true
+		}
+	})
+	s.Schedule("vw_r", true, 0.1)
+	run(t, s)
+	if !completed {
+		t.Fatal("write did not complete")
+	}
+	if got := pullOnce(t, s, b, "vr"); got != 7 {
+		t.Fatalf("read %d, want 7", got)
+	}
+}
+
+func TestFetchMovesData(t *testing.T) {
+	s, b := newSim()
+	b.Const("src", 9)
+	b.Variable("v", 8, "vw", "vr")
+	b.Fetch("go", "src", "vw")
+	done := false
+	s.Watch("go_a", func(s *sim.Simulator, _ int, val bool) {
+		if val {
+			s.Schedule("go_r", false, 0.1)
+		} else {
+			done = true
+		}
+	})
+	s.Schedule("go_r", true, 0.1)
+	run(t, s)
+	if !done {
+		t.Fatal("fetch did not complete")
+	}
+	if got := pullOnce(t, s, b, "vr"); got != 9 {
+		t.Fatalf("variable holds %d, want 9", got)
+	}
+}
+
+func TestCaseSelDispatch(t *testing.T) {
+	for want := 0; want <= 1; want++ {
+		s, b := newSim()
+		b.Const("sel", uint64(want))
+		b.CaseSel("go", "sel", "arm0", "arm1")
+		fired := -1
+		for i := 0; i <= 1; i++ {
+			i := i
+			b.EnvServeSync(armName(i), 0.5)
+			s.Watch(armName(i)+"_r", func(_ *sim.Simulator, _ int, val bool) {
+				if val {
+					fired = i
+				}
+			})
+		}
+		done := false
+		s.Watch("go_a", func(s *sim.Simulator, _ int, val bool) {
+			if val {
+				s.Schedule("go_r", false, 0.1)
+			} else {
+				done = true
+			}
+		})
+		s.Schedule("go_r", true, 0.1)
+		run(t, s)
+		if !done || fired != want {
+			t.Fatalf("sel=%d: done=%v fired=%d", want, done, fired)
+		}
+	}
+}
+
+func armName(i int) string {
+	return []string{"arm0", "arm1"}[i]
+}
+
+func TestCaseSelOutOfRange(t *testing.T) {
+	s, b := newSim()
+	b.Const("sel", 7)
+	b.CaseSel("go", "sel", "arm0")
+	b.EnvServeSync("arm0", 0.5)
+	done := false
+	s.Watch("go_a", func(s *sim.Simulator, _ int, val bool) {
+		if val {
+			s.Schedule("go_r", false, 0.1)
+		} else {
+			done = true
+		}
+	})
+	s.Schedule("go_r", true, 0.1)
+	run(t, s)
+	if !done {
+		t.Fatal("out-of-range selector must still complete")
+	}
+	if s.Value("arm0_r") {
+		t.Fatal("no arm should have fired")
+	}
+}
+
+func TestMemoryReadWrite(t *testing.T) {
+	s, b := newSim()
+	m := b.Memory(8, 16)
+	m.Words[3] = 111
+	b.Const("addr", 3)
+	m.ReadPort("mrd", "addr", 16)
+	if got := pullOnce(t, s, b, "mrd"); got != 111 {
+		t.Fatalf("read %d, want 111", got)
+	}
+	// Write port: addr 5, data 222.
+	s2, b2 := newSim()
+	m2 := b2.Memory(8, 16)
+	b2.Const("waddr", 5)
+	b2.Const("wdata", 222)
+	m2.WritePort("wr", "waddr", "wdata", 16)
+	done := false
+	s2.Watch("wr_a", func(s *sim.Simulator, _ int, val bool) {
+		if val {
+			s.Schedule("wr_r", false, 0.1)
+		} else {
+			done = true
+		}
+	})
+	s2.Schedule("wr_r", true, 0.1)
+	run(t, s2)
+	if !done || m2.Words[5] != 222 {
+		t.Fatalf("write failed: done=%v words[5]=%d", done, m2.Words[5])
+	}
+	if b2.LastMemory() != m2 {
+		t.Fatal("LastMemory mismatch")
+	}
+}
+
+func TestActivatorCountsAndChains(t *testing.T) {
+	s, b := newSim()
+	b.EnvServeSync("tick", 0.5)
+	finished := false
+	act := b.NewActivator("tick", 0.2, 3, func(s *sim.Simulator) {
+		finished = true
+		s.Stop()
+	})
+	act.Start()
+	run(t, s)
+	if !finished || act.Completed != 3 {
+		t.Fatalf("completed=%d finished=%v (%s)", act.Completed, finished, act.Describe())
+	}
+}
+
+func TestAreaAccounting(t *testing.T) {
+	_, b := newSim()
+	before := b.Area
+	b.Variable("v", 8, "vw")
+	if b.Area <= before {
+		t.Fatal("variable did not add area")
+	}
+	before = b.Area
+	b.Func("f", 8, func(ins []uint64) uint64 { return 0 })
+	if b.Area <= before {
+		t.Fatal("func did not add area")
+	}
+	if FuncDelay(8) <= FuncDelay(1) {
+		t.Fatal("func delay must scale with width")
+	}
+}
+
+func TestEnvHelpers(t *testing.T) {
+	s, b := newSim()
+	var served []uint64
+	b.EnvServePull("in", 0.2, func() uint64 {
+		served = append(served, uint64(len(served)+1))
+		return uint64(len(served))
+	})
+	if got := pullOnce(t, s, b, "in"); got != 1 {
+		t.Fatalf("got %d", got)
+	}
+	// Push consumption.
+	s2, b2 := newSim()
+	var got []uint64
+	b2.EnvConsumePush("out", 0.2, func(v uint64) { got = append(got, v) })
+	b2.Bus("out").Val = 5
+	doneFall := false
+	s2.Watch("out_a", func(s *sim.Simulator, _ int, val bool) {
+		if val {
+			s.Schedule("out_r", false, 0.1)
+		} else {
+			doneFall = true
+		}
+	})
+	s2.Schedule("out_r", true, 0.1)
+	run(t, s2)
+	if !doneFall || len(got) != 1 || got[0] != 5 {
+		t.Fatalf("push consumption failed: %v", got)
+	}
+}

@@ -1,0 +1,56 @@
+package flow
+
+import (
+	"testing"
+
+	"balsabm/internal/designs"
+)
+
+// The Balsa-compiled designs run the complete back-end (Fig 1 from the
+// very top: Balsa program -> balsa-c -> netlist -> split -> optimize ->
+// synthesize -> map -> simulate) and show the Table 3 behavior.
+func TestBalsaDesignFlows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full four-design balsa flow")
+	}
+	all, err := designs.AllBalsa()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range all {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			r, err := RunDesign(d, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.SpeedImprovement() <= 0 {
+				t.Errorf("no speed improvement: %.2f vs %.2f ns",
+					r.Unopt.BenchTime, r.Opt.BenchTime)
+			}
+			if len(r.Opt.Controllers) >= len(r.Unopt.Controllers) {
+				t.Errorf("no clustering: %d -> %d controllers",
+					len(r.Unopt.Controllers), len(r.Opt.Controllers))
+			}
+		})
+	}
+}
+
+// The balsa-compiled counter must reproduce the hand-built counter's
+// clustering outcome: full collapse with all three calls distributed.
+func TestBalsaCounterClusters(t *testing.T) {
+	d, err := designs.BalsaCounter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunDesign(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Opt.Controllers) != 1 {
+		t.Errorf("expected full collapse, got %d controllers", len(r.Opt.Controllers))
+	}
+	if len(r.Report.CallsSplit) != 3 || len(r.Report.CallsRestored) != 0 {
+		t.Errorf("calls: split %v restored %v", r.Report.CallsSplit, r.Report.CallsRestored)
+	}
+}

@@ -1,0 +1,278 @@
+// Package flow implements the paper's complete back-end (Fig 1): the
+// control netlist of a design is optionally optimized by clustering
+// (Fig 2), each resulting controller is compiled from CH to a
+// Burst-Mode specification, synthesized into hazard-free two-level
+// logic (Minimalist substitute), technology mapped, audited for hazard
+// freedom, and finally simulated together with the design's datapath
+// and benchmark environment to produce the speed and area numbers of
+// Table 3.
+package flow
+
+import (
+	"fmt"
+	"strings"
+
+	"balsabm/internal/cell"
+	"balsabm/internal/chtobm"
+	"balsabm/internal/core"
+	"balsabm/internal/designs"
+	"balsabm/internal/dpath"
+	"balsabm/internal/gates"
+	"balsabm/internal/hclib"
+	"balsabm/internal/minimalist"
+	"balsabm/internal/sim"
+	"balsabm/internal/techmap"
+)
+
+// ControllerResult records one synthesized controller.
+type ControllerResult struct {
+	Name      string
+	States    int
+	StateBits int
+	Products  int
+	Cells     int
+	Area      float64
+	Critical  float64
+}
+
+// ArmResult is one complete flow arm (unoptimized or optimized).
+type ArmResult struct {
+	Controllers  []ControllerResult
+	ControlArea  float64
+	DatapathArea float64
+	BenchTime    float64
+	Events       int64
+}
+
+// TotalArea is control plus datapath area (µm²).
+func (a ArmResult) TotalArea() float64 { return a.ControlArea + a.DatapathArea }
+
+// DesignResult is the Table 3 row for one design.
+type DesignResult struct {
+	Design string
+	Bench  string
+	Report *core.Report
+	Unopt  ArmResult
+	Opt    ArmResult
+}
+
+// SpeedImprovement is the paper's percentage speed gain.
+func (r *DesignResult) SpeedImprovement() float64 {
+	if r.Unopt.BenchTime == 0 {
+		return 0
+	}
+	return 100 * (r.Unopt.BenchTime - r.Opt.BenchTime) / r.Unopt.BenchTime
+}
+
+// AreaOverhead is the paper's percentage area increase.
+func (r *DesignResult) AreaOverhead() float64 {
+	if r.Unopt.TotalArea() == 0 {
+		return 0
+	}
+	return 100 * (r.Opt.TotalArea() - r.Unopt.TotalArea()) / r.Unopt.TotalArea()
+}
+
+// Options tune the flow.
+type Options struct {
+	Lib *cell.Library
+	// Cluster passes limits to the clustering engine (e.g. a maximum
+	// Burst-Mode state count per clustered controller — the paper's
+	// synthesis-run-time knob).
+	Cluster core.Options
+	// SkipAudit disables the exhaustive hazard audit of mapped
+	// optimized controllers (it is on by default, as in Section 5).
+	SkipAudit bool
+	// TimeLimit and EventLimit bound each benchmark simulation.
+	TimeLimit  float64
+	EventLimit int64
+}
+
+func (o *Options) defaults() {
+	if o.Lib == nil {
+		o.Lib = cell.AMS035()
+	}
+	if o.TimeLimit == 0 {
+		o.TimeLimit = 5e6
+	}
+	if o.EventLimit == 0 {
+		o.EventLimit = 100_000_000
+	}
+}
+
+// SynthesizeNetlist compiles, synthesizes and maps every component of a
+// control netlist with the given mapping mode, returning the mapped
+// netlists and per-controller reports.
+//
+// In the baseline (AreaShared) arm, components matching a standard
+// library shape use the hand-optimized gate circuits of package hclib —
+// the counterpart of Balsa's manually designed component library; the
+// rest (e.g. clustered controllers in mixed netlists) fall back to
+// synthesis.
+func SynthesizeNetlist(n *core.Netlist, mode techmap.Mode, opt *Options) ([]*gates.Netlist, []ControllerResult, error) {
+	var mapped []*gates.Netlist
+	var results []ControllerResult
+	for _, comp := range n.Components {
+		sp, err := chtobm.Compile(comp)
+		if err != nil {
+			return nil, nil, fmt.Errorf("flow: %s: %w", comp.Name, err)
+		}
+		if mode == techmap.AreaShared {
+			if nl, ok := hclib.Build(comp); ok {
+				mapped = append(mapped, nl)
+				results = append(results, ControllerResult{
+					Name:     comp.Name,
+					States:   sp.NStates,
+					Cells:    len(nl.Instances),
+					Area:     nl.Area(opt.Lib),
+					Critical: nl.CriticalDelay(opt.Lib),
+				})
+				continue
+			}
+		}
+		ctrl, err := minimalist.Synthesize(sp)
+		if err != nil {
+			return nil, nil, fmt.Errorf("flow: %s: %w", comp.Name, err)
+		}
+		nl, err := techmap.MapController(ctrl, mode, opt.Lib)
+		if err != nil {
+			return nil, nil, fmt.Errorf("flow: %s: %w", comp.Name, err)
+		}
+		if mode == techmap.SpeedSplit && !opt.SkipAudit {
+			if err := techmap.CheckMapped(ctrl, nl, opt.Lib); err != nil {
+				return nil, nil, fmt.Errorf("flow: hazard audit: %w", err)
+			}
+		}
+		mapped = append(mapped, nl)
+		results = append(results, ControllerResult{
+			Name:      comp.Name,
+			States:    sp.NStates,
+			StateBits: ctrl.StateBits,
+			Products:  ctrl.Products(),
+			Cells:     len(nl.Instances),
+			Area:      nl.Area(opt.Lib),
+			Critical:  nl.CriticalDelay(opt.Lib),
+		})
+	}
+	return mapped, results, nil
+}
+
+// simulate runs one design arm: mapped controllers + datapath + bench.
+func simulate(d *designs.Design, mapped []*gates.Netlist, opt *Options) (float64, float64, int64, string, error) {
+	s := sim.New(opt.Lib)
+	for _, nl := range mapped {
+		s.AddNetlist(nl, nl.Name, nil)
+	}
+	b := dpath.NewBuilder(s)
+	d.Datapath(b)
+	bench := d.Bench(b)
+	if err := s.Init(); err != nil {
+		return 0, 0, 0, "", err
+	}
+	bench.Start()
+	for !bench.Done() {
+		if err := s.Run(opt.TimeLimit, opt.EventLimit); err != nil {
+			return 0, 0, 0, "", fmt.Errorf("flow: %s: %w", d.Name, err)
+		}
+		if !bench.Done() && s.Quiet() {
+			return 0, 0, 0, "", fmt.Errorf("flow: %s: deadlock at %.2f ns (benchmark incomplete)", d.Name, s.Time)
+		}
+	}
+	if err := bench.Validate(); err != nil {
+		return 0, 0, 0, "", fmt.Errorf("flow: %s: functional check failed: %w", d.Name, err)
+	}
+	return s.Time, b.Area, s.Events, bench.Description, nil
+}
+
+// RunDesign executes both arms of the flow for one design.
+func RunDesign(d *designs.Design, opt *Options) (*DesignResult, error) {
+	if opt == nil {
+		opt = &Options{}
+	}
+	opt.defaults()
+	res := &DesignResult{Design: d.Name}
+
+	// Unoptimized arm: the original component netlist with the
+	// baseline (hand-library-quality) mapping.
+	unoptNetlist := d.Control()
+	mapped, ctrls, err := SynthesizeNetlist(unoptNetlist, techmap.AreaShared, opt)
+	if err != nil {
+		return nil, fmt.Errorf("unoptimized arm: %w", err)
+	}
+	res.Unopt.Controllers = ctrls
+	for _, c := range ctrls {
+		res.Unopt.ControlArea += c.Area
+	}
+	t, dpArea, events, benchDesc, err := simulate(d, mapped, opt)
+	if err != nil {
+		return nil, fmt.Errorf("unoptimized arm: %w", err)
+	}
+	res.Unopt.BenchTime, res.Unopt.DatapathArea, res.Unopt.Events = t, dpArea, events
+	res.Bench = benchDesc
+
+	// Optimized arm: clustering, then speed-mode split-mapped
+	// synthesis (the paper's new back-end).
+	optNetlist, report, err := core.OptimizeOpt(unoptNetlist, opt.Cluster)
+	if err != nil {
+		return nil, fmt.Errorf("clustering: %w", err)
+	}
+	res.Report = report
+	mapped, ctrls, err = SynthesizeNetlist(optNetlist, techmap.SpeedSplit, opt)
+	if err != nil {
+		return nil, fmt.Errorf("optimized arm: %w", err)
+	}
+	res.Opt.Controllers = ctrls
+	for _, c := range ctrls {
+		res.Opt.ControlArea += c.Area
+	}
+	t, dpArea, events, _, err = simulate(d, mapped, opt)
+	if err != nil {
+		return nil, fmt.Errorf("optimized arm: %w", err)
+	}
+	res.Opt.BenchTime, res.Opt.DatapathArea, res.Opt.Events = t, dpArea, events
+	return res, nil
+}
+
+// RunAll executes the flow for every Table 3 design.
+func RunAll(opt *Options) ([]*DesignResult, error) {
+	var out []*DesignResult
+	for _, d := range designs.All() {
+		r, err := RunDesign(d, opt)
+		if err != nil {
+			return nil, fmt.Errorf("flow: %s: %w", d.Name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Table3 formats results in the layout of the paper's Table 3.
+func Table3(results []*DesignResult) string {
+	var sb strings.Builder
+	sb.WriteString("Table 3: Experimental Results\n")
+	sb.WriteString(fmt.Sprintf("%-20s %12s %12s %12s %14s %14s %10s\n",
+		"", "Speed (ns)", "", "", "Area (um2)", "", ""))
+	sb.WriteString(fmt.Sprintf("%-20s %12s %12s %12s %14s %14s %10s\n",
+		"Design", "Unoptimized", "Optimized", "Improvement", "Unoptimized", "Optimized", "Overhead"))
+	for _, r := range results {
+		sb.WriteString(fmt.Sprintf("%-20s %12.2f %12.2f %11.2f%% %14.0f %14.0f %9.2f%%\n",
+			r.Design, r.Unopt.BenchTime, r.Opt.BenchTime, r.SpeedImprovement(),
+			r.Unopt.TotalArea(), r.Opt.TotalArea(), r.AreaOverhead()))
+	}
+	return sb.String()
+}
+
+// Fig2Summary reports the control-collapse statistics of Fig 2 for one
+// design: components and internal channels before and after clustering.
+func Fig2Summary(d *designs.Design) (before, after core.Stats, rep *core.Report, err error) {
+	n := d.Control()
+	before, err = n.Stats()
+	if err != nil {
+		return
+	}
+	optimized, rep, err := core.Optimize(n)
+	if err != nil {
+		return
+	}
+	after, err = optimized.Stats()
+	return
+}

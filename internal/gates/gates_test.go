@@ -1,0 +1,159 @@
+package gates
+
+import (
+	"strings"
+	"testing"
+
+	"balsabm/internal/cell"
+)
+
+// buildHalfAdder wires sum = XOR(a,b), carry = AND(a,b).
+func buildHalfAdder() *Netlist {
+	nl := New("halfadder")
+	a, b := nl.Net("a"), nl.Net("b")
+	sum, carry := nl.Net("sum"), nl.Net("carry")
+	nl.Inputs = append(nl.Inputs, a, b)
+	nl.Outputs = append(nl.Outputs, sum, carry)
+	nl.AddInstance("XOR2", []int{a, b}, sum, 1)
+	nl.AddInstance("AND2", []int{a, b}, carry, 2)
+	return nl
+}
+
+func TestSettleAndValue(t *testing.T) {
+	lib := cell.AMS035()
+	nl := buildHalfAdder()
+	for _, tc := range []struct {
+		a, b, sum, carry bool
+	}{
+		{false, false, false, false},
+		{true, false, true, false},
+		{true, true, false, true},
+	} {
+		vals, err := nl.Settle(lib, map[string]bool{"a": tc.a, "b": tc.b}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, _ := nl.Value(vals, "sum")
+		carry, _ := nl.Value(vals, "carry")
+		if sum != tc.sum || carry != tc.carry {
+			t.Fatalf("a=%v b=%v: sum=%v carry=%v", tc.a, tc.b, sum, carry)
+		}
+	}
+	if _, err := nl.Value(nil, "bogus"); err == nil {
+		t.Fatal("expected error for unknown net")
+	}
+	if _, err := nl.Settle(lib, map[string]bool{"bogus": true}, nil); err == nil {
+		t.Fatal("expected error for unknown input")
+	}
+}
+
+func TestSettleDetectsOscillation(t *testing.T) {
+	lib := cell.AMS035()
+	nl := New("osc")
+	n := nl.Net("x")
+	nl.AddInstance("INV", []int{n}, n, 0)
+	if _, err := nl.Settle(lib, nil, nil); err == nil {
+		t.Fatal("ring oscillator must not settle")
+	}
+}
+
+func TestAreaAndCritical(t *testing.T) {
+	lib := cell.AMS035()
+	nl := buildHalfAdder()
+	wantArea := lib.Get("XOR2").Area + lib.Get("AND2").Area
+	if got := nl.Area(lib); got != wantArea {
+		t.Fatalf("area %v want %v", got, wantArea)
+	}
+	// Chain: INV -> AND2 -> output: critical = INV + AND2.
+	nl2 := New("chain")
+	a := nl2.Net("a")
+	m := nl2.Net("m")
+	out := nl2.Net("out")
+	nl2.Inputs = append(nl2.Inputs, a)
+	nl2.Outputs = append(nl2.Outputs, out)
+	nl2.AddInstance("INV", []int{a}, m, 1)
+	nl2.AddInstance("AND2", []int{m, a}, out, 2)
+	want := lib.Get("INV").Delay + lib.Get("AND2").Delay
+	if got := nl2.CriticalDelay(lib); got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("critical %v want %v", got, want)
+	}
+}
+
+func TestCriticalCutsFeedback(t *testing.T) {
+	lib := cell.AMS035()
+	nl := New("fb")
+	a := nl.Net("a")
+	y := nl.Net("y")
+	nl.Inputs = append(nl.Inputs, a)
+	nl.AddInstance("C2", []int{a, y}, y, 0)
+	// Must terminate and report a finite delay.
+	if d := nl.CriticalDelay(lib); d <= 0 || d > 1 {
+		t.Fatalf("critical %v", d)
+	}
+}
+
+func TestFreshAndConstZero(t *testing.T) {
+	nl := New("x")
+	a := nl.Fresh("t")
+	b := nl.Fresh("t")
+	if a == b {
+		t.Fatal("fresh nets must be distinct")
+	}
+	c0 := nl.ConstZero()
+	if c0 != nl.ConstZero() {
+		t.Fatal("const zero must be stable")
+	}
+}
+
+func TestDriverAndCounts(t *testing.T) {
+	nl := buildHalfAdder()
+	if d := nl.Driver(nl.Net("sum")); d != 0 {
+		t.Fatalf("driver of sum = %d", d)
+	}
+	if d := nl.Driver(nl.Net("a")); d != -1 {
+		t.Fatalf("input has driver %d", d)
+	}
+	counts := nl.CellCounts()
+	if counts["XOR2"] != 1 || counts["AND2"] != 1 {
+		t.Fatalf("counts %v", counts)
+	}
+}
+
+func TestVerilogOutput(t *testing.T) {
+	lib := cell.AMS035()
+	nl := buildHalfAdder()
+	v := nl.Verilog(lib)
+	for _, want := range []string{
+		"module halfadder (a, b, sum, carry);",
+		"input a;", "output sum;",
+		"XOR2 g0 (sum, a, b);",
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Fatalf("missing %q in:\n%s", want, v)
+		}
+	}
+}
+
+func TestSettleWithCElementState(t *testing.T) {
+	lib := cell.AMS035()
+	nl := New("c")
+	a, b := nl.Net("a"), nl.Net("b")
+	out := nl.Net("out")
+	nl.Inputs = append(nl.Inputs, a, b)
+	nl.Outputs = append(nl.Outputs, out)
+	nl.AddInstance("C2", []int{a, b}, out, 0)
+	vals, err := nl.Settle(lib, map[string]bool{"a": true, "b": true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hold with prior state: a falls, out must stay high.
+	vals, err = nl.Settle(lib, map[string]bool{"a": false, "b": true}, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := nl.Value(vals, "out")
+	if !got {
+		t.Fatal("C-element lost its state across Settle calls")
+	}
+}

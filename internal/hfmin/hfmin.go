@@ -1,0 +1,523 @@
+// Package hfmin implements exact hazard-free two-level logic
+// minimization for multiple-input changes, after Nowick & Dill (the
+// algorithm at the heart of the Minimalist synthesis package used by
+// the paper).
+//
+// A Boolean function is specified by a set of input transitions. Each
+// transition runs from a start minterm A to an end minterm B inside the
+// transition cube T = supercube(A,B); under Burst-Mode (Mealy)
+// semantics the function holds its start value on every point of T
+// except B, where it takes its end value.
+//
+// A sum-of-products cover is hazard-free for the specified transitions
+// iff:
+//
+//   - every static 1→1 transition cube is contained in a SINGLE product
+//     (required cube);
+//   - for every dynamic 1→0 transition, any product intersecting the
+//     transition cube contains its start point (the transition cube is
+//     "privileged"), and the maximal ON-subcubes anchored at the start
+//     point are each contained in a single product;
+//   - 0→1 transitions need only ordinary coverage of the end point: the
+//     points they cross are OFF-set points no valid product touches.
+//
+// Products satisfying the intersection restrictions are dhf-implicants;
+// maximal ones are dhf-prime implicants. Minimization selects a minimum
+// set of dhf-primes covering all required cubes (unate covering).
+package hfmin
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"balsabm/internal/logic"
+)
+
+// Transition is one specified input transition of a single-output
+// function.
+type Transition struct {
+	Start []bool // minterm A
+	End   []bool // minterm B
+	From  bool   // function value at A (and on all of T except B)
+	To    bool   // function value at B
+}
+
+// cube returns the transition supercube T.
+func (t Transition) cube() logic.Cube {
+	return logic.Point(t.Start).Supercube(logic.Point(t.End))
+}
+
+// changed lists the variables that differ between Start and End.
+func (t Transition) changed() []int {
+	var out []int
+	for i := range t.Start {
+		if t.Start[i] != t.End[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Problem is a single-output hazard-free minimization instance.
+type Problem struct {
+	Vars        int
+	Names       []string // optional, for diagnostics
+	Transitions []Transition
+}
+
+// privileged is a dynamic 1→0 transition cube with its start point.
+type privileged struct {
+	cube  logic.Cube
+	start []bool
+}
+
+// sets computes the ON cubes, OFF cubes, required cubes and privileged
+// cubes of the instance, checking specification consistency.
+func (p *Problem) sets() (on, off, required logic.Cover, priv []privileged, err error) {
+	for i, t := range p.Transitions {
+		if len(t.Start) != p.Vars || len(t.End) != p.Vars {
+			return nil, nil, nil, nil, fmt.Errorf("hfmin: transition %d has wrong arity", i)
+		}
+		T := t.cube()
+		ch := t.changed()
+		if len(ch) == 0 && t.From != t.To {
+			return nil, nil, nil, nil, fmt.Errorf("hfmin: transition %d changes value without input change", i)
+		}
+		switch {
+		case t.From && t.To: // static 1
+			on = append(on, T)
+			required = append(required, T)
+		case !t.From && !t.To: // static 0
+			off = append(off, T)
+		case t.From && !t.To: // dynamic 1→0
+			for _, v := range ch {
+				sub := T.Clone()
+				if t.Start[v] {
+					sub[v] = logic.One
+				} else {
+					sub[v] = logic.Zero
+				}
+				on = append(on, sub)
+				required = append(required, sub)
+			}
+			off = append(off, logic.Point(t.End))
+			priv = append(priv, privileged{cube: T, start: t.Start})
+		default: // dynamic 0→1
+			for _, v := range ch {
+				sub := T.Clone()
+				if t.Start[v] {
+					sub[v] = logic.One
+				} else {
+					sub[v] = logic.Zero
+				}
+				off = append(off, sub)
+			}
+			on = append(on, logic.Point(t.End))
+			required = append(required, logic.Point(t.End))
+		}
+	}
+	// Consistency: the specified ON and OFF sets must be disjoint.
+	for _, o := range on {
+		for _, f := range off {
+			if o.Intersects(f) {
+				return nil, nil, nil, nil, &ConflictError{On: o, Off: f}
+			}
+		}
+	}
+	required = required.Dedup()
+	return on, off, required, priv, nil
+}
+
+// ConflictError reports that two transitions specify contradictory
+// values for some input combination (the state assignment must be
+// refined).
+type ConflictError struct {
+	On, Off logic.Cube
+}
+
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("hfmin: inconsistent specification: %s required 1, %s required 0 (overlap %s)",
+		e.On, e.Off, e.On.Intersect(e.Off))
+}
+
+// isDHF reports whether c is a dhf-implicant: it touches no OFF point
+// and has no illegal intersection with a privileged cube.
+func isDHF(c logic.Cube, off logic.Cover, priv []privileged) bool {
+	if off.AnyIntersects(c) {
+		return false
+	}
+	for _, pv := range priv {
+		if c.Intersects(pv.cube) && !c.ContainsPoint(pv.start) {
+			return false
+		}
+	}
+	return true
+}
+
+// dhfPrimes returns maximal dhf-implicants containing seed. The
+// enumeration walks freed-variable subsets in canonical (ascending)
+// order under a node budget; beyond the budget it falls back to a
+// handful of greedy maximal expansions, which keeps the covering
+// problem well-supplied with candidates at a small optimality cost.
+func dhfPrimes(seed logic.Cube, off logic.Cover, priv []privileged) []logic.Cube {
+	const budget = 1500
+	nodes := 0
+	seen := map[string]bool{}
+	addSeen := func(c logic.Cube) bool {
+		k := cubeKey(c)
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		return true
+	}
+	var out []logic.Cube
+	outSet := map[string]bool{}
+	record := func(c logic.Cube) {
+		k := cubeKey(c)
+		if !outSet[k] {
+			outSet[k] = true
+			out = append(out, c)
+		}
+	}
+	overflow := false
+	var grow func(c logic.Cube, minVar int)
+	grow = func(c logic.Cube, minVar int) {
+		if overflow {
+			return
+		}
+		if nodes++; nodes > budget {
+			overflow = true
+			return
+		}
+		if !addSeen(c) {
+			return
+		}
+		maximal := true
+		for v := 0; v < len(c); v++ {
+			if c[v] == logic.DC {
+				continue
+			}
+			e := c.Clone()
+			e[v] = logic.DC
+			if !isDHF(e, off, priv) {
+				continue
+			}
+			maximal = false
+			if v >= minVar {
+				grow(e, v+1)
+			}
+		}
+		if maximal {
+			record(c)
+		}
+	}
+	grow(seed, 0)
+	// Greedy maximal expansions guarantee candidates even when the
+	// exact enumeration is truncated (and cover corner cases where the
+	// canonical order dead-ends before a maximal cube).
+	for _, dir := range []int{1, -1} {
+		c := seed.Clone()
+		for changed := true; changed; {
+			changed = false
+			n := len(c)
+			for k := 0; k < n; k++ {
+				v := k
+				if dir < 0 {
+					v = n - 1 - k
+				}
+				if c[v] == logic.DC {
+					continue
+				}
+				e := c.Clone()
+				e[v] = logic.DC
+				if isDHF(e, off, priv) {
+					c = e
+					changed = true
+				}
+			}
+		}
+		record(c)
+	}
+	return out
+}
+
+// cubeKey returns a cheap map key for a cube.
+func cubeKey(c logic.Cube) string {
+	b := make([]byte, len(c))
+	for i, l := range c {
+		b[i] = byte(l)
+	}
+	return string(b)
+}
+
+// Result is a minimized hazard-free cover.
+type Result struct {
+	Cover    logic.Cover
+	Primes   int // number of dhf-prime candidates considered
+	Required int // number of required cubes
+}
+
+// Minimize solves the instance, returning a minimum-product hazard-free
+// cover (exact for small instances via branch and bound, greedy beyond
+// that).
+func (p *Problem) Minimize() (*Result, error) {
+	on, off, required, priv, err := p.sets()
+	if err != nil {
+		return nil, err
+	}
+	if len(required) == 0 {
+		return &Result{Cover: nil}, nil // constant-0 function
+	}
+	// Generate candidate dhf-primes from each required cube.
+	var primes logic.Cover
+	primeSet := map[string]bool{}
+	for _, r := range required {
+		if !isDHF(r, off, priv) {
+			return nil, fmt.Errorf("hfmin: required cube %s is not a dhf-implicant; specification is not hazard-free realizable", r)
+		}
+		for _, pr := range dhfPrimes(r, off, priv) {
+			if !primeSet[pr.String()] {
+				primeSet[pr.String()] = true
+				primes = append(primes, pr)
+			}
+		}
+	}
+	// Build the unate covering matrix.
+	covers := make([][]int, len(required)) // row -> candidate column indices
+	for i, r := range required {
+		for j, pr := range primes {
+			if pr.Contains(r) {
+				covers[i] = append(covers[i], j)
+			}
+		}
+		if len(covers[i]) == 0 {
+			return nil, fmt.Errorf("hfmin: required cube %s has no covering dhf-prime", required[i])
+		}
+	}
+	chosen := solveCover(covers, primes)
+	var cover logic.Cover
+	for _, j := range chosen {
+		cover = append(cover, primes[j])
+	}
+	sortCover(cover)
+	// Post-verify: the cover must contain the whole ON-set and be
+	// hazard-free (defense in depth; cheap at these sizes).
+	for _, o := range on {
+		if !cover.ContainsCube(o) {
+			return nil, fmt.Errorf("hfmin: internal error: ON cube %s not covered", o)
+		}
+	}
+	if err := CheckCover(cover, p.Transitions); err != nil {
+		return nil, fmt.Errorf("hfmin: internal error: %w", err)
+	}
+	return &Result{Cover: cover, Primes: len(primes), Required: len(required)}, nil
+}
+
+// solveCover finds a small set of columns covering all rows: essential
+// columns, then exact branch-and-bound when feasible, greedy otherwise.
+func solveCover(rows [][]int, primes logic.Cover) []int {
+	nCols := len(primes)
+	// Essential columns: rows with a single candidate.
+	selected := map[int]bool{}
+	var uncovered []int
+	for i, cands := range rows {
+		if len(cands) == 1 {
+			selected[cands[0]] = true
+		} else {
+			uncovered = append(uncovered, i)
+		}
+	}
+	remaining := func() []int {
+		var out []int
+		for _, i := range uncovered {
+			done := false
+			for _, j := range rows[i] {
+				if selected[j] {
+					done = true
+					break
+				}
+			}
+			if !done {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	rest := remaining()
+	if len(rest) > 0 {
+		if nCols <= 24 && len(rest) <= 24 {
+			best := exactCover(rest, rows, nCols, selected)
+			for _, j := range best {
+				selected[j] = true
+			}
+		} else {
+			// Greedy: repeatedly take the column covering most rows.
+			for len(rest) > 0 {
+				count := make([]int, nCols)
+				for _, i := range rest {
+					for _, j := range rows[i] {
+						count[j]++
+					}
+				}
+				bestJ, bestC := -1, -1
+				for j, c := range count {
+					if c > bestC || (c == bestC && j < bestJ) {
+						bestJ, bestC = j, c
+					}
+				}
+				selected[bestJ] = true
+				rest = remaining()
+			}
+		}
+	}
+	var out []int
+	for j := range selected {
+		out = append(out, j)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// exactCover finds a minimum column set covering the given rows by
+// branch and bound.
+func exactCover(rest []int, rows [][]int, nCols int, preselected map[int]bool) []int {
+	var best []int
+	var cur []int
+	var rec func(remaining []int)
+	rec = func(remaining []int) {
+		if len(remaining) == 0 {
+			if best == nil || len(cur) < len(best) {
+				best = append([]int(nil), cur...)
+			}
+			return
+		}
+		if best != nil && len(cur)+1 >= len(best) {
+			// Even one more column cannot beat the incumbent unless it
+			// finishes everything; prune when it cannot.
+			if len(cur)+1 > len(best) {
+				return
+			}
+		}
+		// Branch on the row with fewest candidates.
+		bi := remaining[0]
+		for _, i := range remaining {
+			if len(rows[i]) < len(rows[bi]) {
+				bi = i
+			}
+		}
+		for _, j := range rows[bi] {
+			cur = append(cur, j)
+			var next []int
+			for _, i := range remaining {
+				covered := false
+				for _, k := range rows[i] {
+					if k == j {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					next = append(next, i)
+				}
+			}
+			rec(next)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(rest)
+	return best
+}
+
+// CheckCover verifies that a cover implements the specified transitions
+// without logic hazards: correct values, single-cube containment of
+// static-1 and 1→0 required cubes, and no illegal intersections of
+// privileged cubes. It is used both as a post-check of minimization and
+// to audit technology-mapped logic (Section 5 of the paper).
+func CheckCover(cover logic.Cover, transitions []Transition) error {
+	for i, t := range transitions {
+		T := t.cube()
+		switch {
+		case t.From && t.To:
+			contained := false
+			for _, c := range cover {
+				if c.Contains(T) {
+					contained = true
+					break
+				}
+			}
+			if !contained {
+				return fmt.Errorf("static 1→1 transition %d (%s) not held by a single product", i, T)
+			}
+		case !t.From && !t.To:
+			if cover.AnyIntersects(T) {
+				return fmt.Errorf("static 0→0 transition %d (%s) intersected by a product", i, T)
+			}
+		case t.From && !t.To:
+			for _, c := range cover {
+				if c.Intersects(T) && !c.ContainsPoint(t.Start) {
+					return fmt.Errorf("1→0 transition %d: product %s intersects %s without its start point", i, c, T)
+				}
+			}
+			for _, v := range t.changed() {
+				sub := T.Clone()
+				if t.Start[v] {
+					sub[v] = logic.One
+				} else {
+					sub[v] = logic.Zero
+				}
+				contained := false
+				for _, c := range cover {
+					if c.Contains(sub) {
+						contained = true
+						break
+					}
+				}
+				if !contained {
+					return fmt.Errorf("1→0 transition %d: required cube %s not held by a single product", i, sub)
+				}
+			}
+			if cover.Eval(t.End) {
+				return fmt.Errorf("1→0 transition %d: cover still 1 at end point", i)
+			}
+		default: // 0→1
+			if !cover.Eval(t.End) {
+				return fmt.Errorf("0→1 transition %d: cover 0 at end point", i)
+			}
+			for _, v := range t.changed() {
+				sub := T.Clone()
+				if t.Start[v] {
+					sub[v] = logic.One
+				} else {
+					sub[v] = logic.Zero
+				}
+				for _, c := range cover {
+					if c.Intersects(sub) {
+						return fmt.Errorf("0→1 transition %d: product %s on during OFF phase %s", i, c, sub)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func sortCover(cv logic.Cover) {
+	sort.Slice(cv, func(i, j int) bool { return cv[i].String() < cv[j].String() })
+}
+
+// FormatPLA renders the cover in a small PLA-like format for the .sol
+// report files.
+func FormatPLA(name string, inputs []string, cover logic.Cover) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, ".ob %s\n", name)
+	fmt.Fprintf(&sb, ".i %d\n", len(inputs))
+	fmt.Fprintf(&sb, ".ilb %s\n", strings.Join(inputs, " "))
+	fmt.Fprintf(&sb, ".p %d\n", len(cover))
+	for _, c := range cover {
+		fmt.Fprintf(&sb, "%s 1\n", c)
+	}
+	sb.WriteString(".e\n")
+	return sb.String()
+}

@@ -1,0 +1,342 @@
+// Package logic provides positional-cube algebra for two-level logic
+// over a fixed variable set: containment, intersection, supercubes,
+// cofactors and cover difference. It is the foundation of the
+// hazard-free minimizer (package hfmin) and the technology mapper.
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lit is the value of one variable position in a cube.
+type Lit byte
+
+const (
+	Zero Lit = 0 // variable must be 0
+	One  Lit = 1 // variable must be 1
+	DC   Lit = 2 // variable unconstrained (don't care / absent literal)
+)
+
+// Cube is a product term over n variables.
+type Cube []Lit
+
+// NewCube returns the universal cube (all don't-cares) over n variables.
+func NewCube(n int) Cube {
+	c := make(Cube, n)
+	for i := range c {
+		c[i] = DC
+	}
+	return c
+}
+
+// Point builds a fully-specified cube (a minterm) from bits.
+func Point(bits []bool) Cube {
+	c := make(Cube, len(bits))
+	for i, b := range bits {
+		if b {
+			c[i] = One
+		} else {
+			c[i] = Zero
+		}
+	}
+	return c
+}
+
+// Clone returns a copy of the cube.
+func (c Cube) Clone() Cube { return append(Cube(nil), c...) }
+
+// String renders the cube as a 01- pattern ('-' for don't care).
+func (c Cube) String() string {
+	var sb strings.Builder
+	for _, l := range c {
+		switch l {
+		case Zero:
+			sb.WriteByte('0')
+		case One:
+			sb.WriteByte('1')
+		default:
+			sb.WriteByte('-')
+		}
+	}
+	return sb.String()
+}
+
+// ParseCube reads a 01- pattern.
+func ParseCube(s string) (Cube, error) {
+	c := make(Cube, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+			c[i] = Zero
+		case '1':
+			c[i] = One
+		case '-':
+			c[i] = DC
+		default:
+			return nil, fmt.Errorf("logic: bad cube character %q in %q", s[i], s)
+		}
+	}
+	return c, nil
+}
+
+// IsPoint reports whether every variable is specified.
+func (c Cube) IsPoint() bool {
+	for _, l := range c {
+		if l == DC {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether d is contained in c (every point of d is a
+// point of c).
+func (c Cube) Contains(d Cube) bool {
+	for i, l := range c {
+		if l != DC && d[i] != l {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsPoint reports whether the minterm given by bits lies in c.
+func (c Cube) ContainsPoint(bits []bool) bool {
+	for i, l := range c {
+		if l == One && !bits[i] {
+			return false
+		}
+		if l == Zero && bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether c and d share at least one point.
+func (c Cube) Intersects(d Cube) bool {
+	for i, l := range c {
+		if l != DC && d[i] != DC && d[i] != l {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the intersection cube, or nil if disjoint.
+func (c Cube) Intersect(d Cube) Cube {
+	out := make(Cube, len(c))
+	for i, l := range c {
+		switch {
+		case l == DC:
+			out[i] = d[i]
+		case d[i] == DC || d[i] == l:
+			out[i] = l
+		default:
+			return nil
+		}
+	}
+	return out
+}
+
+// Supercube returns the smallest cube containing both c and d.
+func (c Cube) Supercube(d Cube) Cube {
+	out := make(Cube, len(c))
+	for i, l := range c {
+		if l == d[i] {
+			out[i] = l
+		} else {
+			out[i] = DC
+		}
+	}
+	return out
+}
+
+// Cofactor fixes variable v to value val, returning nil if c requires
+// the opposite value, else c with position v freed.
+func (c Cube) Cofactor(v int, val Lit) Cube {
+	if c[v] != DC && c[v] != val {
+		return nil
+	}
+	out := c.Clone()
+	out[v] = DC
+	return out
+}
+
+// With returns c with variable v set to val (nil if contradictory).
+func (c Cube) With(v int, val Lit) Cube {
+	if c[v] != DC && c[v] != val {
+		return nil
+	}
+	out := c.Clone()
+	out[v] = val
+	return out
+}
+
+// FreeCount returns the number of don't-care positions.
+func (c Cube) FreeCount() int {
+	n := 0
+	for _, l := range c {
+		if l == DC {
+			n++
+		}
+	}
+	return n
+}
+
+// Literals returns the number of specified positions.
+func (c Cube) Literals() int { return len(c) - c.FreeCount() }
+
+// Equal reports cube equality.
+func (c Cube) Equal(d Cube) bool {
+	if len(c) != len(d) {
+		return false
+	}
+	for i := range c {
+		if c[i] != d[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Cover is a set of cubes (a sum of products).
+type Cover []Cube
+
+// String renders the cover one cube per line.
+func (cv Cover) String() string {
+	parts := make([]string, len(cv))
+	for i, c := range cv {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// Eval evaluates the cover at a minterm.
+func (cv Cover) Eval(bits []bool) bool {
+	for _, c := range cv {
+		if c.ContainsPoint(bits) {
+			return true
+		}
+	}
+	return false
+}
+
+// AnyIntersects reports whether any cube of the cover intersects c.
+func (cv Cover) AnyIntersects(c Cube) bool {
+	for _, d := range cv {
+		if c.Intersects(d) {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsCube reports whether c is entirely inside the union of the
+// cover's cubes, by recursive case-splitting on a distinguishing
+// variable (the standard cube-minus-cover emptiness test).
+func (cv Cover) ContainsCube(c Cube) bool {
+	// Fast paths.
+	for _, d := range cv {
+		if d.Contains(c) {
+			return true
+		}
+	}
+	// Restrict the cover to cubes intersecting c.
+	var rel Cover
+	for _, d := range cv {
+		if d.Intersects(c) {
+			rel = append(rel, d)
+		}
+	}
+	if len(rel) == 0 {
+		return false
+	}
+	// Pick a variable where some relevant cube is specified but c is
+	// free, and split.
+	for v := range c {
+		if c[v] != DC {
+			continue
+		}
+		for _, d := range rel {
+			if d[v] != DC {
+				c0 := c.With(v, Zero)
+				c1 := c.With(v, One)
+				return rel.ContainsCube(c0) && rel.ContainsCube(c1)
+			}
+		}
+	}
+	// All relevant cubes are DC wherever c is DC: containment would
+	// have been caught by the fast path unless none contains c.
+	return false
+}
+
+// Minus returns cubes covering the points of c not covered by cv.
+func (cv Cover) Minus(c Cube) Cover {
+	result := Cover{c}
+	for _, d := range cv {
+		var next Cover
+		for _, r := range result {
+			next = append(next, cubeMinus(r, d)...)
+		}
+		result = next
+		if len(result) == 0 {
+			return nil
+		}
+	}
+	return result
+}
+
+// cubeMinus returns cubes covering r \ d.
+func cubeMinus(r, d Cube) Cover {
+	if !r.Intersects(d) {
+		return Cover{r}
+	}
+	var out Cover
+	cur := r.Clone()
+	for v := range r {
+		if d[v] == DC || r[v] == d[v] {
+			continue
+		}
+		if r[v] != DC {
+			continue // disjoint on v; unreachable given Intersects
+		}
+		// Split off the half outside d.
+		other := One
+		if d[v] == One {
+			other = Zero
+		}
+		piece := cur.With(v, other)
+		if piece != nil {
+			out = append(out, piece)
+		}
+		cur = cur.With(v, d[v])
+	}
+	return out
+}
+
+// Dedup removes duplicate and contained cubes.
+func (cv Cover) Dedup() Cover {
+	var out Cover
+	for i, c := range cv {
+		keep := true
+		for j, d := range cv {
+			if i == j {
+				continue
+			}
+			if d.Contains(c) && !c.Contains(d) {
+				keep = false
+				break
+			}
+			if c.Equal(d) && j < i {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, c)
+		}
+	}
+	return out
+}

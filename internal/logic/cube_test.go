@@ -1,0 +1,217 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func cube(t *testing.T, s string) Cube {
+	t.Helper()
+	c, err := ParseCube(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestParseString(t *testing.T) {
+	c := cube(t, "01-1")
+	if c.String() != "01-1" {
+		t.Fatalf("got %s", c)
+	}
+	if _, err := ParseCube("01x"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestContains(t *testing.T) {
+	a := cube(t, "1--")
+	b := cube(t, "10-")
+	if !a.Contains(b) || b.Contains(a) {
+		t.Fatal("containment wrong")
+	}
+	if !a.Contains(a) {
+		t.Fatal("not reflexive")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := cube(t, "1-0")
+	b := cube(t, "-10")
+	x := a.Intersect(b)
+	if x.String() != "110" {
+		t.Fatalf("got %s", x)
+	}
+	c := cube(t, "0--")
+	if a.Intersect(c) != nil || a.Intersects(c) {
+		t.Fatal("should be disjoint")
+	}
+}
+
+func TestSupercube(t *testing.T) {
+	a := cube(t, "101")
+	b := cube(t, "111")
+	if got := a.Supercube(b).String(); got != "1-1" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestPointOps(t *testing.T) {
+	p := Point([]bool{true, false, true})
+	if p.String() != "101" || !p.IsPoint() {
+		t.Fatalf("%s", p)
+	}
+	if !cube(t, "1--").ContainsPoint([]bool{true, false, true}) {
+		t.Fatal("point containment")
+	}
+	if cube(t, "0--").ContainsPoint([]bool{true, false, true}) {
+		t.Fatal("false positive")
+	}
+}
+
+func TestCofactorWith(t *testing.T) {
+	a := cube(t, "1-0")
+	if a.Cofactor(0, Zero) != nil {
+		t.Fatal("contradictory cofactor should be nil")
+	}
+	if got := a.Cofactor(1, One).String(); got != "1-0" {
+		t.Fatalf("got %s", got)
+	}
+	if got := a.With(1, One).String(); got != "110" {
+		t.Fatalf("got %s", got)
+	}
+	if a.With(0, Zero) != nil {
+		t.Fatal("contradictory With should be nil")
+	}
+}
+
+func TestCoverContainsCube(t *testing.T) {
+	cv := Cover{cube(t, "0--"), cube(t, "1-1"), cube(t, "11-")}
+	if !cv.ContainsCube(cube(t, "0-1")) {
+		t.Fatal("direct containment missed")
+	}
+	// 1-- is covered by 1-1 union 11- plus? points: 100 missing.
+	if cv.ContainsCube(cube(t, "1--")) {
+		t.Fatal("100 is not covered")
+	}
+	// Split containment: -11 is in 0-- for x=0, 1-1 for x=1.
+	if !cv.ContainsCube(cube(t, "-11")) {
+		t.Fatal("split containment failed")
+	}
+}
+
+func TestCoverMinus(t *testing.T) {
+	cv := Cover{cube(t, "1--")}
+	rem := cv.Minus(cube(t, "---"))
+	// Remainder must be exactly the 0-- half.
+	if len(rem) != 1 || rem[0].String() != "0--" {
+		t.Fatalf("got %v", rem)
+	}
+	if out := (Cover{cube(t, "---")}).Minus(cube(t, "01-")); out != nil {
+		t.Fatalf("expected empty remainder, got %v", out)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	cv := Cover{cube(t, "1-1"), cube(t, "111"), cube(t, "1-1"), cube(t, "0--")}
+	out := cv.Dedup()
+	if len(out) != 2 {
+		t.Fatalf("got %v", out)
+	}
+}
+
+func TestEval(t *testing.T) {
+	cv := Cover{cube(t, "1-"), cube(t, "-1")}
+	cases := []struct {
+		bits []bool
+		want bool
+	}{
+		{[]bool{false, false}, false},
+		{[]bool{true, false}, true},
+		{[]bool{false, true}, true},
+		{[]bool{true, true}, true},
+	}
+	for _, c := range cases {
+		if cv.Eval(c.bits) != c.want {
+			t.Fatalf("Eval(%v) != %v", c.bits, c.want)
+		}
+	}
+}
+
+// Property: Minus and ContainsCube agree, and Intersect is the greatest
+// lower bound.
+func TestQuickCubeAlgebra(t *testing.T) {
+	gen := func(seed uint64, n int) Cube {
+		c := make(Cube, n)
+		for i := range c {
+			c[i] = Lit(seed % 3)
+			seed /= 3
+		}
+		return c
+	}
+	f := func(sa, sb uint64) bool {
+		const n = 5
+		a, b := gen(sa, n), gen(sb, n)
+		inter := a.Intersect(b)
+		if (inter != nil) != a.Intersects(b) {
+			return false
+		}
+		if inter != nil {
+			if !a.Contains(inter) || !b.Contains(inter) {
+				return false
+			}
+		}
+		sup := a.Supercube(b)
+		if !sup.Contains(a) || !sup.Contains(b) {
+			return false
+		}
+		// Minus: b covers a iff a minus {b} is empty.
+		rem := (Cover{b}).Minus(a)
+		if (rem == nil) != b.Contains(a) {
+			return false
+		}
+		// ContainsCube on a singleton cover agrees with Contains.
+		if (Cover{b}).ContainsCube(a) != b.Contains(a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for all minterms, membership in (cover minus cube) matches
+// set semantics.
+func TestQuickMinusSemantics(t *testing.T) {
+	gen := func(seed uint64, n int) Cube {
+		c := make(Cube, n)
+		for i := range c {
+			c[i] = Lit(seed % 3)
+			seed /= 3
+		}
+		return c
+	}
+	f := func(sa, sb, sc uint64) bool {
+		const n = 4
+		target := gen(sa, n)
+		cv := Cover{gen(sb, n), gen(sc, n)}
+		rem := cv.Minus(target)
+		for m := 0; m < 1<<n; m++ {
+			bits := make([]bool, n)
+			for i := range bits {
+				bits[i] = m&(1<<i) != 0
+			}
+			inTarget := target.ContainsPoint(bits)
+			inCover := cv.Eval(bits)
+			inRem := Cover(rem).Eval(bits)
+			if inRem != (inTarget && !inCover) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+package minimalist
+
+import (
+	"testing"
+
+	"balsabm/internal/bm"
+)
+
+// A hand-written spec containing an unrolled cycle: states 0/2 and 1/3
+// are pairwise bisimilar (same entry values, same arc structure), so
+// the machine must collapse to its two-state core.
+const redundantBMS = `
+name redundant
+input i 0
+output o 0
+0 1 i+ | o+
+1 2 i- | o-
+2 3 i+ | o+
+3 0 i- | o-
+`
+
+func TestMinimizeMergesUnrolledCycle(t *testing.T) {
+	sp, err := bm.Parse(redundantBMS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Check(); err != nil {
+		t.Fatal(err)
+	}
+	min, err := MinimizeStates(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.NStates != 2 || len(min.Arcs) != 2 {
+		t.Fatalf("got %d states / %d arcs, want 2/2:\n%s", min.NStates, len(min.Arcs), min)
+	}
+	if err := min.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// States entered with different signal values never merge, even when
+// their local arc labels look alike (the call component's two branches
+// keep distinct pending requests).
+func TestMinimizePreservesDistinguishedBranches(t *testing.T) {
+	sp, err := bm.Parse(`name call
+input a1_r 0
+input a2_r 0
+input b_a 0
+output b_r 0
+output a1_a 0
+output a2_a 0
+0 1 a1_r+ | b_r+
+1 2 b_a+ | b_r-
+2 3 b_a- | a1_a+
+3 0 a1_r- | a1_a-
+0 4 a2_r+ | b_r+
+4 5 b_a+ | b_r-
+5 6 b_a- | a2_a+
+6 0 a2_r- | a2_a-
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := MinimizeStates(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.NStates != sp.NStates {
+		t.Fatalf("branches merged illegally: %d -> %d states", sp.NStates, min.NStates)
+	}
+}
+
+// Specifications without bisimilar states are untouched.
+func TestMinimizeIsIdentityOnMinimalSpecs(t *testing.T) {
+	sp, err := bm.Parse(`name seq
+input P_r 0
+input A_a 0
+output P_a 0
+output A_r 0
+0 1 P_r+ | A_r+
+1 2 A_a+ | A_r-
+2 3 A_a- | P_a+
+3 0 P_r- | P_a-
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := MinimizeStates(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.NStates != sp.NStates || len(min.Arcs) != len(sp.Arcs) {
+		t.Fatalf("minimal spec changed: %d states -> %d", sp.NStates, min.NStates)
+	}
+}
+
+// Minimized specs synthesize and walk like the originals.
+func TestMinimizeThenSynthesize(t *testing.T) {
+	sp, err := bm.Parse(redundantBMS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := MinimizeStates(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := Synthesize(min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walk(t, min, ctrl, 60, 9)
+	// The minimized machine should not need more logic than the
+	// original.
+	orig, err := Synthesize(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.Products() > orig.Products() {
+		t.Errorf("minimization increased products: %d > %d", ctrl.Products(), orig.Products())
+	}
+}

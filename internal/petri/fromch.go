@@ -1,0 +1,133 @@
+package petri
+
+import (
+	"fmt"
+
+	"balsabm/internal/ch"
+)
+
+// FromCH translates a CH program's flattened four-phase expansion into
+// a labelled Petri net — the mechanized version of the paper's manual
+// CH-to-Petri-net translation in Section 4.3.
+//
+// Semantics: transitions follow the expansion order. Runs of
+// consecutive input transitions are made concurrent (the environment
+// may deliver them in any order), while output transitions keep their
+// specified order. rep loops become back edges; break splices control
+// past the innermost loop; mutex/mux choices become free-choice
+// conflicts.
+func FromCH(name string, items []ch.Item) (*Net, error) {
+	n := &Net{Name: name}
+	start := n.AddPlace()
+	n.Initial = []int{start}
+	b := &chBuilder{net: n, labels: map[string]int{}}
+	if err := b.walk(items, start); err != nil {
+		return nil, fmt.Errorf("petri: %s: %w", name, err)
+	}
+	return n, nil
+}
+
+// FromProgram expands and translates a CH program.
+func FromProgram(p *ch.Program) (*Net, error) {
+	x, err := ch.Expand(p.Body)
+	if err != nil {
+		return nil, err
+	}
+	return FromCH(p.Name, x.Flatten())
+}
+
+type chBuilder struct {
+	net    *Net
+	labels map[string]int // label name -> place
+}
+
+func label(t ch.Trans) string {
+	edge := "-"
+	if t.Rise {
+		edge = "+"
+	}
+	return t.Signal + edge
+}
+
+func (b *chBuilder) walk(items []ch.Item, cur int) error {
+	for i := 0; i < len(items); i++ {
+		switch it := items[i].(type) {
+		case ch.Trans:
+			if it.Dir == ch.In {
+				// Collect the maximal run of consecutive inputs.
+				j := i
+				var run []ch.Trans
+				for ; j < len(items); j++ {
+					t, ok := items[j].(ch.Trans)
+					if !ok || t.Dir != ch.In {
+						break
+					}
+					run = append(run, t)
+				}
+				i = j - 1
+				if len(run) == 1 {
+					next := b.net.AddPlace()
+					b.net.AddTransition(label(run[0]), []int{cur}, []int{next})
+					cur = next
+					continue
+				}
+				// Fork, fire each input independently, join.
+				var waits, dones []int
+				for range run {
+					waits = append(waits, b.net.AddPlace())
+					dones = append(dones, b.net.AddPlace())
+				}
+				b.net.AddTransition("", []int{cur}, waits)
+				for k, t := range run {
+					b.net.AddTransition(label(t), []int{waits[k]}, []int{dones[k]})
+				}
+				next := b.net.AddPlace()
+				b.net.AddTransition("", dones, []int{next})
+				cur = next
+				continue
+			}
+			next := b.net.AddPlace()
+			b.net.AddTransition(label(it), []int{cur}, []int{next})
+			cur = next
+		case ch.Label:
+			if bound, ok := b.labels[it.Name]; ok {
+				b.net.AddTransition("", []int{cur}, []int{bound})
+				cur = bound
+				continue
+			}
+			b.labels[it.Name] = cur
+		case ch.Goto:
+			bound, ok := b.labels[it.Name]
+			if !ok {
+				return fmt.Errorf("goto to unbound label %s", it.Name)
+			}
+			b.net.AddTransition("", []int{cur}, []int{bound})
+			return nil // rest of this path is unreachable
+		case ch.BGoto:
+			j := i + 1
+			for ; j < len(items); j++ {
+				if l, ok := items[j].(ch.Label); ok && l.Name == it.Name {
+					break
+				}
+			}
+			if j == len(items) {
+				return fmt.Errorf("bgoto to label %s not found downstream", it.Name)
+			}
+			i = j
+		case ch.Choice:
+			rest := items[i+1:]
+			for bi, branch := range it.Branches {
+				seq := make([]ch.Item, 0, len(branch)+len(rest))
+				seq = append(seq, branch...)
+				seq = append(seq, rest...)
+				if err := b.walk(seq, cur); err != nil {
+					return fmt.Errorf("choice branch %d: %w", bi+1, err)
+				}
+			}
+			return nil
+		default:
+			return fmt.Errorf("unknown item %T", it)
+		}
+	}
+	return nil
+}

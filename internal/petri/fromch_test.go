@@ -1,0 +1,147 @@
+package petri
+
+import (
+	"testing"
+
+	"balsabm/internal/ch"
+)
+
+func netOf(t *testing.T, src string) (*Net, *Graph) {
+	t.Helper()
+	body, err := ch.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := FromProgram(&ch.Program{Name: "t", Body: body})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := n.Reachability(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, g
+}
+
+// labels reachable from the start, following silent closure.
+func enabledLabels(g *Graph, from int) map[string]int {
+	out := map[string]int{}
+	seen := map[int]bool{}
+	stack := []int{from}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		for _, e := range g.Edges {
+			if e.From != s {
+				continue
+			}
+			if e.Label == "" {
+				stack = append(stack, e.To)
+			} else {
+				out[e.Label] = e.To
+			}
+		}
+	}
+	return out
+}
+
+func TestFromCHSequence(t *testing.T) {
+	_, g := netOf(t, `(rep (enc-early (p-to-p passive P) (p-to-p active A)))`)
+	en := enabledLabels(g, g.Start)
+	if _, ok := en["P_r+"]; !ok || len(en) != 1 {
+		t.Fatalf("initially enabled: %v", en)
+	}
+	s := en["P_r+"]
+	en = enabledLabels(g, s)
+	if _, ok := en["A_r+"]; !ok {
+		t.Fatalf("after P_r+: %v", en)
+	}
+}
+
+// Loops produce finite reachability graphs with a back edge.
+func TestFromCHLoopIsFinite(t *testing.T) {
+	_, g := netOf(t, `(rep (enc-early (p-to-p passive P)
+	    (seq (p-to-p active A) (p-to-p active B))))`)
+	if g.States == 0 || g.States > 64 {
+		t.Fatalf("suspicious state count %d", g.States)
+	}
+}
+
+// Choice: both branches are enabled from the choice point; taking one
+// disables the other.
+func TestFromCHChoice(t *testing.T) {
+	_, g := netOf(t, `(rep (mutex
+	    (enc-early (p-to-p passive A1) (p-to-p active B))
+	    (enc-early (p-to-p passive A2) (p-to-p active B))))`)
+	en := enabledLabels(g, g.Start)
+	if _, ok := en["A1_r+"]; !ok {
+		t.Fatalf("A1_r+ not enabled: %v", en)
+	}
+	if _, ok := en["A2_r+"]; !ok {
+		t.Fatalf("A2_r+ not enabled: %v", en)
+	}
+	after1 := enabledLabels(g, en["A1_r+"])
+	if _, ok := after1["A2_r+"]; ok {
+		t.Fatal("branches not mutually exclusive")
+	}
+}
+
+// Concurrent input runs: both orders of a two-signal input burst exist.
+func TestFromCHConcurrentInputs(t *testing.T) {
+	_, g := netOf(t, `(rep (enc-middle (p-to-p passive A) (p-to-p passive B)))`)
+	en := enabledLabels(g, g.Start)
+	if len(en) != 2 {
+		t.Fatalf("want both request orders: %v", en)
+	}
+	afterA := enabledLabels(g, en["A_r+"])
+	if _, ok := afterA["B_r+"]; !ok {
+		t.Fatalf("B_r+ not enabled after A_r+: %v", afterA)
+	}
+}
+
+// Outputs stay ordered (the expansion's order is preserved).
+func TestFromCHOrderedOutputs(t *testing.T) {
+	_, g := netOf(t, `(rep (enc-early (p-to-p passive P)
+	    (enc-middle (p-to-p active A) (p-to-p active B))))`)
+	// After P_r+, the expansion emits A_r+ then B_r+ in order.
+	en := enabledLabels(g, enabledLabels(g, g.Start)["P_r+"])
+	if _, ok := en["A_r+"]; !ok {
+		t.Fatalf("A_r+ not enabled: %v", en)
+	}
+	if _, ok := en["B_r+"]; ok {
+		t.Fatalf("B_r+ enabled before A_r+: %v", en)
+	}
+}
+
+// break splices past the loop: the guard's exit arm leads to the
+// activation acknowledge.
+func TestFromCHBreak(t *testing.T) {
+	_, g := netOf(t, `(rep (enc-early (p-to-p passive go)
+	    (rep (mux-ack q
+	       (enc-early (p-to-p active body))
+	       (seq (break))))))`)
+	found := false
+	for _, e := range g.Edges {
+		if e.Label == "go_a+" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("activation acknowledge unreachable after break")
+	}
+}
+
+func TestFromCHErrors(t *testing.T) {
+	// bgoto without a downstream label cannot arise from Expand, but
+	// FromCH must reject malformed item streams defensively.
+	if _, err := FromCH("bad", []ch.Item{ch.BGoto{Name: "nowhere"}}); err == nil {
+		t.Fatal("dangling bgoto accepted")
+	}
+	if _, err := FromCH("bad2", []ch.Item{ch.Goto{Name: "nowhere"}}); err == nil {
+		t.Fatal("dangling goto accepted")
+	}
+}

@@ -1,0 +1,200 @@
+// Package petri implements 1-safe labelled Petri nets and their
+// reachability graphs. In the paper's Section 4.3, CH programs are
+// (manually) translated into Petri nets, which the trace-theory
+// verifier AVER turns into trace structures; this package mechanizes
+// that step. Nets are built from Burst-Mode specifications: the
+// fork/join structure of a net is what gives input and output bursts
+// their any-order interleaving semantics.
+package petri
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"balsabm/internal/bm"
+)
+
+// Transition is a labelled Petri net transition. A transition with an
+// empty Label is silent (an internal fork/join step).
+type Transition struct {
+	Label string // signal edge, e.g. "a_r+"; "" = silent
+	Pre   []int  // places consumed
+	Post  []int  // places produced
+}
+
+// Net is a 1-safe labelled Petri net.
+type Net struct {
+	Name        string
+	Places      int
+	Transitions []Transition
+	Initial     []int // initially marked places
+}
+
+// AddPlace creates a new place and returns its index.
+func (n *Net) AddPlace() int {
+	n.Places++
+	return n.Places - 1
+}
+
+// AddTransition appends a transition.
+func (n *Net) AddTransition(label string, pre, post []int) {
+	n.Transitions = append(n.Transitions, Transition{Label: label, Pre: pre, Post: post})
+}
+
+// sigLabel renders a burst edge as a transition label.
+func sigLabel(s bm.Sig) string { return s.String() }
+
+// FromBM translates a Burst-Mode specification into a 1-safe Petri net.
+// Each specification state becomes a place. Each arc becomes a
+// fork/join structure: a silent fork produces one waiting place per
+// input edge; each input edge fires independently (any order); a silent
+// join collects them and forks into one place per output edge; the
+// outputs fire independently; a final silent join produces the target
+// state's place. Arcs without outputs join directly into the target.
+func FromBM(sp *bm.Spec) *Net {
+	n := &Net{Name: sp.Name}
+	statePlace := make([]int, sp.NStates)
+	for i := range statePlace {
+		statePlace[i] = n.AddPlace()
+	}
+	n.Initial = []int{statePlace[sp.Start]}
+	for _, a := range sp.Arcs {
+		// Input burst: fork, fire each edge, join.
+		var waitIn, doneIn []int
+		for range a.In {
+			waitIn = append(waitIn, n.AddPlace())
+			doneIn = append(doneIn, n.AddPlace())
+		}
+		n.AddTransition("", []int{statePlace[a.From]}, waitIn)
+		for i, s := range a.In {
+			n.AddTransition(sigLabel(s), []int{waitIn[i]}, []int{doneIn[i]})
+		}
+		if len(a.Out) == 0 {
+			n.AddTransition("", doneIn, []int{statePlace[a.To]})
+			continue
+		}
+		var waitOut, doneOut []int
+		for range a.Out {
+			waitOut = append(waitOut, n.AddPlace())
+			doneOut = append(doneOut, n.AddPlace())
+		}
+		n.AddTransition("", doneIn, waitOut)
+		for i, s := range a.Out {
+			n.AddTransition(sigLabel(s), []int{waitOut[i]}, []int{doneOut[i]})
+		}
+		n.AddTransition("", doneOut, []int{statePlace[a.To]})
+	}
+	return n
+}
+
+// Marking is a set of marked places, canonically sorted.
+type Marking []int
+
+func (m Marking) key() string {
+	parts := make([]string, len(m))
+	for i, p := range m {
+		parts[i] = fmt.Sprint(p)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (m Marking) has(p int) bool {
+	for _, x := range m {
+		if x == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Edge is a labelled edge of a reachability graph.
+type Edge struct {
+	From, To int
+	Label    string // "" = silent
+}
+
+// Graph is the reachability graph of a net: an automaton whose states
+// are reachable markings.
+type Graph struct {
+	Name   string
+	States int
+	Start  int
+	Edges  []Edge
+}
+
+// enabled reports whether t can fire under m.
+func enabled(m Marking, t Transition) bool {
+	for _, p := range t.Pre {
+		if !m.has(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// fire computes the successor marking (assumes enabled; 1-safety is
+// checked by the caller).
+func fire(m Marking, t Transition) (Marking, error) {
+	out := make(Marking, 0, len(m)+len(t.Post))
+	consumed := map[int]bool{}
+	for _, p := range t.Pre {
+		consumed[p] = true
+	}
+	for _, p := range m {
+		if !consumed[p] {
+			out = append(out, p)
+		}
+	}
+	for _, p := range t.Post {
+		if out.has(p) {
+			return nil, fmt.Errorf("petri: transition %q violates 1-safety at place %d", t.Label, p)
+		}
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Reachability explores the net's state space, returning its
+// reachability graph. An error is returned if the net is not 1-safe or
+// if the state space exceeds limit markings (0 means a default of 1e6).
+func (n *Net) Reachability(limit int) (*Graph, error) {
+	if limit <= 0 {
+		limit = 1_000_000
+	}
+	g := &Graph{Name: n.Name}
+	index := map[string]int{}
+	var markings []Marking
+	intern := func(m Marking) int {
+		k := m.key()
+		if i, ok := index[k]; ok {
+			return i
+		}
+		i := len(markings)
+		index[k] = i
+		markings = append(markings, m)
+		return i
+	}
+	init := append(Marking{}, n.Initial...)
+	sort.Ints(init)
+	g.Start = intern(init)
+	for i := 0; i < len(markings); i++ {
+		if len(markings) > limit {
+			return nil, fmt.Errorf("petri: state space exceeds %d markings", limit)
+		}
+		m := markings[i]
+		for _, t := range n.Transitions {
+			if !enabled(m, t) {
+				continue
+			}
+			next, err := fire(m, t)
+			if err != nil {
+				return nil, err
+			}
+			g.Edges = append(g.Edges, Edge{From: i, To: intern(next), Label: t.Label})
+		}
+	}
+	g.States = len(markings)
+	return g, nil
+}

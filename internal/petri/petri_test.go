@@ -1,0 +1,134 @@
+package petri
+
+import (
+	"testing"
+
+	"balsabm/internal/bm"
+)
+
+func passivatorSpec(t *testing.T) *bm.Spec {
+	t.Helper()
+	sp, err := bm.Parse(`name passivator
+input a_r 0
+input b_r 0
+output a_a 0
+output b_a 0
+0 1 a_r+ b_r+ | a_a+ b_a+
+1 0 a_r- b_r- | a_a- b_a-
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestFromBMStructure(t *testing.T) {
+	sp := passivatorSpec(t)
+	n := FromBM(sp)
+	// 2 state places + per arc: 2 in-wait + 2 in-done + 2 out-wait +
+	// 2 out-done = 8 places; 2 arcs -> 18 places total.
+	if n.Places != 18 {
+		t.Fatalf("got %d places", n.Places)
+	}
+	// Per arc: fork + 2 inputs + join/fork + 2 outputs + join = 7.
+	if len(n.Transitions) != 14 {
+		t.Fatalf("got %d transitions", len(n.Transitions))
+	}
+	if len(n.Initial) != 1 {
+		t.Fatalf("initial %v", n.Initial)
+	}
+}
+
+func TestReachabilityInterleavings(t *testing.T) {
+	sp := passivatorSpec(t)
+	g, err := FromBM(sp).Reachability(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two inputs of a burst must be allowed in either order: the
+	// graph must contain both a_r+ then b_r+ and b_r+ then a_r+.
+	next := func(s int, label string) (int, bool) {
+		// follow silent edges then the labelled one
+		seen := map[int]bool{}
+		var stack = []int{s}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[u] {
+				continue
+			}
+			seen[u] = true
+			for _, e := range g.Edges {
+				if e.From != u {
+					continue
+				}
+				if e.Label == label {
+					return e.To, true
+				}
+				if e.Label == "" {
+					stack = append(stack, e.To)
+				}
+			}
+		}
+		return 0, false
+	}
+	s1, ok := next(g.Start, "a_r+")
+	if !ok {
+		t.Fatal("a_r+ not enabled initially")
+	}
+	if _, ok := next(s1, "b_r+"); !ok {
+		t.Fatal("b_r+ not enabled after a_r+")
+	}
+	s2, ok := next(g.Start, "b_r+")
+	if !ok {
+		t.Fatal("b_r+ not enabled initially")
+	}
+	if _, ok := next(s2, "a_r+"); !ok {
+		t.Fatal("a_r+ not enabled after b_r+")
+	}
+	// Outputs must not fire before the input burst completes.
+	if _, ok := next(s1, "a_a+"); ok {
+		t.Fatal("output fired before input burst complete")
+	}
+}
+
+func TestReachabilityLimit(t *testing.T) {
+	sp := passivatorSpec(t)
+	if _, err := FromBM(sp).Reachability(2); err == nil {
+		t.Fatal("expected limit error")
+	}
+}
+
+func TestOneSafetyViolation(t *testing.T) {
+	n := &Net{}
+	p0 := n.AddPlace()
+	p1 := n.AddPlace()
+	n.Initial = []int{p0, p1}
+	// Transition produces into an already-marked place.
+	n.AddTransition("x+", []int{p0}, []int{p1})
+	if _, err := n.Reachability(0); err == nil {
+		t.Fatal("expected 1-safety error")
+	}
+}
+
+func TestEmptyOutputBurstArc(t *testing.T) {
+	sp, err := bm.Parse(`name x
+input a 0
+input b 0
+output y 0
+0 1 a+ |
+1 0 b+ a- | y+
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (Not a valid BM loop — y never falls — but the net construction
+	// and reachability must still work mechanically.)
+	g, gerr := FromBM(sp).Reachability(0)
+	if gerr != nil {
+		t.Fatal(gerr)
+	}
+	if g.States == 0 {
+		t.Fatal("no states")
+	}
+}

@@ -1,0 +1,322 @@
+// Package sexp implements a small s-expression reader and printer.
+//
+// S-expressions are the concrete syntax of the CH control specification
+// language (see package ch) and of several on-disk formats used by the
+// back-end (.bms burst-mode files, cell library descriptions). The
+// dialect is deliberately tiny: atoms are symbols, integers or quoted
+// strings; lists are parenthesized; ';' starts a comment to end of line.
+package sexp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Node is an s-expression node: either an Atom or a List.
+type Node interface {
+	fmt.Stringer
+	sexpNode()
+}
+
+// Atom is a leaf node. Text holds the literal spelling; for string
+// literals Text is the unquoted contents and Quoted is true.
+type Atom struct {
+	Text   string
+	Quoted bool
+	Line   int
+	Col    int
+}
+
+// List is a parenthesized sequence of nodes.
+type List struct {
+	Items []Node
+	Line  int
+	Col   int
+}
+
+func (Atom) sexpNode() {}
+func (List) sexpNode() {}
+
+// String renders the atom in re-readable form. String literals use only
+// the escapes the reader understands (\\, \", \n, \t); all other bytes
+// pass through verbatim.
+func (a Atom) String() string {
+	if !a.Quoted {
+		return a.Text
+	}
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(a.Text); i++ {
+		switch c := a.Text[i]; c {
+		case '\\', '"':
+			sb.WriteByte('\\')
+			sb.WriteByte(c)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+// String renders the list in re-readable form.
+func (l List) String() string {
+	parts := make([]string, len(l.Items))
+	for i, it := range l.Items {
+		parts[i] = it.String()
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}
+
+// Len returns the number of items in the list.
+func (l List) Len() int { return len(l.Items) }
+
+// Head returns the leading symbol of the list, or "" if the list is
+// empty or does not start with an atom.
+func (l List) Head() string {
+	if len(l.Items) == 0 {
+		return ""
+	}
+	if a, ok := l.Items[0].(Atom); ok && !a.Quoted {
+		return a.Text
+	}
+	return ""
+}
+
+// Int parses the atom as a decimal integer.
+func (a Atom) Int() (int, error) {
+	n, err := strconv.Atoi(a.Text)
+	if err != nil {
+		return 0, fmt.Errorf("sexp: %d:%d: %q is not an integer", a.Line, a.Col, a.Text)
+	}
+	return n, nil
+}
+
+// A SyntaxError reports a malformed s-expression with its position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sexp: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type scanner struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func (s *scanner) errorf(format string, args ...any) *SyntaxError {
+	return &SyntaxError{Line: s.line, Col: s.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (s *scanner) peek() (byte, bool) {
+	if s.pos >= len(s.src) {
+		return 0, false
+	}
+	return s.src[s.pos], true
+}
+
+func (s *scanner) advance() byte {
+	c := s.src[s.pos]
+	s.pos++
+	if c == '\n' {
+		s.line++
+		s.col = 1
+	} else {
+		s.col++
+	}
+	return c
+}
+
+func (s *scanner) skipSpace() {
+	for {
+		c, ok := s.peek()
+		if !ok {
+			return
+		}
+		switch {
+		case c == ';':
+			for {
+				c, ok := s.peek()
+				if !ok || c == '\n' {
+					break
+				}
+				s.advance()
+			}
+		case unicode.IsSpace(rune(c)):
+			s.advance()
+		default:
+			return
+		}
+	}
+}
+
+func isAtomChar(c byte) bool {
+	switch c {
+	case '(', ')', ';', '"':
+		return false
+	}
+	return !unicode.IsSpace(rune(c))
+}
+
+func (s *scanner) readNode() (Node, error) {
+	s.skipSpace()
+	c, ok := s.peek()
+	if !ok {
+		return nil, s.errorf("unexpected end of input")
+	}
+	switch {
+	case c == '(':
+		line, col := s.line, s.col
+		s.advance()
+		var items []Node
+		for {
+			s.skipSpace()
+			c, ok := s.peek()
+			if !ok {
+				return nil, s.errorf("unterminated list opened at %d:%d", line, col)
+			}
+			if c == ')' {
+				s.advance()
+				return List{Items: items, Line: line, Col: col}, nil
+			}
+			n, err := s.readNode()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, n)
+		}
+	case c == ')':
+		return nil, s.errorf("unexpected ')'")
+	case c == '"':
+		line, col := s.line, s.col
+		s.advance()
+		var sb strings.Builder
+		for {
+			c, ok := s.peek()
+			if !ok {
+				return nil, s.errorf("unterminated string opened at %d:%d", line, col)
+			}
+			s.advance()
+			if c == '"' {
+				return Atom{Text: sb.String(), Quoted: true, Line: line, Col: col}, nil
+			}
+			if c == '\\' {
+				e, ok := s.peek()
+				if !ok {
+					return nil, s.errorf("unterminated escape in string")
+				}
+				s.advance()
+				switch e {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '\\', '"':
+					sb.WriteByte(e)
+				default:
+					return nil, s.errorf("unknown escape \\%c", e)
+				}
+				continue
+			}
+			sb.WriteByte(c)
+		}
+	default:
+		line, col := s.line, s.col
+		var sb strings.Builder
+		for {
+			c, ok := s.peek()
+			if !ok || !isAtomChar(c) {
+				break
+			}
+			sb.WriteByte(s.advance())
+		}
+		if sb.Len() == 0 {
+			return nil, s.errorf("unexpected character %q", c)
+		}
+		return Atom{Text: sb.String(), Line: line, Col: col}, nil
+	}
+}
+
+// Parse reads a single s-expression from src, requiring that nothing but
+// whitespace and comments follow it.
+func Parse(src string) (Node, error) {
+	s := &scanner{src: src, line: 1, col: 1}
+	n, err := s.readNode()
+	if err != nil {
+		return nil, err
+	}
+	s.skipSpace()
+	if s.pos < len(s.src) {
+		return nil, s.errorf("trailing input after expression")
+	}
+	return n, nil
+}
+
+// ParseAll reads every s-expression in src.
+func ParseAll(src string) ([]Node, error) {
+	s := &scanner{src: src, line: 1, col: 1}
+	var nodes []Node
+	for {
+		s.skipSpace()
+		if s.pos >= len(s.src) {
+			return nodes, nil
+		}
+		n, err := s.readNode()
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, n)
+	}
+}
+
+// Sym constructs an unquoted atom.
+func Sym(text string) Atom { return Atom{Text: text} }
+
+// Str constructs a quoted string atom.
+func Str(text string) Atom { return Atom{Text: text, Quoted: true} }
+
+// Num constructs an integer atom.
+func Num(n int) Atom { return Atom{Text: strconv.Itoa(n)} }
+
+// L constructs a list from the given nodes.
+func L(items ...Node) List { return List{Items: items} }
+
+// Pretty renders a node with indentation: lists whose flat rendering
+// exceeds width are broken one item per line.
+func Pretty(n Node, width int) string {
+	var sb strings.Builder
+	pretty(&sb, n, 0, width)
+	return sb.String()
+}
+
+func pretty(sb *strings.Builder, n Node, indent, width int) {
+	flat := n.String()
+	if len(flat)+indent <= width {
+		sb.WriteString(flat)
+		return
+	}
+	l, ok := n.(List)
+	if !ok || len(l.Items) == 0 {
+		sb.WriteString(flat)
+		return
+	}
+	sb.WriteByte('(')
+	pretty(sb, l.Items[0], indent+1, width)
+	for _, it := range l.Items[1:] {
+		sb.WriteByte('\n')
+		sb.WriteString(strings.Repeat(" ", indent+2))
+		pretty(sb, it, indent+2, width)
+	}
+	sb.WriteByte(')')
+}

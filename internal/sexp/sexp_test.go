@@ -1,0 +1,201 @@
+package sexp
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAtom(t *testing.T) {
+	n, err := Parse("hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := n.(Atom)
+	if !ok || a.Text != "hello" || a.Quoted {
+		t.Fatalf("got %#v", n)
+	}
+}
+
+func TestParseList(t *testing.T) {
+	n, err := Parse("(seq (p-to-p active a) (p-to-p passive b))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, ok := n.(List)
+	if !ok {
+		t.Fatalf("not a list: %#v", n)
+	}
+	if l.Head() != "seq" || l.Len() != 3 {
+		t.Fatalf("head=%q len=%d", l.Head(), l.Len())
+	}
+	inner := l.Items[1].(List)
+	if inner.Head() != "p-to-p" {
+		t.Fatalf("inner head %q", inner.Head())
+	}
+}
+
+func TestParseString(t *testing.T) {
+	n, err := Parse(`"a \"quoted\"\n string"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := n.(Atom)
+	if !a.Quoted || a.Text != "a \"quoted\"\n string" {
+		t.Fatalf("got %#v", a)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	n, err := Parse("; leading comment\n(a b ; inline\n c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.(List).Len() != 3 {
+		t.Fatalf("got %v", n)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{"", "(", ")", "(a b", `"abc`, "(a) b", `"\q"`} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseAll(t *testing.T) {
+	ns, err := ParseAll("(a) (b c) atom ; done\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 3 {
+		t.Fatalf("got %d nodes", len(ns))
+	}
+}
+
+func TestParseAllEmpty(t *testing.T) {
+	ns, err := ParseAll("  ; only a comment\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 0 {
+		t.Fatalf("got %d nodes", len(ns))
+	}
+}
+
+func TestAtomInt(t *testing.T) {
+	if n, err := (Atom{Text: "42"}).Int(); err != nil || n != 42 {
+		t.Fatalf("got %d, %v", n, err)
+	}
+	if _, err := (Atom{Text: "x"}).Int(); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	n, err := Parse("(a\n  bee)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := n.(List).Items[1].(Atom)
+	if b.Line != 2 || b.Col != 3 {
+		t.Fatalf("bee at %d:%d", b.Line, b.Col)
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	n := L(Sym("mult-req"), Sym("active"), Sym("c"), Num(2))
+	if got := n.String(); got != "(mult-req active c 2)" {
+		t.Fatalf("got %q", got)
+	}
+	if got := Str("hi").String(); got != `"hi"` {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestPretty(t *testing.T) {
+	n := L(Sym("rep"), L(Sym("enc-early"), L(Sym("p-to-p"), Sym("passive"), Sym("P")),
+		L(Sym("seq"), L(Sym("p-to-p"), Sym("active"), Sym("A1")), L(Sym("p-to-p"), Sym("active"), Sym("A2")))))
+	out := Pretty(n, 30)
+	if !strings.Contains(out, "\n") {
+		t.Fatal("expected multi-line output")
+	}
+	back, err := Parse(out)
+	if err != nil {
+		t.Fatalf("pretty output unparseable: %v\n%s", err, out)
+	}
+	if back.String() != n.String() {
+		t.Fatalf("round trip mismatch:\n%s\n%s", back, n)
+	}
+}
+
+// genAtomText restricts generated strings to atom-safe characters.
+func genAtomText(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		if r > ' ' && r < 127 && r != '(' && r != ')' && r != ';' && r != '"' && r != '\\' {
+			sb.WriteRune(r)
+		}
+	}
+	if sb.Len() == 0 {
+		return "x"
+	}
+	return sb.String()
+}
+
+func TestQuickRoundTripAtoms(t *testing.T) {
+	f := func(raw string) bool {
+		text := genAtomText(raw)
+		n, err := Parse(text)
+		if err != nil {
+			return false
+		}
+		return n.String() == text
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRoundTripStrings(t *testing.T) {
+	f := func(s string) bool {
+		// Arbitrary strings must survive quote/parse round trips.
+		src := Str(s).String()
+		n, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		a, ok := n.(Atom)
+		return ok && a.Quoted && a.Text == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRoundTripLists(t *testing.T) {
+	f := func(words []string, depth uint8) bool {
+		n := buildList(words, int(depth)%4)
+		src := n.String()
+		back, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		return back.String() == src
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func buildList(words []string, depth int) Node {
+	items := make([]Node, 0, len(words)+1)
+	for _, w := range words {
+		items = append(items, Sym(genAtomText(w)))
+	}
+	if depth > 0 {
+		items = append(items, buildList(words, depth-1))
+	}
+	return List{Items: items}
+}

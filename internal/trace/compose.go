@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"balsabm/internal/petri"
+)
+
+// ToNFA converts a DFA back to an NFA (for further hiding).
+func (d *DFA) ToNFA() *NFA {
+	n := &NFA{
+		Name:    d.Name,
+		Inputs:  d.Inputs,
+		Outputs: d.Outputs,
+		States:  d.States,
+		Start:   d.Start,
+		Fail:    map[int]bool{},
+	}
+	for i, m := range d.Next {
+		if d.Fail[i] {
+			n.Fail[i] = true
+		}
+		labels := make([]string, 0, len(m))
+		for l := range m {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			n.Edges = append(n.Edges, petri.Edge{From: i, To: m[l], Label: l})
+		}
+	}
+	return n
+}
+
+// HideSignals hides the given signals and re-determinizes.
+func (d *DFA) HideSignals(signals ...string) *DFA {
+	return d.ToNFA().Hide(signals...).Determinize()
+}
+
+// Compose computes the parallel composition of two trace structures.
+// Signals shared between the components must be an output of exactly
+// one and an input of the other; they synchronize, remain outputs of
+// the composite, and are typically hidden afterwards. Computation
+// interference — one component producing an output edge the other is
+// not ready to receive — leads to an absorbing failure state.
+func Compose(a, b *DFA) (*DFA, error) {
+	// Classify signals.
+	for s := range a.Outputs {
+		if b.Outputs[s] {
+			return nil, fmt.Errorf("trace: signal %s is an output of both %s and %s", s, a.Name, b.Name)
+		}
+	}
+	inputs := map[string]bool{}
+	outputs := map[string]bool{}
+	for s := range a.Outputs {
+		outputs[s] = true
+	}
+	for s := range b.Outputs {
+		outputs[s] = true
+	}
+	for s := range a.Inputs {
+		if !outputs[s] {
+			inputs[s] = true
+		}
+	}
+	for s := range b.Inputs {
+		if !outputs[s] {
+			inputs[s] = true
+		}
+	}
+
+	type pair struct{ u, v int }
+	index := map[pair]int{}
+	var pairs []pair
+	out := &DFA{
+		Name:    a.Name + "||" + b.Name,
+		Inputs:  inputs,
+		Outputs: outputs,
+	}
+	intern := func(p pair) int {
+		if i, ok := index[p]; ok {
+			return i
+		}
+		i := len(pairs)
+		index[p] = i
+		pairs = append(pairs, p)
+		out.Next = append(out.Next, map[string]int{})
+		out.Fail = append(out.Fail, false)
+		return i
+	}
+	failState := -1
+	fail := func() int {
+		if failState < 0 {
+			failState = len(pairs)
+			pairs = append(pairs, pair{-1, -1})
+			out.Next = append(out.Next, map[string]int{})
+			out.Fail = append(out.Fail, true)
+		}
+		return failState
+	}
+	out.Start = intern(pair{a.Start, b.Start})
+	for i := 0; i < len(pairs); i++ {
+		p := pairs[i]
+		if p.u < 0 {
+			continue // failure sink
+		}
+		if a.Fail[p.u] || b.Fail[p.v] {
+			out.Fail[i] = true
+			continue
+		}
+		symbols := map[string]bool{}
+		for l := range a.Next[p.u] {
+			symbols[l] = true
+		}
+		for l := range b.Next[p.v] {
+			symbols[l] = true
+		}
+		sorted := make([]string, 0, len(symbols))
+		for l := range symbols {
+			sorted = append(sorted, l)
+		}
+		sort.Strings(sorted)
+		for _, sym := range sorted {
+			sig := SignalOf(sym)
+			nu, okU := a.Next[p.u][sym]
+			nv, okV := b.Next[p.v][sym]
+			knownA := a.Inputs[sig] || a.Outputs[sig]
+			knownB := b.Inputs[sig] || b.Outputs[sig]
+			switch {
+			case a.Outputs[sig] && b.Inputs[sig]:
+				// A drives, B must be ready.
+				if !okU {
+					continue // A does not produce it here
+				}
+				if !okV {
+					out.Next[i][sym] = fail()
+					continue
+				}
+				out.Next[i][sym] = intern(pair{nu, nv})
+			case b.Outputs[sig] && a.Inputs[sig]:
+				if !okV {
+					continue
+				}
+				if !okU {
+					out.Next[i][sym] = fail()
+					continue
+				}
+				out.Next[i][sym] = intern(pair{nu, nv})
+			case knownA && !knownB:
+				if okU {
+					out.Next[i][sym] = intern(pair{nu, p.v})
+				}
+			case knownB && !knownA:
+				if okV {
+					out.Next[i][sym] = intern(pair{p.u, nv})
+				}
+			case a.Inputs[sig] && b.Inputs[sig]:
+				// Broadcast input from the environment: both observe.
+				if okU && okV {
+					out.Next[i][sym] = intern(pair{nu, nv})
+				} else {
+					// One side is not receptive to a possible input.
+					out.Next[i][sym] = fail()
+				}
+			default:
+				return nil, fmt.Errorf("trace: symbol %s (signal %s) not classifiable", sym, sig)
+			}
+		}
+	}
+	out.States = len(pairs)
+	return out, nil
+}
+
+// HasFailure reports whether a failure state is reachable, along with a
+// shortest trace reaching it.
+func (d *DFA) HasFailure() (bool, string) {
+	type item struct {
+		s     int
+		trace string
+	}
+	seen := map[int]bool{d.Start: true}
+	queue := []item{{d.Start, ""}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if d.Fail[it.s] {
+			return true, it.trace
+		}
+		labels := make([]string, 0, len(d.Next[it.s]))
+		for l := range d.Next[it.s] {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			to := d.Next[it.s][l]
+			if !seen[to] {
+				seen[to] = true
+				queue = append(queue, item{to, it.trace + " " + l})
+			}
+		}
+	}
+	return false, ""
+}

@@ -1,0 +1,301 @@
+// Package trace implements a trace-structure verifier in the spirit of
+// Dill's trace theory and the AVER tool used in Section 4.3 of the
+// paper. A component's behavior is a prefix-closed set of traces over
+// its signal edges, represented as a deterministic automaton with a
+// distinguished failure state.
+//
+// The package provides the three operations the paper's verification
+// recipe needs — compose (parallel composition with computation-
+// interference detection), hide (internalizing the signals of an
+// eliminated channel), and conformance/equivalence checking — plus a
+// converter from Petri-net reachability graphs (package petri).
+//
+// Simplification relative to full trace theory: failure sets are
+// modelled only through computation interference (a component receiving
+// an input edge it is not ready for), which is the failure mode the
+// activation-channel-removal proof needs; autofailures and receptive
+// closure are not modelled.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"balsabm/internal/petri"
+)
+
+// NFA is a nondeterministic automaton over signal-edge labels. Empty
+// labels are silent. All states accept (prefix-closed behavior); Fail
+// marks failure states.
+type NFA struct {
+	Name    string
+	Inputs  map[string]bool // signal names, e.g. "a_r"
+	Outputs map[string]bool
+	States  int
+	Start   int
+	Edges   []petri.Edge
+	Fail    map[int]bool
+}
+
+// SignalOf maps a symbol ("a_r+") to its signal name ("a_r").
+func SignalOf(symbol string) string {
+	return strings.TrimRight(symbol, "+-")
+}
+
+// FromGraph wraps a Petri-net reachability graph as an NFA.
+func FromGraph(g *petri.Graph, inputs, outputs []string) *NFA {
+	n := &NFA{
+		Name:    g.Name,
+		Inputs:  map[string]bool{},
+		Outputs: map[string]bool{},
+		States:  g.States,
+		Start:   g.Start,
+		Edges:   append([]petri.Edge(nil), g.Edges...),
+		Fail:    map[int]bool{},
+	}
+	for _, s := range inputs {
+		n.Inputs[s] = true
+	}
+	for _, s := range outputs {
+		n.Outputs[s] = true
+	}
+	return n
+}
+
+// Hide returns a copy of the automaton in which all edges of the given
+// signals are silent, and the signals are removed from the interface.
+func (n *NFA) Hide(signals ...string) *NFA {
+	hidden := map[string]bool{}
+	for _, s := range signals {
+		hidden[s] = true
+	}
+	out := &NFA{
+		Name:    n.Name,
+		Inputs:  map[string]bool{},
+		Outputs: map[string]bool{},
+		States:  n.States,
+		Start:   n.Start,
+		Fail:    map[int]bool{},
+	}
+	for s := range n.Inputs {
+		if !hidden[s] {
+			out.Inputs[s] = true
+		}
+	}
+	for s := range n.Outputs {
+		if !hidden[s] {
+			out.Outputs[s] = true
+		}
+	}
+	for s, f := range n.Fail {
+		out.Fail[s] = f
+	}
+	for _, e := range n.Edges {
+		if e.Label != "" && hidden[SignalOf(e.Label)] {
+			e.Label = ""
+		}
+		out.Edges = append(out.Edges, e)
+	}
+	return out
+}
+
+// DFA is a deterministic trace structure: per-state symbol maps, a
+// single absorbing failure state (index -1 is encoded as Fail[i]).
+type DFA struct {
+	Name    string
+	Inputs  map[string]bool
+	Outputs map[string]bool
+	States  int
+	Start   int
+	Next    []map[string]int
+	Fail    []bool
+}
+
+// Determinize performs the subset construction with epsilon closure.
+func (n *NFA) Determinize() *DFA {
+	adj := make([][]petri.Edge, n.States)
+	for _, e := range n.Edges {
+		adj[e.From] = append(adj[e.From], e)
+	}
+	closure := func(set map[int]bool) map[int]bool {
+		stack := make([]int, 0, len(set))
+		for s := range set {
+			stack = append(stack, s)
+		}
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range adj[s] {
+				if e.Label == "" && !set[e.To] {
+					set[e.To] = true
+					stack = append(stack, e.To)
+				}
+			}
+		}
+		return set
+	}
+	key := func(set map[int]bool) string {
+		ids := make([]int, 0, len(set))
+		for s := range set {
+			ids = append(ids, s)
+		}
+		sort.Ints(ids)
+		parts := make([]string, len(ids))
+		for i, id := range ids {
+			parts[i] = fmt.Sprint(id)
+		}
+		return strings.Join(parts, ",")
+	}
+	d := &DFA{Name: n.Name, Inputs: n.Inputs, Outputs: n.Outputs}
+	index := map[string]int{}
+	var sets []map[int]bool
+	intern := func(set map[int]bool) int {
+		k := key(set)
+		if i, ok := index[k]; ok {
+			return i
+		}
+		i := len(sets)
+		index[k] = i
+		sets = append(sets, set)
+		d.Next = append(d.Next, map[string]int{})
+		fail := false
+		for s := range set {
+			if n.Fail[s] {
+				fail = true
+			}
+		}
+		d.Fail = append(d.Fail, fail)
+		return i
+	}
+	d.Start = intern(closure(map[int]bool{n.Start: true}))
+	for i := 0; i < len(sets); i++ {
+		byLabel := map[string]map[int]bool{}
+		for s := range sets[i] {
+			for _, e := range adj[s] {
+				if e.Label == "" {
+					continue
+				}
+				if byLabel[e.Label] == nil {
+					byLabel[e.Label] = map[int]bool{}
+				}
+				byLabel[e.Label][e.To] = true
+			}
+		}
+		labels := make([]string, 0, len(byLabel))
+		for l := range byLabel {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			d.Next[i][l] = intern(closure(byLabel[l]))
+		}
+	}
+	d.States = len(sets)
+	return d
+}
+
+// symbols returns the sorted set of symbols used anywhere in the DFA.
+func (d *DFA) symbols() []string {
+	set := map[string]bool{}
+	for _, m := range d.Next {
+		for l := range m {
+			set[l] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Equivalent reports whether the two DFAs accept exactly the same
+// prefix-closed languages with matching failure behavior. The check
+// walks the synchronized product; any state where the enabled symbol
+// sets or failure flags differ is a counterexample, returned as the
+// distinguishing trace.
+func Equivalent(a, b *DFA) (bool, string) {
+	type pair struct{ u, v int }
+	seen := map[pair]bool{}
+	type item struct {
+		p     pair
+		trace string
+	}
+	queue := []item{{pair{a.Start, b.Start}, ""}}
+	seen[queue[0].p] = true
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		u, v := it.p.u, it.p.v
+		if a.Fail[u] != b.Fail[v] {
+			return false, strings.TrimSpace(it.trace + " (failure mismatch)")
+		}
+		if a.Fail[u] {
+			continue // both failed; failure is absorbing
+		}
+		labels := map[string]bool{}
+		for l := range a.Next[u] {
+			labels[l] = true
+		}
+		for l := range b.Next[v] {
+			labels[l] = true
+		}
+		sorted := make([]string, 0, len(labels))
+		for l := range labels {
+			sorted = append(sorted, l)
+		}
+		sort.Strings(sorted)
+		for _, l := range sorted {
+			nu, okU := a.Next[u][l]
+			nv, okV := b.Next[v][l]
+			if okU != okV {
+				return false, strings.TrimSpace(it.trace + " " + l)
+			}
+			p := pair{nu, nv}
+			if !seen[p] {
+				seen[p] = true
+				queue = append(queue, item{p, it.trace + " " + l})
+			}
+		}
+	}
+	return true, ""
+}
+
+// Conforms reports whether every trace of impl is a trace of spec
+// (trace containment with failure awareness): impl may not produce a
+// symbol that spec cannot, and impl may not fail where spec does not.
+func Conforms(impl, spec *DFA) (bool, string) {
+	type pair struct{ u, v int }
+	seen := map[pair]bool{}
+	type item struct {
+		p     pair
+		trace string
+	}
+	queue := []item{{pair{impl.Start, spec.Start}, ""}}
+	seen[queue[0].p] = true
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		u, v := it.p.u, it.p.v
+		if impl.Fail[u] && !spec.Fail[v] {
+			return false, strings.TrimSpace(it.trace + " (implementation failure)")
+		}
+		if impl.Fail[u] {
+			continue
+		}
+		for l, nu := range impl.Next[u] {
+			nv, ok := spec.Next[v][l]
+			if !ok {
+				return false, strings.TrimSpace(it.trace + " " + l)
+			}
+			p := pair{nu, nv}
+			if !seen[p] {
+				seen[p] = true
+				queue = append(queue, item{p, it.trace + " " + l})
+			}
+		}
+	}
+	return true, ""
+}

@@ -1,0 +1,202 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"balsabm/internal/bm"
+	"balsabm/internal/petri"
+)
+
+func dfaOf(t *testing.T, bms string) *DFA {
+	t.Helper()
+	sp, err := bm.Parse(bms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := petri.FromBM(sp).Reachability(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromGraph(g, sp.Inputs, sp.Outputs).Determinize()
+}
+
+const bufA = `name bufA
+input a_r 0
+output a_a 0
+output c_r 0
+input c_a 0
+0 1 a_r+ | c_r+
+1 2 c_a+ | c_r-
+2 3 c_a- | a_a+
+3 0 a_r- | a_a-
+`
+
+const bufB = `name bufB
+input c_r 0
+output c_a 0
+output d_r 0
+input d_a 0
+0 1 c_r+ | d_r+
+1 2 d_a+ | d_r-
+2 3 d_a- | c_a+
+3 0 c_r- | c_a-
+`
+
+// The direct (merged) behavior: a encloses d.
+const merged = `name merged
+input a_r 0
+output a_a 0
+output d_r 0
+input d_a 0
+0 1 a_r+ | d_r+
+1 2 d_a+ | d_r-
+2 3 d_a- | a_a+
+3 0 a_r- | a_a-
+`
+
+func TestComposeHideEquivalent(t *testing.T) {
+	da, db := dfaOf(t, bufA), dfaOf(t, bufB)
+	comp, err := Compose(da, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad, tr := comp.HasFailure(); bad {
+		t.Fatalf("unexpected interference after %q", tr)
+	}
+	hidden := comp.HideSignals("c_r", "c_a")
+	dm := dfaOf(t, merged)
+	if ok, tr := Equivalent(hidden, dm); !ok {
+		t.Fatalf("not equivalent, differ after %q", tr)
+	}
+	if ok, _ := Conforms(hidden, dm); !ok {
+		t.Fatal("hidden does not conform to merged")
+	}
+	if ok, _ := Conforms(dm, hidden); !ok {
+		t.Fatal("merged does not conform to hidden")
+	}
+}
+
+func TestEquivalentDetectsDifference(t *testing.T) {
+	dm := dfaOf(t, merged)
+	other := dfaOf(t, strings.Replace(merged, "0 1 a_r+ | d_r+", "0 1 a_r+ | a_a+", 1))
+	ok, tr := Equivalent(dm, other)
+	if ok {
+		t.Fatal("distinct behaviors reported equivalent")
+	}
+	if tr == "" {
+		t.Fatal("no distinguishing trace")
+	}
+}
+
+func TestComposeInterference(t *testing.T) {
+	// B expects d_r to stay low until c_a+, but A drives d_r+
+	// immediately: build a producer that emits x+ when the consumer is
+	// not ready for it.
+	prod := dfaOf(t, `name prod
+input go_r 0
+output x 0
+output go_a 0
+0 1 go_r+ | x+
+1 0 go_r- | x- go_a+
+`)
+	// Consumer only accepts x+ after its own input y+ arrives.
+	cons := dfaOf(t, `name cons
+input y 0
+input x 0
+output z 0
+0 1 y+ | z+
+1 2 x+ | z-
+2 3 y- |
+3 0 x- |
+`)
+	comp, err := Compose(prod, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, tr := comp.HasFailure()
+	if !bad {
+		t.Fatal("expected interference")
+	}
+	if !strings.Contains(tr, "x+") {
+		t.Fatalf("trace %q should blame x+", tr)
+	}
+}
+
+func TestComposeRejectsSharedOutputs(t *testing.T) {
+	a := dfaOf(t, "name a\ninput i 0\noutput x 0\n0 1 i+ | x+\n1 0 i- | x-\n")
+	b := dfaOf(t, "name b\ninput j 0\noutput x 0\n0 1 j+ | x+\n1 0 j- | x-\n")
+	if _, err := Compose(a, b); err == nil {
+		t.Fatal("expected shared-output error")
+	}
+}
+
+func TestHideRemovesFromInterface(t *testing.T) {
+	d := dfaOf(t, merged)
+	h := d.HideSignals("d_r", "d_a")
+	if h.Inputs["d_a"] || h.Outputs["d_r"] {
+		t.Fatal("hidden signals still in interface")
+	}
+	// Visible language is now just the a handshake.
+	want := dfaOf(t, `name justA
+input a_r 0
+output a_a 0
+0 1 a_r+ | a_a+
+1 0 a_r- | a_a-
+`)
+	if ok, tr := Equivalent(h, want); !ok {
+		t.Fatalf("differ after %q", tr)
+	}
+}
+
+func TestSignalOf(t *testing.T) {
+	if SignalOf("a_r+") != "a_r" || SignalOf("x-") != "x" {
+		t.Fatal("SignalOf broken")
+	}
+}
+
+func TestDeterminizeMergesDiamond(t *testing.T) {
+	// An NFA with epsilon diamond determinizes to a line.
+	n := &NFA{
+		Name:    "diamond",
+		Inputs:  map[string]bool{"a": true},
+		Outputs: map[string]bool{},
+		States:  4,
+		Start:   0,
+		Edges: []petri.Edge{
+			{From: 0, To: 1, Label: ""},
+			{From: 0, To: 2, Label: ""},
+			{From: 1, To: 3, Label: "a+"},
+			{From: 2, To: 3, Label: "a+"},
+		},
+		Fail: map[int]bool{},
+	}
+	d := n.Determinize()
+	if d.States != 2 {
+		t.Fatalf("got %d states, want 2", d.States)
+	}
+}
+
+func TestConformsDetectsExtraBehavior(t *testing.T) {
+	small := dfaOf(t, `name small
+input a_r 0
+output a_a 0
+0 1 a_r+ | a_a+
+1 0 a_r- | a_a-
+`)
+	big := dfaOf(t, `name big
+input a_r 0
+input b_r 0
+output a_a 0
+0 1 a_r+ | a_a+
+1 0 a_r- | a_a-
+0 2 b_r+ |
+2 0 b_r- |
+`)
+	if ok, _ := Conforms(small, big); !ok {
+		t.Fatal("small should conform to big")
+	}
+	if ok, _ := Conforms(big, small); ok {
+		t.Fatal("big should not conform to small")
+	}
+}
