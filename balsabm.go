@@ -65,6 +65,9 @@ type (
 	DesignResult = flow.DesignResult
 	// FlowOptions tunes the end-to-end flow.
 	FlowOptions = flow.Options
+	// FlowMetrics collects synthesis-cache and stage-timing counters
+	// across a flow run (set FlowOptions.Metrics to observe one).
+	FlowMetrics = flow.Metrics
 )
 
 // Mapping modes (see package techmap).

@@ -209,6 +209,34 @@ func BenchmarkTable3_WaggingRegister(b *testing.B) { benchTable3(b, "wagging-reg
 func BenchmarkTable3_Stack(b *testing.B)           { benchTable3(b, "stack") }
 func BenchmarkTable3_SSEM(b *testing.B)            { benchTable3(b, "ssem") }
 
+// Worker scaling: the same two-arm flow at a single worker versus all
+// cores. Results are byte-identical by construction (see
+// flow.Options.Workers), so the reported speedup%/overhead% metrics
+// must agree between the two variants; on a multicore host the
+// wall-clock ratio shows the pool's gain.
+func benchTable3Workers(b *testing.B, name string, workers int) {
+	d, err := DesignByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := RunDesign(d, &FlowOptions{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.SpeedImprovement() <= 0 || r.AreaOverhead() <= 0 {
+			b.Fatalf("%s: improvement %.2f%%, overhead %.2f%%",
+				name, r.SpeedImprovement(), r.AreaOverhead())
+		}
+		b.ReportMetric(r.SpeedImprovement(), "speedup%")
+		b.ReportMetric(r.AreaOverhead(), "overhead%")
+	}
+}
+
+func BenchmarkTable3_SSEM_Workers1(b *testing.B)   { benchTable3Workers(b, "ssem", 1) }
+func BenchmarkTable3_SSEM_WorkersMax(b *testing.B) { benchTable3Workers(b, "ssem", 0) }
+
 // Ablation: synthesis cost versus controller size (sequencer width).
 func BenchmarkSynthesizeSequencerWidth(b *testing.B) {
 	for _, n := range []int{2, 4, 6} {

@@ -16,13 +16,22 @@
 //	                          write the Fig 1 file pipeline (.bms, .sol,
 //	                          .v per controller, both arms) into dir
 //	balsabm designs           list benchmark designs
+//
+// Flags (before the subcommand):
+//
+//	-j N      bound the flow's worker pool at N parallel leaf tasks
+//	          (controller syntheses, clustering probes, simulations);
+//	          0, the default, uses all CPU cores. Results are
+//	          identical at any setting.
+//	-stats    after flow runs, print synthesis-cache hit/miss counts
+//	          and per-stage wall-clock totals to stderr
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 
 	"balsabm/internal/cell"
@@ -35,13 +44,33 @@ import (
 	"balsabm/internal/techmap"
 )
 
+var (
+	workersFlag = flag.Int("j", 0, "parallel workers (0 = all CPU cores)")
+	statsFlag   = flag.Bool("stats", false, "print cache and timing statistics after flow runs")
+)
+
+// flowOptions builds the flow configuration from the command-line
+// flags; the returned metrics are printed when -stats is set.
+func flowOptions() (*flow.Options, *flow.Metrics) {
+	met := &flow.Metrics{}
+	return &flow.Options{Workers: *workersFlag, Metrics: met}, met
+}
+
+func printStats(met *flow.Metrics) {
+	if *statsFlag {
+		fmt.Fprint(os.Stderr, met.String())
+	}
+}
+
 func main() {
-	if len(os.Args) < 2 {
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cmd := os.Args[1]
-	args := os.Args[2:]
+	cmd := flag.Arg(0)
+	args := flag.Args()[1:]
 	var err error
 	switch cmd {
 	case "table1":
@@ -79,7 +108,8 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: balsabm <table1|table2|table3|fig2|fig3|fig4|fig5|verify|flow|artifacts|designs> [args]`)
+	fmt.Fprintln(os.Stderr, `usage: balsabm [-j N] [-stats] <table1|table2|table3|fig2|fig3|fig4|fig5|verify|flow|artifacts|designs> [args]`)
+	flag.PrintDefaults()
 }
 
 func table1() error {
@@ -126,19 +156,21 @@ func table2() error {
 }
 
 func table3(args []string) error {
+	opt, met := flowOptions()
+	defer printStats(met)
 	if len(args) == 1 {
 		d, err := designs.ByName(args[0])
 		if err != nil {
 			return err
 		}
-		r, err := flow.RunDesign(d, nil)
+		r, err := flow.RunDesign(d, opt)
 		if err != nil {
 			return err
 		}
 		fmt.Print(flow.Table3([]*flow.DesignResult{r}))
 		return nil
 	}
-	results, err := flow.RunAll(nil)
+	results, err := flow.RunAll(opt)
 	if err != nil {
 		return err
 	}
@@ -271,30 +303,20 @@ func fig5() error {
 func verify() error {
 	fmt.Println("Section 4.3: trace-theory verification of Activation Channel Removal")
 	fmt.Println("(composed behavior with the activation channel hidden vs. clustered behavior)")
-	results := core.VerifyAllPairs()
-	var pairs []core.OperatorPair
-	for p := range results {
-		pairs = append(pairs, p)
-	}
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].Activating != pairs[j].Activating {
-			return pairs[i].Activating < pairs[j].Activating
-		}
-		return pairs[i].Activated < pairs[j].Activated
-	})
+	results := core.VerifyAllPairsOrdered()
 	failures := 0
-	for _, p := range pairs {
+	for _, r := range results {
 		status := "conformation equivalent"
-		if err := results[p]; err != nil {
-			status = err.Error()
+		if r.Err != nil {
+			status = r.Err.Error()
 			failures++
 		}
-		fmt.Printf("  activating=%-10s activated=%-10s  %s\n", p.Activating, p.Activated, status)
+		fmt.Printf("  activating=%-10s activated=%-10s  %s\n", r.Pair.Activating, r.Pair.Activated, status)
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d pairs failed", failures)
 	}
-	fmt.Printf("all %d operator combinations verified\n", len(pairs))
+	fmt.Printf("all %d operator combinations verified\n", len(results))
 	return nil
 }
 
@@ -306,7 +328,9 @@ func flowReport(args []string) error {
 	if err != nil {
 		return err
 	}
-	r, err := flow.RunDesign(d, nil)
+	opt, met := flowOptions()
+	defer printStats(met)
+	r, err := flow.RunDesign(d, opt)
 	if err != nil {
 		return err
 	}

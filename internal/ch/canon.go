@@ -1,0 +1,143 @@
+package ch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CanonicalForm identifies a CH program up to channel renaming, for the
+// flow's synthesis cache. Two programs receive the same Key exactly
+// when (a) their bodies are structurally identical after α-renaming
+// channels to positional names in first-appearance order, and (b) the
+// lexicographic order of their wire names agrees with that positional
+// order in the same way. Condition (b) matters because the synthesis
+// pipeline (chtobm sorts inputs/outputs; minimalist orders variables;
+// techmap follows that order) depends on names only through their sort
+// order: when both conditions hold, the synthesized/mapped netlists of
+// the two programs are exact isomorphisms under wire renaming — same
+// states, products, cells, area and critical path — so a cached result
+// can be reused verbatim after renaming its wires.
+type CanonicalForm struct {
+	// Key is the cache key: canonical body text plus wire-order tag.
+	Key string
+	// Channels lists the program's channel names in first-appearance
+	// (canonical) order.
+	Channels []string
+	// Wires lists the program's wire names in canonical channel order
+	// (each channel contributing its Signals in declaration order).
+	// Position i corresponds across all programs sharing the same Key,
+	// which is what the cache's rename pass maps over.
+	Wires []string
+}
+
+// Canonicalize computes the canonical form of an expression. It returns
+// ok=false for expressions the α-renaming cannot safely cover: verb
+// channels (their transitions name raw wires, not channels) and
+// expressions whose port set is inconsistent.
+func Canonicalize(e Expr) (*CanonicalForm, bool) {
+	hasVerb := false
+	var order []string
+	seen := map[string]int{}
+	note := func(name string) {
+		if _, ok := seen[name]; !ok {
+			seen[name] = len(order)
+			order = append(order, name)
+		}
+	}
+	Walk(e, func(x Expr) {
+		switch n := x.(type) {
+		case *Chan:
+			if n.Kind == Verb {
+				hasVerb = true
+				return
+			}
+			note(n.Name)
+		case *MuxAck:
+			note(n.Name)
+		case *MuxReq:
+			note(n.Name)
+		}
+	})
+	if hasVerb {
+		return nil, false
+	}
+	ports, err := Ports(e)
+	if err != nil {
+		return nil, false
+	}
+	byName := make(map[string]Port, len(ports))
+	for _, p := range ports {
+		byName[p.Name] = p
+	}
+
+	// α-rename every channel to its positional name, in one simultaneous
+	// pass (sequential renames could collide with channels that are
+	// literally named c0, c1, ...).
+	canonical := make(map[string]string, len(order))
+	for i, name := range order {
+		canonical[name] = fmt.Sprintf("c%d", i)
+	}
+	renamed := e.Clone()
+	Walk(renamed, func(x Expr) {
+		switch n := x.(type) {
+		case *Chan:
+			if n.Kind != Verb {
+				n.Name = canonical[n.Name]
+			}
+		case *MuxAck:
+			n.Name = canonical[n.Name]
+		case *MuxReq:
+			n.Name = canonical[n.Name]
+		}
+	})
+
+	// Wire list in canonical order, and the permutation induced by
+	// sorting the actual wire names.
+	var wires []string
+	for _, name := range order {
+		p, ok := byName[name]
+		if !ok {
+			return nil, false
+		}
+		for _, s := range p.Signals() {
+			wires = append(wires, s.Signal)
+		}
+	}
+	perm := make([]int, len(wires))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(i, j int) bool { return wires[perm[i]] < wires[perm[j]] })
+	var tag strings.Builder
+	for i, p := range perm {
+		if i > 0 {
+			tag.WriteByte(',')
+		}
+		fmt.Fprintf(&tag, "%d", p)
+	}
+
+	return &CanonicalForm{
+		Key:      ToSexp(renamed).String() + "\n#order " + tag.String(),
+		Channels: order,
+		Wires:    wires,
+	}, true
+}
+
+// CanonicalizeProgram is Canonicalize over a program's body.
+func CanonicalizeProgram(p *Program) (*CanonicalForm, bool) {
+	return Canonicalize(p.Body)
+}
+
+// WireRenames builds the exact-match net substitution that maps the
+// wires of a cached canonical form onto this one's. Both forms must
+// share the same Key; names that already agree are omitted.
+func (c *CanonicalForm) WireRenames(from *CanonicalForm) map[string]string {
+	sub := make(map[string]string)
+	for i, w := range from.Wires {
+		if i < len(c.Wires) && w != c.Wires[i] {
+			sub[w] = c.Wires[i]
+		}
+	}
+	return sub
+}

@@ -1,0 +1,106 @@
+package ch
+
+import "testing"
+
+func mustParseCanon(t *testing.T, src string) Expr {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// Structurally identical sequencers with systematically renamed
+// channels must share a canonical key; the wire lists line up
+// positionally.
+func TestCanonicalizeAlphaEquivalence(t *testing.T) {
+	a := mustParseCanon(t, `(rep (enc-early (p-to-p passive P) (seq (p-to-p active A1) (p-to-p active A2))))`)
+	b := mustParseCanon(t, `(rep (enc-early (p-to-p passive Q) (seq (p-to-p active B1) (p-to-p active B2))))`)
+	ca, ok := Canonicalize(a)
+	if !ok {
+		t.Fatal("a not canonicalizable")
+	}
+	cb, ok := Canonicalize(b)
+	if !ok {
+		t.Fatal("b not canonicalizable")
+	}
+	if ca.Key != cb.Key {
+		t.Fatalf("keys differ:\n%s\nvs\n%s", ca.Key, cb.Key)
+	}
+	if len(ca.Wires) != len(cb.Wires) {
+		t.Fatalf("wire counts differ: %v vs %v", ca.Wires, cb.Wires)
+	}
+	sub := cb.WireRenames(ca)
+	if sub["P_r"] != "Q_r" || sub["A1_a"] != "B1_a" {
+		t.Fatalf("rename map wrong: %v", sub)
+	}
+}
+
+// Channel names whose lexicographic order disagrees with the structural
+// order must NOT share a key: the synthesis variable order would
+// differ, so the mapped netlists are not rename-isomorphic.
+func TestCanonicalizeOrderSensitivity(t *testing.T) {
+	// In a, the passive channel sorts after the active ones; in b it
+	// sorts before them.
+	a := mustParseCanon(t, `(rep (enc-early (p-to-p passive P) (seq (p-to-p active A1) (p-to-p active A2))))`)
+	b := mustParseCanon(t, `(rep (enc-early (p-to-p passive B) (seq (p-to-p active C1) (p-to-p active C2))))`)
+	ca, _ := Canonicalize(a)
+	cb, _ := Canonicalize(b)
+	if ca.Key == cb.Key {
+		t.Fatal("keys must differ when wire sort order differs")
+	}
+}
+
+// Different structures never collide.
+func TestCanonicalizeStructure(t *testing.T) {
+	a := mustParseCanon(t, `(rep (enc-early (p-to-p passive P) (p-to-p active A)))`)
+	b := mustParseCanon(t, `(rep (enc-late (p-to-p passive P) (p-to-p active A)))`)
+	ca, _ := Canonicalize(a)
+	cb, _ := Canonicalize(b)
+	if ca.Key == cb.Key {
+		t.Fatal("different operators must not share a key")
+	}
+}
+
+// Programs whose channels are literally named c0, c1, ... must survive
+// the simultaneous α-renaming (a sequential rename would collide).
+func TestCanonicalizeNameCollision(t *testing.T) {
+	// First-appearance order is c1, c0 — so c1 maps to "c0" and c0 to
+	// "c1" simultaneously.
+	a := mustParseCanon(t, `(rep (enc-early (p-to-p passive c1) (p-to-p active c0)))`)
+	b := mustParseCanon(t, `(rep (enc-early (p-to-p passive x1) (p-to-p active x0)))`)
+	ca, ok := Canonicalize(a)
+	if !ok {
+		t.Fatal("not canonicalizable")
+	}
+	cb, _ := Canonicalize(b)
+	if ca.Key != cb.Key {
+		t.Fatalf("collision handling broke α-equivalence:\n%s\nvs\n%s", ca.Key, cb.Key)
+	}
+	if ca.Channels[0] != "c1" || ca.Channels[1] != "c0" {
+		t.Fatalf("channel order %v", ca.Channels)
+	}
+}
+
+// Verb channels name raw wires; they are not safely renamable.
+func TestCanonicalizeVerbRejected(t *testing.T) {
+	e := mustParseCanon(t, `(verb ((i a_r +)) ((o a_a +)) ((i a_r -)) ((o a_a -)))`)
+	if _, ok := Canonicalize(e); ok {
+		t.Fatal("verb expression must be rejected")
+	}
+}
+
+// Mux channels participate in canonicalization.
+func TestCanonicalizeMux(t *testing.T) {
+	a := mustParseCanon(t, `(rep (enc-early (p-to-p passive P) (mux-ack M (enc-early (p-to-p active A)) (enc-early (p-to-p active B)))))`)
+	b := mustParseCanon(t, `(rep (enc-early (p-to-p passive Q) (mux-ack N (enc-early (p-to-p active C)) (enc-early (p-to-p active D)))))`)
+	ca, ok := Canonicalize(a)
+	if !ok {
+		t.Fatal("mux not canonicalizable")
+	}
+	cb, _ := Canonicalize(b)
+	if ca.Key != cb.Key {
+		t.Fatalf("mux α-equivalence broken:\n%s\nvs\n%s", ca.Key, cb.Key)
+	}
+}

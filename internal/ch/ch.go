@@ -151,7 +151,11 @@ func (x Expansion) String() string {
 // Flatten concatenates the four events into one linear item sequence:
 // the "intermediate form" of Section 3.6.
 func (x Expansion) Flatten() []Item {
-	var out []Item
+	n := 0
+	for _, e := range x {
+		n += len(e)
+	}
+	out := make([]Item, 0, n)
 	for _, e := range x {
 		out = append(out, e...)
 	}

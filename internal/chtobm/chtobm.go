@@ -312,7 +312,8 @@ func (b *builder) finish() (*bm.Spec, error) {
 		renum[s] = i
 	}
 	sp := &bm.Spec{Name: b.name, Start: renum[start], NStates: len(order)}
-	seen := map[string]bool{}
+	sp.Arcs = make([]bm.Arc, 0, len(arcs))
+	seen := make(map[string]bool, len(arcs))
 	for _, a := range arcs {
 		if !reach[a.From] {
 			continue

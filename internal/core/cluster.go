@@ -6,6 +6,7 @@ import (
 
 	"balsabm/internal/ch"
 	"balsabm/internal/chtobm"
+	"balsabm/internal/parallel"
 )
 
 // Merge records one successful activation-channel removal.
@@ -175,6 +176,24 @@ func ActivationChannelRemoval(channel string, x, y *ch.Program) (*ch.Program, er
 // post-clustering decomposition step; 0 means unlimited.
 type Options struct {
 	MaxStates int
+	// Workers bounds the concurrency of the candidate legality probes
+	// (each one a full CH-to-BM compilation); 0 means GOMAXPROCS.
+	Workers int
+	// Pool, when set, shares an existing worker pool (e.g. the flow's)
+	// instead of creating one from Workers, so clustering and synthesis
+	// draw from one global budget.
+	Pool *parallel.Pool
+}
+
+// pool resolves the worker pool the clustering run should use.
+func (o Options) pool() *parallel.Pool {
+	if o.Pool != nil {
+		return o.Pool
+	}
+	if o.Workers > 0 {
+		return parallel.NewPool(o.Workers)
+	}
+	return parallel.Default()
 }
 
 // synthesizable reports whether the program compiles to a well-formed
@@ -203,6 +222,7 @@ func T1Clustering(n *Netlist) (*Netlist, *Report, error) {
 
 // T1ClusteringOpt is T1Clustering with tunable limits.
 func T1ClusteringOpt(n *Netlist, opt Options) (*Netlist, *Report, error) {
+	opt.Pool = opt.pool()
 	out := n.Clone()
 	rep := &Report{Containment: map[string]string{}}
 	for _, c := range out.Components {
@@ -221,62 +241,103 @@ func T1ClusteringOpt(n *Netlist, opt Options) (*Netlist, *Report, error) {
 	return out, rep, nil
 }
 
+// t1Candidate is one channel's evaluation against the current netlist:
+// merged is nil when the channel is not committable (skipped).
+type t1Candidate struct {
+	xName, yName string
+	merged       *ch.Program
+}
+
+// t1Evaluate probes one channel for a legal merge. It is pure with
+// respect to the netlist (ActivationChannelRemoval and the
+// synthesizability check clone everything they rewrite), so candidates
+// for many channels can be evaluated concurrently against the same
+// netlist state.
+func t1Evaluate(out *Netlist, channel string, uses map[string][]ChanUse, opt Options) t1Candidate {
+	us := uses[channel]
+	if len(us) != 2 {
+		return t1Candidate{}
+	}
+	// x activates (active side); y is activated (passive side).
+	var xName, yName string
+	switch {
+	case us[0].Port.Act == ch.Active && us[1].Port.Act == ch.Passive:
+		xName, yName = us[0].Component, us[1].Component
+	case us[0].Port.Act == ch.Passive && us[1].Port.Act == ch.Active:
+		xName, yName = us[1].Component, us[0].Component
+	default:
+		return t1Candidate{}
+	}
+	if xName == yName {
+		return t1Candidate{}
+	}
+	x, y := out.Find(xName), out.Find(yName)
+	merged, err := ActivationChannelRemoval(channel, x, y)
+	if err != nil {
+		return t1Candidate{}
+	}
+	if !synthesizable(merged, opt) {
+		return t1Candidate{}
+	}
+	return t1Candidate{xName: xName, yName: yName, merged: merged}
+}
+
 // t1Sweep performs one pass over the current internal channels,
 // reporting whether any merge committed.
+//
+// The legality probes (each a full activation-channel removal plus
+// CH-to-BM compilation) dominate clustering time, so they are fanned
+// out across the worker pool. Commit order is kept identical to the
+// sequential algorithm: the remaining channels are evaluated in
+// parallel against the current netlist, the first committable one (in
+// channel order) commits, and the channels after it are re-evaluated
+// against the updated netlist — exactly the states the sequential
+// sweep would have probed, so merges, skips and the final netlist are
+// byte-for-byte the same at any worker count.
 func t1Sweep(out *Netlist, rep *Report, opt Options) (bool, error) {
 	channels, err := out.InternalPToP()
 	if err != nil {
 		return false, err
 	}
 	anyMerge := false
-	for _, channel := range channels {
+	for i := 0; i < len(channels); {
 		uses, err := out.ChannelUses()
 		if err != nil {
 			return false, err
 		}
-		us := uses[channel]
-		if len(us) != 2 {
-			rep.Skipped = append(rep.Skipped, channel)
-			continue
-		}
-		// x activates (active side); y is activated (passive side).
-		var xName, yName string
-		switch {
-		case us[0].Port.Act == ch.Active && us[1].Port.Act == ch.Passive:
-			xName, yName = us[0].Component, us[1].Component
-		case us[0].Port.Act == ch.Passive && us[1].Port.Act == ch.Active:
-			xName, yName = us[1].Component, us[0].Component
-		default:
-			rep.Skipped = append(rep.Skipped, channel)
-			continue
-		}
-		if xName == yName {
-			rep.Skipped = append(rep.Skipped, channel)
-			continue
-		}
-		x, y := out.Find(xName), out.Find(yName)
-		merged, err := ActivationChannelRemoval(channel, x, y)
-		if err != nil {
-			rep.Skipped = append(rep.Skipped, channel)
-			continue
-		}
-		if !synthesizable(merged, opt) {
-			rep.Skipped = append(rep.Skipped, channel)
-			continue
-		}
-		// Commit: replace x and y with the merged component.
-		out.remove(xName)
-		out.remove(yName)
-		out.Components = append(out.Components, merged)
-		for orig, cont := range rep.Containment {
-			if cont == yName || cont == xName {
-				rep.Containment[orig] = merged.Name
-			}
-		}
-		rep.Merges = append(rep.Merges, Merge{
-			Channel: channel, Activator: xName, Activated: yName, Result: merged.Name,
+		rest := channels[i:]
+		cands, err := parallel.Map(opt.Pool, len(rest), func(k int) (t1Candidate, error) {
+			return t1Evaluate(out, rest[k], uses, opt), nil
 		})
-		anyMerge = true
+		if err != nil {
+			return false, err
+		}
+		committed := -1
+		for k, cand := range cands {
+			if cand.merged == nil {
+				rep.Skipped = append(rep.Skipped, rest[k])
+				continue
+			}
+			// Commit: replace x and y with the merged component.
+			out.remove(cand.xName)
+			out.remove(cand.yName)
+			out.Components = append(out.Components, cand.merged)
+			for orig, cont := range rep.Containment {
+				if cont == cand.yName || cont == cand.xName {
+					rep.Containment[orig] = cand.merged.Name
+				}
+			}
+			rep.Merges = append(rep.Merges, Merge{
+				Channel: rest[k], Activator: cand.xName, Activated: cand.yName, Result: cand.merged.Name,
+			})
+			anyMerge = true
+			committed = k
+			break
+		}
+		if committed < 0 {
+			break // every remaining channel skipped; sweep is done
+		}
+		i += committed + 1
 	}
 	return anyMerge, nil
 }

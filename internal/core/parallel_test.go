@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"balsabm/internal/core"
+	"balsabm/internal/designs"
+)
+
+// Clustering commits merges in sequential channel order no matter how
+// many workers probe candidate legality, so the clustered netlist and
+// the report are identical at any worker count.
+func TestClusteringWorkerDeterminism(t *testing.T) {
+	d, err := designs.ByName("systolic-counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(n *core.Netlist, rep *core.Report) string {
+		return n.Format() + fmt.Sprintf("%+v", *rep)
+	}
+	n1, r1, err := core.T2ClusteringOpt(d.Control(), core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n8, r8, err := core.T2ClusteringOpt(d.Control(), core.Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := render(n1, r1), render(n8, r8); a != b {
+		t.Errorf("Workers=1 and Workers=8 disagree:\n--- serial ---\n%s\n--- wide ---\n%s", a, b)
+	}
+}
+
+// The ordered verification API reports the grid cells in grid order,
+// and agrees with the map API.
+func TestVerifyAllPairsOrdered(t *testing.T) {
+	grid := core.VerificationGrid()
+	results := core.VerifyAllPairsOrdered()
+	if len(results) != len(grid) {
+		t.Fatalf("got %d results for %d grid cells", len(results), len(grid))
+	}
+	for i, r := range results {
+		if r.Pair != grid[i] {
+			t.Errorf("result %d is %v, want %v", i, r.Pair, grid[i])
+		}
+		if r.Err != nil {
+			t.Errorf("pair %v failed: %v", r.Pair, r.Err)
+		}
+	}
+	m := core.VerifyAllPairs()
+	if len(m) != len(results) {
+		t.Errorf("map has %d entries, ordered %d", len(m), len(results))
+	}
+}

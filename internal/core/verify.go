@@ -7,6 +7,7 @@ import (
 	"balsabm/internal/bm"
 	"balsabm/internal/ch"
 	"balsabm/internal/chtobm"
+	"balsabm/internal/parallel"
 	"balsabm/internal/petri"
 	"balsabm/internal/trace"
 )
@@ -155,14 +156,32 @@ func GridComponents(pair OperatorPair) (x, y *ch.Program) {
 	return x, y
 }
 
+// PairResult is one cell's outcome in the Section 4.3 experiment.
+type PairResult struct {
+	Pair OperatorPair
+	Err  error // nil when removal conforms; the mismatch otherwise
+}
+
+// VerifyAllPairsOrdered runs the full Section 4.3 experiment with the
+// pairs checked concurrently, and returns the outcomes in grid order
+// (deterministic, unlike map iteration). Each cell is an independent
+// trace-theory check, so they fan out across the default worker pool.
+func VerifyAllPairsOrdered() []PairResult {
+	grid := VerificationGrid()
+	out, _ := parallel.Map(nil, len(grid), func(i int) (PairResult, error) {
+		x, y := GridComponents(grid[i])
+		return PairResult{Pair: grid[i], Err: VerifyActivationChannelRemoval("c", x, y)}, nil
+	})
+	return out
+}
+
 // VerifyAllPairs runs the full Section 4.3 experiment and returns the
-// outcome per pair. An error is returned only for infrastructure
-// failures; semantic mismatches are reported in the map.
+// outcome per pair. Semantic mismatches are reported in the map; use
+// VerifyAllPairsOrdered when iteration order matters.
 func VerifyAllPairs() map[OperatorPair]error {
 	out := map[OperatorPair]error{}
-	for _, pair := range VerificationGrid() {
-		x, y := GridComponents(pair)
-		out[pair] = VerifyActivationChannelRemoval("c", x, y)
+	for _, r := range VerifyAllPairsOrdered() {
+		out[r.Pair] = r.Err
 	}
 	return out
 }

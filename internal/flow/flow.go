@@ -6,13 +6,24 @@
 // freedom, and finally simulated together with the design's datapath
 // and benchmark environment to produce the speed and area numbers of
 // Table 3.
+//
+// The flow is concurrent: controllers synthesize in parallel across a
+// bounded worker pool, the two arms of a design run side by side, and
+// rename-isomorphic controllers share one synthesis through a
+// canonical-form cache. Results are deterministic — byte-identical at
+// any worker count — because fan-out preserves input order and the
+// cache key (see ch.Canonicalize) guarantees a cached netlist is an
+// exact wire-rename of what direct synthesis would have produced.
 package flow
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+	"time"
 
 	"balsabm/internal/cell"
+	"balsabm/internal/ch"
 	"balsabm/internal/chtobm"
 	"balsabm/internal/core"
 	"balsabm/internal/designs"
@@ -20,6 +31,7 @@ import (
 	"balsabm/internal/gates"
 	"balsabm/internal/hclib"
 	"balsabm/internal/minimalist"
+	"balsabm/internal/parallel"
 	"balsabm/internal/sim"
 	"balsabm/internal/techmap"
 )
@@ -72,6 +84,65 @@ func (r *DesignResult) AreaOverhead() float64 {
 	return 100 * (r.Opt.TotalArea() - r.Unopt.TotalArea()) / r.Unopt.TotalArea()
 }
 
+// DebugString renders every number in the result in a fixed,
+// deterministic layout (maps are sorted). Two runs of the flow produce
+// byte-identical DebugStrings exactly when they produced the same
+// result, which is what the determinism tests compare across worker
+// counts.
+func (r *DesignResult) DebugString() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "design %s bench %q\n", r.Design, r.Bench)
+	arm := func(label string, a ArmResult) {
+		fmt.Fprintf(&sb, "%s: control=%.6f datapath=%.6f time=%.6f events=%d\n",
+			label, a.ControlArea, a.DatapathArea, a.BenchTime, a.Events)
+		for _, c := range a.Controllers {
+			fmt.Fprintf(&sb, "  %s states=%d bits=%d products=%d cells=%d area=%.6f critical=%.6f\n",
+				c.Name, c.States, c.StateBits, c.Products, c.Cells, c.Area, c.Critical)
+		}
+	}
+	arm("unopt", r.Unopt)
+	arm("opt", r.Opt)
+	if rep := r.Report; rep != nil {
+		for _, m := range rep.Merges {
+			fmt.Fprintf(&sb, "merge %s: %s + %s -> %s\n", m.Channel, m.Activator, m.Activated, m.Result)
+		}
+		fmt.Fprintf(&sb, "skipped %v\n", rep.Skipped)
+		fmt.Fprintf(&sb, "calls split %v restored %v\n", rep.CallsSplit, rep.CallsRestored)
+		names := make([]string, 0, len(rep.Containment))
+		for name := range rep.Containment {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(&sb, "contain %s -> %s\n", name, rep.Containment[name])
+		}
+	}
+	return sb.String()
+}
+
+// Metrics collects counters across a flow run: synthesis-cache hits
+// and misses, and wall-clock per stage. The zero value is ready to
+// use; pass one in Options.Metrics to observe a run. All fields are
+// safe for concurrent update.
+type Metrics struct {
+	CacheHits   parallel.Counter
+	CacheMisses parallel.Counter
+	Timings     parallel.Timings
+}
+
+// String renders the metrics for human consumption.
+func (m *Metrics) String() string {
+	if m == nil {
+		return ""
+	}
+	s := fmt.Sprintf("synthesis cache: %d hits, %d misses\n",
+		m.CacheHits.Load(), m.CacheMisses.Load())
+	if t := m.Timings.String(); t != "" {
+		s += t
+	}
+	return s
+}
+
 // Options tune the flow.
 type Options struct {
 	Lib *cell.Library
@@ -85,18 +156,184 @@ type Options struct {
 	// TimeLimit and EventLimit bound each benchmark simulation.
 	TimeLimit  float64
 	EventLimit int64
+	// Workers bounds the number of concurrently executing leaf tasks
+	// (controller syntheses, clustering legality probes, benchmark
+	// simulations); 0 means GOMAXPROCS. Results are identical at any
+	// setting.
+	Workers int
+	// Metrics, when non-nil, receives cache and timing counters for
+	// the run.
+	Metrics *Metrics
 }
 
-func (o *Options) defaults() {
-	if o.Lib == nil {
-		o.Lib = cell.AMS035()
+// withDefaults returns a copy of the options with defaults filled in.
+// The caller's struct is never written to, so a shared Options value
+// can drive many concurrent runs.
+func (o *Options) withDefaults() Options {
+	var out Options
+	if o != nil {
+		out = *o
 	}
-	if o.TimeLimit == 0 {
-		o.TimeLimit = 5e6
+	if out.Lib == nil {
+		out.Lib = cell.AMS035()
 	}
-	if o.EventLimit == 0 {
-		o.EventLimit = 100_000_000
+	if out.TimeLimit == 0 {
+		out.TimeLimit = 5e6
 	}
+	if out.EventLimit == 0 {
+		out.EventLimit = 100_000_000
+	}
+	return out
+}
+
+// synthEntry is one cached synthesis: the seeding component's wires in
+// canonical channel order, its mapped netlist, and its report. Entries
+// are immutable once published; reuse goes through Netlist.Rename,
+// which deep-copies.
+type synthEntry struct {
+	wires   []string
+	netlist *gates.Netlist
+	res     ControllerResult
+}
+
+// runner carries the shared state of one flow invocation: the worker
+// pool, the canonical-form synthesis cache (shared across both arms
+// and, under RunAll, across designs) and the metrics sink.
+type runner struct {
+	opt   Options // defaults applied; never the caller's struct
+	pool  *parallel.Pool
+	cache parallel.Memo[*synthEntry]
+	met   *Metrics
+}
+
+func newRunner(opt *Options) *runner {
+	r := &runner{opt: opt.withDefaults()}
+	r.pool = parallel.NewPool(r.opt.Workers)
+	r.met = r.opt.Metrics
+	if r.met == nil {
+		r.met = &Metrics{}
+	}
+	return r
+}
+
+// synthesize runs the full per-controller pipeline (compile, two-level
+// synthesis or hand-library lookup, mapping, audit) with no caching.
+func (r *runner) synthesize(comp *ch.Program, mode techmap.Mode) (*gates.Netlist, ControllerResult, error) {
+	tm := &r.met.Timings
+	start := time.Now()
+	sp, err := chtobm.Compile(comp)
+	tm.Observe("compile", time.Since(start))
+	if err != nil {
+		return nil, ControllerResult{}, fmt.Errorf("flow: %s: %w", comp.Name, err)
+	}
+	if mode == techmap.AreaShared {
+		start = time.Now()
+		nl, ok := hclib.Build(comp)
+		tm.Observe("hclib", time.Since(start))
+		if ok {
+			return nl, ControllerResult{
+				Name:     comp.Name,
+				States:   sp.NStates,
+				Cells:    len(nl.Instances),
+				Area:     nl.Area(r.opt.Lib),
+				Critical: nl.CriticalDelay(r.opt.Lib),
+			}, nil
+		}
+	}
+	start = time.Now()
+	ctrl, err := minimalist.Synthesize(sp)
+	tm.Observe("synthesize", time.Since(start))
+	if err != nil {
+		return nil, ControllerResult{}, fmt.Errorf("flow: %s: %w", comp.Name, err)
+	}
+	start = time.Now()
+	nl, err := techmap.MapController(ctrl, mode, r.opt.Lib)
+	tm.Observe("map", time.Since(start))
+	if err != nil {
+		return nil, ControllerResult{}, fmt.Errorf("flow: %s: %w", comp.Name, err)
+	}
+	if mode == techmap.SpeedSplit && !r.opt.SkipAudit {
+		start = time.Now()
+		err := techmap.CheckMapped(ctrl, nl, r.opt.Lib)
+		tm.Observe("audit", time.Since(start))
+		if err != nil {
+			return nil, ControllerResult{}, fmt.Errorf("flow: hazard audit: %w", err)
+		}
+	}
+	return nl, ControllerResult{
+		Name:      comp.Name,
+		States:    sp.NStates,
+		StateBits: ctrl.StateBits,
+		Products:  ctrl.Products(),
+		Cells:     len(nl.Instances),
+		Area:      nl.Area(r.opt.Lib),
+		Critical:  nl.CriticalDelay(r.opt.Lib),
+	}, nil
+}
+
+// synthOne synthesizes one controller through the canonical-form
+// cache: rename-isomorphic components (same canonical key, see
+// ch.Canonicalize) synthesize once; later occurrences reuse the cached
+// netlist with their own wire names substituted in. Components the
+// canonicalizer rejects (verb channels) synthesize directly.
+func (r *runner) synthOne(comp *ch.Program, mode techmap.Mode) (*gates.Netlist, ControllerResult, error) {
+	canon, ok := ch.CanonicalizeProgram(comp)
+	if !ok {
+		return r.synthesize(comp, mode)
+	}
+	key := fmt.Sprintf("%s|audit=%t|%s", mode, !r.opt.SkipAudit, canon.Key)
+	entry, hit, err := r.cache.Do(key, func() (*synthEntry, error) {
+		nl, res, err := r.synthesize(comp, mode)
+		if err != nil {
+			return nil, err
+		}
+		return &synthEntry{wires: canon.Wires, netlist: nl, res: res}, nil
+	})
+	if hit {
+		r.met.CacheHits.Add(1)
+	} else {
+		r.met.CacheMisses.Add(1)
+	}
+	if err != nil {
+		return nil, ControllerResult{}, err
+	}
+	sub := make(map[string]string, len(entry.wires))
+	for i, w := range entry.wires {
+		if w != canon.Wires[i] {
+			sub[w] = canon.Wires[i]
+		}
+	}
+	nl := entry.netlist.Rename(comp.Name, sub)
+	res := entry.res
+	res.Name = comp.Name
+	return nl, res, nil
+}
+
+// synthesizeNetlist fans the components of a control netlist across
+// the worker pool, returning mapped netlists and reports in component
+// order with sequential first-error semantics.
+func (r *runner) synthesizeNetlist(n *core.Netlist, mode techmap.Mode) ([]*gates.Netlist, []ControllerResult, error) {
+	type synthOut struct {
+		nl  *gates.Netlist
+		res ControllerResult
+	}
+	outs, err := parallel.Map(r.pool, len(n.Components), func(i int) (synthOut, error) {
+		nl, res, err := r.synthOne(n.Components[i], mode)
+		if err != nil {
+			return synthOut{}, err
+		}
+		return synthOut{nl: nl, res: res}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	mapped := make([]*gates.Netlist, len(outs))
+	results := make([]ControllerResult, len(outs))
+	for i, o := range outs {
+		mapped[i] = o.nl
+		results[i] = o.res
+	}
+	return mapped, results, nil
 }
 
 // SynthesizeNetlist compiles, synthesizes and maps every component of a
@@ -109,138 +346,131 @@ func (o *Options) defaults() {
 // rest (e.g. clustered controllers in mixed netlists) fall back to
 // synthesis.
 func SynthesizeNetlist(n *core.Netlist, mode techmap.Mode, opt *Options) ([]*gates.Netlist, []ControllerResult, error) {
-	var mapped []*gates.Netlist
-	var results []ControllerResult
-	for _, comp := range n.Components {
-		sp, err := chtobm.Compile(comp)
-		if err != nil {
-			return nil, nil, fmt.Errorf("flow: %s: %w", comp.Name, err)
-		}
-		if mode == techmap.AreaShared {
-			if nl, ok := hclib.Build(comp); ok {
-				mapped = append(mapped, nl)
-				results = append(results, ControllerResult{
-					Name:     comp.Name,
-					States:   sp.NStates,
-					Cells:    len(nl.Instances),
-					Area:     nl.Area(opt.Lib),
-					Critical: nl.CriticalDelay(opt.Lib),
-				})
-				continue
-			}
-		}
-		ctrl, err := minimalist.Synthesize(sp)
-		if err != nil {
-			return nil, nil, fmt.Errorf("flow: %s: %w", comp.Name, err)
-		}
-		nl, err := techmap.MapController(ctrl, mode, opt.Lib)
-		if err != nil {
-			return nil, nil, fmt.Errorf("flow: %s: %w", comp.Name, err)
-		}
-		if mode == techmap.SpeedSplit && !opt.SkipAudit {
-			if err := techmap.CheckMapped(ctrl, nl, opt.Lib); err != nil {
-				return nil, nil, fmt.Errorf("flow: hazard audit: %w", err)
-			}
-		}
-		mapped = append(mapped, nl)
-		results = append(results, ControllerResult{
-			Name:      comp.Name,
-			States:    sp.NStates,
-			StateBits: ctrl.StateBits,
-			Products:  ctrl.Products(),
-			Cells:     len(nl.Instances),
-			Area:      nl.Area(opt.Lib),
-			Critical:  nl.CriticalDelay(opt.Lib),
-		})
-	}
-	return mapped, results, nil
+	return newRunner(opt).synthesizeNetlist(n, mode)
 }
 
 // simulate runs one design arm: mapped controllers + datapath + bench.
-func simulate(d *designs.Design, mapped []*gates.Netlist, opt *Options) (float64, float64, int64, string, error) {
-	s := sim.New(opt.Lib)
-	for _, nl := range mapped {
-		s.AddNetlist(nl, nl.Name, nil)
-	}
-	b := dpath.NewBuilder(s)
-	d.Datapath(b)
-	bench := d.Bench(b)
-	if err := s.Init(); err != nil {
-		return 0, 0, 0, "", err
-	}
-	bench.Start()
-	for !bench.Done() {
-		if err := s.Run(opt.TimeLimit, opt.EventLimit); err != nil {
-			return 0, 0, 0, "", fmt.Errorf("flow: %s: %w", d.Name, err)
+// A whole simulation is one leaf unit of pool work.
+func (r *runner) simulate(d *designs.Design, mapped []*gates.Netlist) (simTime, dpArea float64, events int64, desc string, err error) {
+	err = r.pool.Run(func() error {
+		start := time.Now()
+		defer func() { r.met.Timings.Observe("simulate", time.Since(start)) }()
+		s := sim.New(r.opt.Lib)
+		for _, nl := range mapped {
+			s.AddNetlist(nl, nl.Name, nil)
 		}
-		if !bench.Done() && s.Quiet() {
-			return 0, 0, 0, "", fmt.Errorf("flow: %s: deadlock at %.2f ns (benchmark incomplete)", d.Name, s.Time)
+		b := dpath.NewBuilder(s)
+		d.Datapath(b)
+		bench := d.Bench(b)
+		if err := s.Init(); err != nil {
+			return err
 		}
-	}
-	if err := bench.Validate(); err != nil {
-		return 0, 0, 0, "", fmt.Errorf("flow: %s: functional check failed: %w", d.Name, err)
-	}
-	return s.Time, b.Area, s.Events, bench.Description, nil
+		bench.Start()
+		for !bench.Done() {
+			if err := s.Run(r.opt.TimeLimit, r.opt.EventLimit); err != nil {
+				return fmt.Errorf("flow: %s: %w", d.Name, err)
+			}
+			if !bench.Done() && s.Quiet() {
+				return fmt.Errorf("flow: %s: deadlock at %.2f ns (benchmark incomplete)", d.Name, s.Time)
+			}
+		}
+		if err := bench.Validate(); err != nil {
+			return fmt.Errorf("flow: %s: functional check failed: %w", d.Name, err)
+		}
+		simTime, dpArea, events, desc = s.Time, b.Area, s.Events, bench.Description
+		return nil
+	})
+	return
 }
 
-// RunDesign executes both arms of the flow for one design.
-func RunDesign(d *designs.Design, opt *Options) (*DesignResult, error) {
-	if opt == nil {
-		opt = &Options{}
-	}
-	opt.defaults()
+// runDesign executes both arms of the flow for one design, side by
+// side. The arms are composite tasks (plain goroutines); only their
+// leaves — individual controller syntheses, clustering probes and the
+// benchmark simulations — occupy pool slots, so nesting cannot
+// deadlock even with a single worker.
+func (r *runner) runDesign(d *designs.Design) (*DesignResult, error) {
 	res := &DesignResult{Design: d.Name}
 
 	// Unoptimized arm: the original component netlist with the
 	// baseline (hand-library-quality) mapping.
-	unoptNetlist := d.Control()
-	mapped, ctrls, err := SynthesizeNetlist(unoptNetlist, techmap.AreaShared, opt)
-	if err != nil {
-		return nil, fmt.Errorf("unoptimized arm: %w", err)
+	unopt := func() error {
+		mapped, ctrls, err := r.synthesizeNetlist(d.Control(), techmap.AreaShared)
+		if err != nil {
+			return fmt.Errorf("unoptimized arm: %w", err)
+		}
+		res.Unopt.Controllers = ctrls
+		for _, c := range ctrls {
+			res.Unopt.ControlArea += c.Area
+		}
+		t, dpArea, events, benchDesc, err := r.simulate(d, mapped)
+		if err != nil {
+			return fmt.Errorf("unoptimized arm: %w", err)
+		}
+		res.Unopt.BenchTime, res.Unopt.DatapathArea, res.Unopt.Events = t, dpArea, events
+		res.Bench = benchDesc
+		return nil
 	}
-	res.Unopt.Controllers = ctrls
-	for _, c := range ctrls {
-		res.Unopt.ControlArea += c.Area
-	}
-	t, dpArea, events, benchDesc, err := simulate(d, mapped, opt)
-	if err != nil {
-		return nil, fmt.Errorf("unoptimized arm: %w", err)
-	}
-	res.Unopt.BenchTime, res.Unopt.DatapathArea, res.Unopt.Events = t, dpArea, events
-	res.Bench = benchDesc
 
 	// Optimized arm: clustering, then speed-mode split-mapped
 	// synthesis (the paper's new back-end).
-	optNetlist, report, err := core.OptimizeOpt(unoptNetlist, opt.Cluster)
-	if err != nil {
-		return nil, fmt.Errorf("clustering: %w", err)
+	opt := func() error {
+		clOpt := r.opt.Cluster
+		clOpt.Pool = r.pool // clustering probes draw from the same budget
+		start := time.Now()
+		optNetlist, report, err := core.OptimizeOpt(d.Control(), clOpt)
+		r.met.Timings.Observe("cluster", time.Since(start))
+		if err != nil {
+			return fmt.Errorf("clustering: %w", err)
+		}
+		res.Report = report
+		mapped, ctrls, err := r.synthesizeNetlist(optNetlist, techmap.SpeedSplit)
+		if err != nil {
+			return fmt.Errorf("optimized arm: %w", err)
+		}
+		res.Opt.Controllers = ctrls
+		for _, c := range ctrls {
+			res.Opt.ControlArea += c.Area
+		}
+		t, dpArea, events, _, err := r.simulate(d, mapped)
+		if err != nil {
+			return fmt.Errorf("optimized arm: %w", err)
+		}
+		res.Opt.BenchTime, res.Opt.DatapathArea, res.Opt.Events = t, dpArea, events
+		return nil
 	}
-	res.Report = report
-	mapped, ctrls, err = SynthesizeNetlist(optNetlist, techmap.SpeedSplit, opt)
-	if err != nil {
-		return nil, fmt.Errorf("optimized arm: %w", err)
+
+	if err := parallel.All(unopt, opt); err != nil {
+		return nil, err
 	}
-	res.Opt.Controllers = ctrls
-	for _, c := range ctrls {
-		res.Opt.ControlArea += c.Area
-	}
-	t, dpArea, events, _, err = simulate(d, mapped, opt)
-	if err != nil {
-		return nil, fmt.Errorf("optimized arm: %w", err)
-	}
-	res.Opt.BenchTime, res.Opt.DatapathArea, res.Opt.Events = t, dpArea, events
 	return res, nil
 }
 
-// RunAll executes the flow for every Table 3 design.
+// RunDesign executes both arms of the flow for one design.
+func RunDesign(d *designs.Design, opt *Options) (*DesignResult, error) {
+	return newRunner(opt).runDesign(d)
+}
+
+// RunAll executes the flow for every Table 3 design. Designs run
+// concurrently and share one synthesis cache, so a controller shape
+// appearing in several designs synthesizes once.
 func RunAll(opt *Options) ([]*DesignResult, error) {
-	var out []*DesignResult
-	for _, d := range designs.All() {
-		r, err := RunDesign(d, opt)
-		if err != nil {
-			return nil, fmt.Errorf("flow: %s: %w", d.Name, err)
+	r := newRunner(opt)
+	all := designs.All()
+	out := make([]*DesignResult, len(all))
+	fns := make([]func() error, len(all))
+	for i, d := range all {
+		i, d := i, d
+		fns[i] = func() error {
+			res, err := r.runDesign(d)
+			if err != nil {
+				return fmt.Errorf("flow: %s: %w", d.Name, err)
+			}
+			out[i] = res
+			return nil
 		}
-		out = append(out, r)
+	}
+	if err := parallel.All(fns...); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

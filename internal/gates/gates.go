@@ -84,6 +84,40 @@ func (n *Netlist) Driver(net int) int {
 	return -1
 }
 
+// Rename returns a deep copy of the netlist under a new name with net
+// names rewritten through sub (exact match; names not in sub are kept).
+// The substitution is applied simultaneously, so swaps are safe. It
+// backs the flow's canonical-form synthesis cache: a cached controller
+// is reused for a rename-isomorphic component by mapping its channel
+// wires onto the new component's.
+func (n *Netlist) Rename(name string, sub map[string]string) *Netlist {
+	out := &Netlist{
+		Name:     name,
+		NetNames: make([]string, len(n.NetNames)),
+		netIndex: make(map[string]int, len(n.NetNames)),
+		Inputs:   append([]int(nil), n.Inputs...),
+		Outputs:  append([]int(nil), n.Outputs...),
+		Const0:   n.Const0,
+	}
+	for id, netName := range n.NetNames {
+		if mapped, ok := sub[netName]; ok {
+			netName = mapped
+		}
+		out.NetNames[id] = netName
+		out.netIndex[netName] = id
+	}
+	out.Instances = make([]Instance, len(n.Instances))
+	for i, inst := range n.Instances {
+		out.Instances[i] = Instance{
+			Cell:   inst.Cell,
+			Inputs: append([]int(nil), inst.Inputs...),
+			Output: inst.Output,
+			Module: inst.Module,
+		}
+	}
+	return out
+}
+
 // Area sums the cell areas.
 func (n *Netlist) Area(lib *cell.Library) float64 {
 	total := 0.0

@@ -157,3 +157,41 @@ func TestSettleWithCElementState(t *testing.T) {
 		t.Fatal("C-element lost its state across Settle calls")
 	}
 }
+
+// Rename must deep-copy the structure and rewrite net names
+// simultaneously (swaps included), leaving the original untouched.
+func TestRename(t *testing.T) {
+	n := New("orig")
+	a, b := n.Net("a_r"), n.Net("b_r")
+	out := n.Net("z_a")
+	n.Inputs = []int{a, b}
+	n.Outputs = []int{out}
+	n.AddInstance("NAND2", []int{a, b}, out, 1)
+
+	r := n.Rename("copy", map[string]string{"a_r": "b_r", "b_r": "a_r"})
+	if r.Name != "copy" {
+		t.Fatalf("name %q", r.Name)
+	}
+	if got := r.NetNames[a]; got != "b_r" {
+		t.Fatalf("net %d renamed to %q, want b_r", a, got)
+	}
+	if got := r.NetNames[b]; got != "a_r" {
+		t.Fatalf("net %d renamed to %q, want a_r", b, got)
+	}
+	if !r.HasNet("z_a") {
+		t.Fatal("unmapped name must survive")
+	}
+	// Structure is shared by id, not name: the instance still reads
+	// nets a and b.
+	if len(r.Instances) != 1 || r.Instances[0].Inputs[0] != a {
+		t.Fatalf("instance structure changed: %+v", r.Instances)
+	}
+	// Deep copy: mutating the copy must not touch the original.
+	r.Instances[0].Inputs[0] = out
+	if n.Instances[0].Inputs[0] != a {
+		t.Fatal("Rename aliased instance inputs")
+	}
+	if n.NetNames[a] != "a_r" {
+		t.Fatal("original net names changed")
+	}
+}

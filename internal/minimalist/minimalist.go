@@ -101,9 +101,11 @@ func Synthesize(sp *bm.Spec) (*Controller, error) {
 	}
 	// Extra state bits are named y0, y1, ...; signal names must not
 	// collide with them (channel-derived names never do in practice).
-	for _, s := range append(append([]string{}, sp.Inputs...), sp.Outputs...) {
-		if isStateBitName(s) {
-			return nil, fmt.Errorf("minimalist: %s: signal name %q collides with state-bit naming", sp.Name, s)
+	for _, sigs := range [][]string{sp.Inputs, sp.Outputs} {
+		for _, s := range sigs {
+			if isStateBitName(s) {
+				return nil, fmt.Errorf("minimalist: %s: signal name %q collides with state-bit naming", sp.Name, s)
+			}
 		}
 	}
 	values, err := sp.StateValues()
@@ -197,7 +199,8 @@ func Synthesize(sp *bm.Spec) (*Controller, error) {
 		extra := assignCodes(sp.NStates, sp.Start, dset)
 		codes := make([][]bool, sp.NStates)
 		for s := range codes {
-			codes[s] = append(append([]bool{}, outVec[s]...), extra[s]...)
+			code := make([]bool, 0, len(outVec[s])+len(extra[s]))
+			codes[s] = append(append(code, outVec[s]...), extra[s]...)
 		}
 		ctrl, conflict, err := buildAndMinimize(sp, inputs, arcs, values, codes, len(extra[0]))
 		if err != nil {
@@ -368,7 +371,8 @@ type fnSpec struct {
 // would separate the clashing arcs.
 func buildAndMinimize(sp *bm.Spec, inputs []string, arcs []arcInfo, values []map[string]bool, codes [][]bool, nExtra int) (*Controller, *dichotomy, error) {
 	nOut := len(sp.Outputs)
-	vars := append([]string(nil), inputs...)
+	vars := make([]string, 0, len(inputs)+nOut+nExtra)
+	vars = append(vars, inputs...)
 	vars = append(vars, sp.Outputs...)
 	for i := 0; i < nExtra; i++ {
 		vars = append(vars, fmt.Sprintf("y%d", i))
@@ -558,7 +562,8 @@ func contains(xs []string, x string) bool {
 // extra state bits). It returns the output values and the full
 // next-state excitation in code order.
 func (c *Controller) Eval(x []bool, state []bool) (outs map[string]bool, next []bool) {
-	point := append(append([]bool{}, x...), state...)
+	point := make([]bool, 0, len(x)+len(state))
+	point = append(append(point, x...), state...)
 	outs = map[string]bool{}
 	next = make([]bool, len(c.Spec.Outputs)+c.StateBits)
 	for i, z := range c.Spec.Outputs {

@@ -1,0 +1,57 @@
+package parallel
+
+import "sync"
+
+// Memo is a concurrency-safe, single-flight memo cache: for each key
+// the compute function runs exactly once, no matter how many goroutines
+// ask concurrently; later and concurrent callers share the first
+// caller's result (value or error). It backs the canonical-form
+// synthesis cache of the flow.
+type Memo[V any] struct {
+	mu      sync.Mutex
+	entries map[string]*memoEntry[V]
+	hits    Counter
+	misses  Counter
+}
+
+type memoEntry[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Do returns the memoized value for key, computing it with f on first
+// use. The second result reports whether the value was served from the
+// cache (true for every caller except the one that ran f).
+func (m *Memo[V]) Do(key string, f func() (V, error)) (V, bool, error) {
+	m.mu.Lock()
+	if m.entries == nil {
+		m.entries = map[string]*memoEntry[V]{}
+	}
+	if e, ok := m.entries[key]; ok {
+		m.mu.Unlock()
+		<-e.done
+		m.hits.Add(1)
+		return e.val, true, e.err
+	}
+	e := &memoEntry[V]{done: make(chan struct{})}
+	m.entries[key] = e
+	m.mu.Unlock()
+	m.misses.Add(1)
+	e.val, e.err = f()
+	close(e.done)
+	return e.val, false, e.err
+}
+
+// Hits returns how many calls were served from the cache.
+func (m *Memo[V]) Hits() int64 { return m.hits.Load() }
+
+// Misses returns how many calls ran the compute function.
+func (m *Memo[V]) Misses() int64 { return m.misses.Load() }
+
+// Len returns the number of cached keys.
+func (m *Memo[V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}

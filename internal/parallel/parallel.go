@@ -1,0 +1,138 @@
+// Package parallel provides the shared-work infrastructure of the
+// back-end: a bounded worker pool, deterministic fan-out helpers
+// (input-ordered results, first-error-by-index semantics), a
+// synthesis memo cache with single-flight computation, and per-stage
+// timing counters.
+//
+// The pool admits *leaf* units of work (one controller synthesis, one
+// clustering legality probe, one conformance pair, one benchmark
+// simulation). Composite tasks — a whole flow arm, a whole design —
+// run as plain goroutines via All and only their leaves take pool
+// slots, so nested fan-out can never deadlock the pool.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a counting semaphore bounding concurrent leaf work.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool creates a pool admitting up to workers concurrent units;
+// workers <= 0 means runtime.GOMAXPROCS(0).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+var (
+	defaultPool     *Pool
+	defaultPoolOnce sync.Once
+)
+
+// Default returns the process-wide pool, sized to GOMAXPROCS. Callers
+// that pass a nil *Pool to Map share this global budget.
+func Default() *Pool {
+	defaultPoolOnce.Do(func() { defaultPool = NewPool(0) })
+	return defaultPool
+}
+
+// Workers returns the pool's admission bound.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+func (p *Pool) acquire() { p.sem <- struct{}{} }
+func (p *Pool) release() { <-p.sem }
+
+// Run executes one leaf unit of work under pool admission.
+func (p *Pool) Run(f func() error) error {
+	p.acquire()
+	defer p.release()
+	return f()
+}
+
+// Map runs f(0..n-1) with each call admitted through the pool (nil =
+// the Default pool), returning results in input order. Error semantics
+// are deterministic and match a sequential loop: the returned error is
+// the one from the lowest failing index. Once an item fails, items with
+// higher indices may be skipped (their result slots keep zero values);
+// items with lower indices always run, so the winning error never
+// depends on scheduling.
+func Map[T any](p *Pool, n int, f func(int) (T, error)) ([]T, error) {
+	if p == nil {
+		p = Default()
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	var minErr atomic.Int64
+	minErr.Store(int64(n))
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p.acquire()
+			defer p.release()
+			if int64(i) > minErr.Load() {
+				return // a lower index already failed; this result cannot matter
+			}
+			v, err := f(i)
+			if err != nil {
+				errs[i] = err
+				for {
+					cur := minErr.Load()
+					if int64(i) >= cur || minErr.CompareAndSwap(cur, int64(i)) {
+						break
+					}
+				}
+				return
+			}
+			out[i] = v
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// All runs the thunks concurrently WITHOUT pool admission — they are
+// composite tasks whose leaves are pool-gated — and returns the first
+// error by index (same deterministic semantics as Map).
+func All(fns ...func() error) error {
+	errs := make([]error, len(fns))
+	var wg sync.WaitGroup
+	for i, fn := range fns {
+		wg.Add(1)
+		go func(i int, fn func() error) {
+			defer wg.Done()
+			errs[i] = fn()
+		}(i, fn)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Counter is an atomic event counter.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.n.Add(d) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.n.Load() }

@@ -1,0 +1,163 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderAndResults(t *testing.T) {
+	p := NewPool(4)
+	out, err := Map(p, 100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	var cur, peak atomic.Int64
+	_, err := Map(p, 50, func(i int) (struct{}, error) {
+		n := cur.Add(1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > workers {
+		t.Fatalf("peak concurrency %d exceeds pool size %d", peak.Load(), workers)
+	}
+}
+
+// The returned error must be the lowest-index failure, no matter how
+// the scheduler interleaves the items.
+func TestMapFirstErrorByIndex(t *testing.T) {
+	p := NewPool(8)
+	for trial := 0; trial < 20; trial++ {
+		_, err := Map(p, 64, func(i int) (int, error) {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return 0, fmt.Errorf("item %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "item 3 failed" {
+			t.Fatalf("trial %d: got error %v, want item 3 failed", trial, err)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(nil, 0, func(i int) (int, error) { return 0, errors.New("never") })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("got %v, %v", out, err)
+	}
+}
+
+func TestAllFirstErrorByIndex(t *testing.T) {
+	err := All(
+		func() error { time.Sleep(5 * time.Millisecond); return errors.New("first") },
+		func() error { return errors.New("second") },
+	)
+	if err == nil || err.Error() != "first" {
+		t.Fatalf("got %v, want first", err)
+	}
+	if err := All(func() error { return nil }, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Nested fan-out through the same 1-slot pool must not deadlock as long
+// as only leaves take slots (All for composites, Map for leaves).
+func TestCompositeLeafNoDeadlock(t *testing.T) {
+	p := NewPool(1)
+	err := All(
+		func() error {
+			_, err := Map(p, 5, func(i int) (int, error) { return i, nil })
+			return err
+		},
+		func() error {
+			_, err := Map(p, 5, func(i int) (int, error) { return i, nil })
+			return err
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoSingleFlight(t *testing.T) {
+	var m Memo[int]
+	var computed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := m.Do("k", func() (int, error) {
+				computed.Add(1)
+				time.Sleep(time.Millisecond)
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("got %d, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if computed.Load() != 1 {
+		t.Fatalf("compute ran %d times, want 1", computed.Load())
+	}
+	if m.Misses() != 1 || m.Hits() != 31 {
+		t.Fatalf("hits %d misses %d, want 31/1", m.Hits(), m.Misses())
+	}
+}
+
+func TestMemoErrorShared(t *testing.T) {
+	var m Memo[int]
+	boom := errors.New("boom")
+	_, _, err := m.Do("k", func() (int, error) { return 0, boom })
+	if err != boom {
+		t.Fatal(err)
+	}
+	_, hit, err := m.Do("k", func() (int, error) { return 1, nil })
+	if !hit || err != boom {
+		t.Fatalf("second call: hit=%v err=%v, want cached error", hit, err)
+	}
+}
+
+func TestTimings(t *testing.T) {
+	var tm Timings
+	tm.Observe("compile", 2*time.Millisecond)
+	tm.Observe("compile", 3*time.Millisecond)
+	tm.Time("map", func() {})
+	snap := tm.Snapshot()
+	if s := snap["compile"]; s.Count != 2 || s.Total != 5*time.Millisecond {
+		t.Fatalf("compile stage %+v", s)
+	}
+	if s := snap["map"]; s.Count != 1 {
+		t.Fatalf("map stage %+v", s)
+	}
+	var nilT *Timings
+	nilT.Observe("x", time.Second) // must not panic
+	nilT.Time("y", func() {})
+	if nilT.String() != "" {
+		t.Fatal("nil Timings should render empty")
+	}
+}

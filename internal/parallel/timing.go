@@ -1,0 +1,89 @@
+package parallel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Stage accumulates wall-clock spent in one pipeline stage.
+type Stage struct {
+	Count int64
+	Total time.Duration
+}
+
+// Timings collects per-stage timing counters across goroutines. The
+// zero value is ready to use; a nil *Timings discards observations, so
+// instrumented code needs no conditionals.
+type Timings struct {
+	mu     sync.Mutex
+	stages map[string]Stage
+}
+
+// Observe adds one completed unit of the named stage.
+func (t *Timings) Observe(stage string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.stages == nil {
+		t.stages = map[string]Stage{}
+	}
+	s := t.stages[stage]
+	s.Count++
+	s.Total += d
+	t.stages[stage] = s
+	t.mu.Unlock()
+}
+
+// Time runs f and charges its duration to the named stage.
+func (t *Timings) Time(stage string, f func()) {
+	if t == nil {
+		f()
+		return
+	}
+	start := time.Now()
+	f()
+	t.Observe(stage, time.Since(start))
+}
+
+// Snapshot returns a copy of the accumulated stages.
+func (t *Timings) Snapshot() map[string]Stage {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]Stage, len(t.stages))
+	for k, v := range t.stages {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the stages sorted by name, one per line.
+func (t *Timings) String() string {
+	snap := t.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, k := range names {
+		s := snap[k]
+		fmt.Fprintf(&sb, "%-12s %6d calls %12s total %12s avg\n",
+			k, s.Count, s.Total.Round(time.Microsecond),
+			(s.Total / time.Duration(max64(s.Count, 1))).Round(time.Microsecond))
+	}
+	return sb.String()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

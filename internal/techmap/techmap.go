@@ -141,10 +141,10 @@ func (m *mapper) functions() []struct {
 	name  string
 	cover logic.Cover
 } {
-	var out []struct {
+	out := make([]struct {
 		name  string
 		cover logic.Cover
-	}
+	}, 0, len(m.ctrl.Spec.Outputs)+len(m.ctrl.NextState))
 	for _, z := range m.ctrl.Spec.Outputs {
 		out = append(out, struct {
 			name  string

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Runs the benchmark suite and emits a JSON summary on stdout.
+#
+# Usage: scripts/bench.sh [bench-regex] [benchtime]
+#
+#   scripts/bench.sh                          # every benchmark, 1 iteration
+#   scripts/bench.sh 'BenchmarkTable3' 5x     # Table 3 rows, 5 iterations
+#
+# Each benchmark becomes one JSON object with its iteration count and
+# every reported metric (ns/op, B/op, allocs/op, plus custom metrics
+# like speedup%/overhead%).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pattern="${1:-.}"
+benchtime="${2:-1x}"
+
+raw=$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem .)
+
+printf '{\n  "go": "%s",\n  "benchtime": "%s",\n  "benchmarks": [\n' \
+  "$(go env GOVERSION)" "$benchtime"
+printf '%s\n' "$raw" | awk '
+  /^Benchmark/ {
+    line = sep "    {\"name\":\"" $1 "\",\"iterations\":" $2 ",\"metrics\":{"
+    msep = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+      unit = $(i + 1)
+      gsub(/"/, "", unit)
+      line = line msep "\"" unit "\":" $i
+      msep = ","
+    }
+    printf "%s", line "}}"
+    sep = ",\n"
+  }
+  END { print "" }
+'
+printf '  ]\n}\n'
