@@ -25,6 +25,8 @@
 package balsabm
 
 import (
+	"context"
+
 	"balsabm/internal/balsa"
 	"balsabm/internal/bm"
 	"balsabm/internal/cell"
@@ -148,8 +150,19 @@ func RunDesign(d *Design, opt *FlowOptions) (*DesignResult, error) {
 	return flow.RunDesign(d, opt)
 }
 
+// RunDesignCtx is RunDesign with cancellation: the run stops cleanly
+// at the next leaf boundary when ctx is cancelled.
+func RunDesignCtx(ctx context.Context, d *Design, opt *FlowOptions) (*DesignResult, error) {
+	return flow.RunDesignCtx(ctx, d, opt)
+}
+
 // RunAll executes the flow on all four designs.
 func RunAll(opt *FlowOptions) ([]*DesignResult, error) { return flow.RunAll(opt) }
+
+// RunAllCtx is RunAll with cancellation (see RunDesignCtx).
+func RunAllCtx(ctx context.Context, opt *FlowOptions) ([]*DesignResult, error) {
+	return flow.RunAllCtx(ctx, opt)
+}
 
 // Table3 formats results in the paper's Table 3 layout.
 func Table3(results []*DesignResult) string { return flow.Table3(results) }

@@ -25,15 +25,29 @@
 //	          identical at any setting.
 //	-stats    after flow runs, print synthesis-cache hit/miss counts
 //	          and per-stage wall-clock totals to stderr
+//	-json     emit machine-readable JSON instead of tables (table3,
+//	          flow); the encoding is byte-identical to the balsabmd
+//	          server responses (shared internal/api encoder)
+//	-server URL
+//	          thin-client mode: run table3/flow on a balsabmd daemon
+//	          at URL instead of in process
+//
+// Ctrl-C cancels an in-flight flow run cleanly: leaf tasks still
+// waiting for a worker slot are abandoned and no pool goroutines are
+// left behind.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
+	"balsabm/internal/api"
 	"balsabm/internal/cell"
 	"balsabm/internal/ch"
 	"balsabm/internal/chtobm"
@@ -41,12 +55,15 @@ import (
 	"balsabm/internal/designs"
 	"balsabm/internal/flow"
 	"balsabm/internal/minimalist"
+	"balsabm/internal/server"
 	"balsabm/internal/techmap"
 )
 
 var (
 	workersFlag = flag.Int("j", 0, "parallel workers (0 = all CPU cores)")
 	statsFlag   = flag.Bool("stats", false, "print cache and timing statistics after flow runs")
+	jsonFlag    = flag.Bool("json", false, "emit JSON results (table3, flow)")
+	serverFlag  = flag.String("server", "", "run table3/flow on a balsabmd daemon at this URL")
 )
 
 // flowOptions builds the flow configuration from the command-line
@@ -69,6 +86,9 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// Ctrl-C / SIGTERM cancel in-flight flow runs cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	cmd := flag.Arg(0)
 	args := flag.Args()[1:]
 	var err error
@@ -78,7 +98,7 @@ func main() {
 	case "table2":
 		err = table2()
 	case "table3":
-		err = table3(args)
+		err = table3(ctx, args)
 	case "fig2":
 		err = fig2(args)
 	case "fig3":
@@ -90,7 +110,7 @@ func main() {
 	case "verify":
 		err = verify()
 	case "flow":
-		err = flowReport(args)
+		err = flowReport(ctx, args)
 	case "artifacts":
 		err = artifacts(args)
 	case "designs":
@@ -108,7 +128,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: balsabm [-j N] [-stats] <table1|table2|table3|fig2|fig3|fig4|fig5|verify|flow|artifacts|designs> [args]`)
+	fmt.Fprintln(os.Stderr, `usage: balsabm [-j N] [-stats] [-json] [-server URL] <table1|table2|table3|fig2|fig3|fig4|fig5|verify|flow|artifacts|designs> [args]`)
 	flag.PrintDefaults()
 }
 
@@ -155,7 +175,51 @@ func table2() error {
 	return nil
 }
 
-func table3(args []string) error {
+// emitJSON prints a wire value through the shared api encoder — the
+// same bytes a balsabmd daemon would serve for the same result.
+func emitJSON(v any) error {
+	b, err := api.Encode(v)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(b)
+	return err
+}
+
+// remoteRows runs table3 work on the daemon named by -server.
+func remoteRows(ctx context.Context, args []string) ([]*api.DesignResultJSON, error) {
+	c := server.NewClient(*serverFlag)
+	cfg := api.FlowConfig{Workers: *workersFlag}
+	if len(args) == 1 {
+		res, err := c.Run(ctx, api.JobRequest{Kind: api.KindDesign, Design: args[0], Config: cfg})
+		if err != nil {
+			return nil, err
+		}
+		return []*api.DesignResultJSON{res.Design}, nil
+	}
+	res, err := c.Run(ctx, api.JobRequest{Kind: api.KindTable3, Config: cfg})
+	if err != nil {
+		return nil, err
+	}
+	return res.Table3, nil
+}
+
+func table3(ctx context.Context, args []string) error {
+	if *serverFlag != "" {
+		rows, err := remoteRows(ctx, args)
+		if err != nil {
+			return err
+		}
+		if *jsonFlag {
+			return emitJSON(rows)
+		}
+		results := make([]*flow.DesignResult, len(rows))
+		for i, row := range rows {
+			results[i] = row.ToFlow()
+		}
+		fmt.Print(flow.Table3(results))
+		return nil
+	}
 	opt, met := flowOptions()
 	defer printStats(met)
 	if len(args) == 1 {
@@ -163,16 +227,22 @@ func table3(args []string) error {
 		if err != nil {
 			return err
 		}
-		r, err := flow.RunDesign(d, opt)
+		r, err := flow.RunDesignCtx(ctx, d, opt)
 		if err != nil {
 			return err
+		}
+		if *jsonFlag {
+			return emitJSON(api.FromDesignResults([]*flow.DesignResult{r}))
 		}
 		fmt.Print(flow.Table3([]*flow.DesignResult{r}))
 		return nil
 	}
-	results, err := flow.RunAll(opt)
+	results, err := flow.RunAllCtx(ctx, opt)
 	if err != nil {
 		return err
+	}
+	if *jsonFlag {
+		return emitJSON(api.FromDesignResults(results))
 	}
 	fmt.Print(flow.Table3(results))
 	fmt.Println()
@@ -320,9 +390,24 @@ func verify() error {
 	return nil
 }
 
-func flowReport(args []string) error {
+func flowReport(ctx context.Context, args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: balsabm flow <design>")
+	}
+	if *serverFlag != "" {
+		c := server.NewClient(*serverFlag)
+		res, err := c.Run(ctx, api.JobRequest{
+			Kind: api.KindDesign, Design: args[0],
+			Config: api.FlowConfig{Workers: *workersFlag},
+		})
+		if err != nil {
+			return err
+		}
+		if *jsonFlag {
+			return emitJSON(res.Design)
+		}
+		printFlowReport(res.Design.ToFlow())
+		return nil
 	}
 	d, err := designs.ByName(args[0])
 	if err != nil {
@@ -330,10 +415,18 @@ func flowReport(args []string) error {
 	}
 	opt, met := flowOptions()
 	defer printStats(met)
-	r, err := flow.RunDesign(d, opt)
+	r, err := flow.RunDesignCtx(ctx, d, opt)
 	if err != nil {
 		return err
 	}
+	if *jsonFlag {
+		return emitJSON(api.FromDesignResult(r))
+	}
+	printFlowReport(r)
+	return nil
+}
+
+func printFlowReport(r *flow.DesignResult) {
 	fmt.Printf("design %s — benchmark: %s\n", r.Design, r.Bench)
 	for _, arm := range []struct {
 		name string
@@ -349,7 +442,6 @@ func flowReport(args []string) error {
 	}
 	fmt.Printf("speed improvement: %.2f%%   area overhead: %.2f%%\n",
 		r.SpeedImprovement(), r.AreaOverhead())
-	return nil
 }
 
 // artifacts writes the paper's Fig 1 intermediate files for a design:

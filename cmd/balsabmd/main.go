@@ -1,0 +1,62 @@
+// Command balsabmd is the synthesis-as-a-service daemon: it serves
+// the paper's complete back-end over HTTP, amortizing parsing,
+// synthesis caching and worker-pool warm-up across many requests
+// instead of re-running the whole Fig 1 pipeline per CLI invocation.
+//
+// Usage:
+//
+//	balsabmd [-addr :8337] [-jobs N] [-queue N]
+//
+// Flags:
+//
+//	-addr   listen address (default :8337)
+//	-jobs   jobs executing concurrently (default 2); each job
+//	        additionally fans leaf work across its own flow pool
+//	-queue  queued-job bound; submissions beyond it get HTTP 503
+//	        (default 64)
+//
+// See package balsabm/internal/server for the API, and `balsabm
+// -server URL ...` for the thin client.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"balsabm/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8337", "listen address")
+	jobs := flag.Int("jobs", 2, "jobs executing concurrently")
+	queue := flag.Int("queue", 64, "maximum queued jobs")
+	flag.Parse()
+
+	srv := server.New(server.Config{Workers: *jobs, QueueDepth: *queue})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "balsabmd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+		srv.Close() // cancels in-flight jobs at their next leaf boundary
+	}()
+
+	fmt.Fprintf(os.Stderr, "balsabmd: listening on %s (%d executors, queue %d)\n",
+		*addr, *jobs, *queue)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "balsabmd:", err)
+		os.Exit(1)
+	}
+}

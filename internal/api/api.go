@@ -1,0 +1,338 @@
+// Package api defines the wire types shared by every machine-facing
+// surface of the back-end: the balsabmd HTTP daemon, its Go client,
+// and the CLI's -json output. The CLI encodes a local flow run with
+// the exact same structs the server uses for its responses, so a
+// result fetched over HTTP is byte-identical to one computed in
+// process — which is what the end-to-end tests assert.
+//
+// It also holds FlowConfig, the extracted flow setup both entry
+// points build their flow.Options from.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"balsabm/internal/core"
+	"balsabm/internal/flow"
+)
+
+// FlowConfig is the serializable subset of the flow's tuning knobs —
+// the ones a remote caller may set. It is the single flow-setup
+// struct shared by the CLI and the daemon.
+type FlowConfig struct {
+	// Workers bounds the per-run worker pool; 0 means all CPU cores.
+	// It never changes results (the flow is deterministic at any
+	// worker count), so it is excluded from dedup keys.
+	Workers int `json:"workers,omitempty"`
+	// MaxStates bounds the Burst-Mode state count of clustered
+	// controllers (0 = unlimited).
+	MaxStates int `json:"maxStates,omitempty"`
+	// SkipAudit disables the exhaustive hazard audit of mapped
+	// optimized controllers.
+	SkipAudit bool `json:"skipAudit,omitempty"`
+	// TimeLimit and EventLimit bound each benchmark simulation
+	// (0 = the flow defaults).
+	TimeLimit  float64 `json:"timeLimit,omitempty"`
+	EventLimit int64   `json:"eventLimit,omitempty"`
+}
+
+// Options builds the flow configuration for one run, attaching the
+// given metrics sink (nil for none).
+func (c FlowConfig) Options(met *flow.Metrics) *flow.Options {
+	return &flow.Options{
+		Cluster:    core.Options{MaxStates: c.MaxStates},
+		SkipAudit:  c.SkipAudit,
+		TimeLimit:  c.TimeLimit,
+		EventLimit: c.EventLimit,
+		Workers:    c.Workers,
+		Metrics:    met,
+	}
+}
+
+// Key renders the result-affecting knobs as a deterministic dedup-key
+// fragment. Workers is deliberately omitted: the flow produces
+// identical results at any worker count.
+func (c FlowConfig) Key() string {
+	return fmt.Sprintf("maxStates=%d|skipAudit=%t|timeLimit=%g|eventLimit=%d",
+		c.MaxStates, c.SkipAudit, c.TimeLimit, c.EventLimit)
+}
+
+// Job kinds accepted by the daemon.
+const (
+	// KindDesign runs the full two-arm flow (synthesis + benchmark
+	// simulation) on one named built-in design.
+	KindDesign = "design"
+	// KindTable3 runs the full flow on all Table 3 designs.
+	KindTable3 = "table3"
+	// KindSynth synthesizes a submitted design (CH control netlist or
+	// Balsa source) into mapped gate netlists, without simulation.
+	KindSynth = "synth"
+)
+
+// Source formats for KindSynth.
+const (
+	FormatCH    = "ch"    // a CH control netlist: one or more (program ...) forms
+	FormatBalsa = "balsa" // Balsa-subset source text
+)
+
+// Synthesis modes for KindSynth.
+const (
+	// ModeUnopt is the baseline arm: the netlist as submitted,
+	// area-shared mapping (hand-library shapes where they apply).
+	ModeUnopt = "unopt"
+	// ModeOpt is the paper's arm: clustering, then speed-split
+	// mapping. The default.
+	ModeOpt = "opt"
+)
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// JobRequest is the body of POST /api/v1/jobs.
+type JobRequest struct {
+	Kind   string     `json:"kind"`
+	Design string     `json:"design,omitempty"` // KindDesign: a built-in design name
+	Source string     `json:"source,omitempty"` // KindSynth: design text
+	Format string     `json:"format,omitempty"` // KindSynth: "ch" (default) or "balsa"
+	Name   string     `json:"name,omitempty"`   // KindSynth+balsa: design name for the compiler
+	Mode   string     `json:"mode,omitempty"`   // KindSynth: "opt" (default) or "unopt"
+	Config FlowConfig `json:"config"`
+}
+
+// JobStatus describes one job.
+type JobStatus struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	State string `json:"state"`
+	// Dedup reports that the job's result came from the dedup cache —
+	// an identical design (same canonical key) was already synthesized
+	// or in flight, so this job did not re-run the flow.
+	Dedup bool `json:"dedup,omitempty"`
+	// Key is the job's canonical dedup key digest.
+	Key      string `json:"key,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Created  string `json:"created,omitempty"`
+	Started  string `json:"started,omitempty"`
+	Finished string `json:"finished,omitempty"`
+}
+
+// ControllerJSON mirrors flow.ControllerResult.
+type ControllerJSON struct {
+	Name      string  `json:"name"`
+	States    int     `json:"states"`
+	StateBits int     `json:"stateBits"`
+	Products  int     `json:"products"`
+	Cells     int     `json:"cells"`
+	Area      float64 `json:"area"`
+	Critical  float64 `json:"critical"`
+}
+
+// ArmJSON mirrors flow.ArmResult.
+type ArmJSON struct {
+	Controllers  []ControllerJSON `json:"controllers"`
+	ControlArea  float64          `json:"controlArea"`
+	DatapathArea float64          `json:"datapathArea"`
+	BenchTime    float64          `json:"benchTime"`
+	Events       int64            `json:"events"`
+	TotalArea    float64          `json:"totalArea"`
+}
+
+// MergeJSON mirrors core.Merge.
+type MergeJSON struct {
+	Channel   string `json:"channel"`
+	Activator string `json:"activator"`
+	Activated string `json:"activated"`
+	Result    string `json:"result"`
+}
+
+// ReportJSON mirrors core.Report.
+type ReportJSON struct {
+	Merges        []MergeJSON       `json:"merges,omitempty"`
+	Skipped       []string          `json:"skipped,omitempty"`
+	CallsSplit    []string          `json:"callsSplit,omitempty"`
+	CallsRestored []string          `json:"callsRestored,omitempty"`
+	Containment   map[string]string `json:"containment,omitempty"`
+}
+
+// DesignResultJSON is one Table 3 row with full per-controller detail.
+type DesignResultJSON struct {
+	Design              string      `json:"design"`
+	Bench               string      `json:"bench"`
+	Unopt               ArmJSON     `json:"unopt"`
+	Opt                 ArmJSON     `json:"opt"`
+	SpeedImprovementPct float64     `json:"speedImprovementPct"`
+	AreaOverheadPct     float64     `json:"areaOverheadPct"`
+	Report              *ReportJSON `json:"report,omitempty"`
+}
+
+// SynthControllerJSON is one synthesized controller of a KindSynth
+// job: its summary numbers and its mapped netlist as structural
+// Verilog.
+type SynthControllerJSON struct {
+	Controller ControllerJSON `json:"controller"`
+	Verilog    string         `json:"verilog"`
+}
+
+// SynthResultJSON is the result of a KindSynth job.
+type SynthResultJSON struct {
+	Mode        string                `json:"mode"`
+	Controllers []SynthControllerJSON `json:"controllers"`
+	Report      *ReportJSON           `json:"report,omitempty"`
+}
+
+// JobResult is the body of GET /api/v1/jobs/{id}/result; exactly one
+// of the payload fields is set, matching the job's kind.
+type JobResult struct {
+	Kind   string              `json:"kind"`
+	Design *DesignResultJSON   `json:"design,omitempty"`
+	Table3 []*DesignResultJSON `json:"table3,omitempty"`
+	Synth  *SynthResultJSON    `json:"synth,omitempty"`
+}
+
+// Event is one element of a job's progress stream.
+type Event struct {
+	Seq  int64  `json:"seq"`
+	Type string `json:"type"` // "state", "stage", "error"
+	// State carries the new job state for "state" events.
+	State string `json:"state,omitempty"`
+	// Dedup marks the terminal "state" event of a dedup-served job.
+	Dedup bool `json:"dedup,omitempty"`
+	// Stage fields carry cumulative per-stage counters for "stage"
+	// events (see parallel.Timings).
+	Stage       string `json:"stage,omitempty"`
+	Count       int64  `json:"count,omitempty"`
+	TotalMicros int64  `json:"totalMicros,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+// StageJSON is one pipeline stage's cumulative counters.
+type StageJSON struct {
+	Count       int64 `json:"count"`
+	TotalMicros int64 `json:"totalMicros"`
+}
+
+// MetricsJSON is the JSON form of the daemon's counters
+// (GET /api/v1/metrics; /metrics serves the same data in Prometheus
+// text format).
+type MetricsJSON struct {
+	JobsByState     map[string]int64     `json:"jobsByState"`
+	QueueDepth      int64                `json:"queueDepth"`
+	DedupHits       int64                `json:"dedupHits"`
+	DedupMisses     int64                `json:"dedupMisses"`
+	FlowCacheHits   int64                `json:"flowCacheHits"`
+	FlowCacheMisses int64                `json:"flowCacheMisses"`
+	Stages          map[string]StageJSON `json:"stages"`
+}
+
+// FromControllerResult converts one controller summary.
+func FromControllerResult(c flow.ControllerResult) ControllerJSON {
+	return ControllerJSON{
+		Name: c.Name, States: c.States, StateBits: c.StateBits,
+		Products: c.Products, Cells: c.Cells, Area: c.Area, Critical: c.Critical,
+	}
+}
+
+// FromArmResult converts one flow arm.
+func FromArmResult(a flow.ArmResult) ArmJSON {
+	out := ArmJSON{
+		ControlArea:  a.ControlArea,
+		DatapathArea: a.DatapathArea,
+		BenchTime:    a.BenchTime,
+		Events:       a.Events,
+		TotalArea:    a.TotalArea(),
+		Controllers:  make([]ControllerJSON, 0, len(a.Controllers)),
+	}
+	for _, c := range a.Controllers {
+		out.Controllers = append(out.Controllers, FromControllerResult(c))
+	}
+	return out
+}
+
+// FromReport converts a clustering report (nil in, nil out).
+func FromReport(rep *core.Report) *ReportJSON {
+	if rep == nil {
+		return nil
+	}
+	out := &ReportJSON{
+		Skipped:       rep.Skipped,
+		CallsSplit:    rep.CallsSplit,
+		CallsRestored: rep.CallsRestored,
+		Containment:   rep.Containment,
+	}
+	for _, m := range rep.Merges {
+		out.Merges = append(out.Merges, MergeJSON{
+			Channel: m.Channel, Activator: m.Activator,
+			Activated: m.Activated, Result: m.Result,
+		})
+	}
+	return out
+}
+
+// FromDesignResult converts one Table 3 row.
+func FromDesignResult(r *flow.DesignResult) *DesignResultJSON {
+	return &DesignResultJSON{
+		Design:              r.Design,
+		Bench:               r.Bench,
+		Unopt:               FromArmResult(r.Unopt),
+		Opt:                 FromArmResult(r.Opt),
+		SpeedImprovementPct: r.SpeedImprovement(),
+		AreaOverheadPct:     r.AreaOverhead(),
+		Report:              FromReport(r.Report),
+	}
+}
+
+// FromDesignResults converts a result list in order.
+func FromDesignResults(rs []*flow.DesignResult) []*DesignResultJSON {
+	out := make([]*DesignResultJSON, len(rs))
+	for i, r := range rs {
+		out[i] = FromDesignResult(r)
+	}
+	return out
+}
+
+// ToFlow converts a wire-form row back into the flow's result type,
+// so remote results render through the same Table 3 / flow-report
+// formatters as local ones.
+func (d *DesignResultJSON) ToFlow() *flow.DesignResult {
+	arm := func(a ArmJSON) flow.ArmResult {
+		out := flow.ArmResult{
+			ControlArea:  a.ControlArea,
+			DatapathArea: a.DatapathArea,
+			BenchTime:    a.BenchTime,
+			Events:       a.Events,
+			Controllers:  make([]flow.ControllerResult, 0, len(a.Controllers)),
+		}
+		for _, c := range a.Controllers {
+			out.Controllers = append(out.Controllers, flow.ControllerResult{
+				Name: c.Name, States: c.States, StateBits: c.StateBits,
+				Products: c.Products, Cells: c.Cells, Area: c.Area, Critical: c.Critical,
+			})
+		}
+		return out
+	}
+	return &flow.DesignResult{
+		Design: d.Design,
+		Bench:  d.Bench,
+		Unopt:  arm(d.Unopt),
+		Opt:    arm(d.Opt),
+	}
+}
+
+// Encode renders any wire value in the canonical machine-readable
+// form: two-space-indented JSON with a trailing newline. Both the
+// server responses and the CLI's -json output go through this one
+// encoder, so equal values encode to equal bytes everywhere.
+func Encode(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

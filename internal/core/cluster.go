@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -183,6 +184,18 @@ type Options struct {
 	// instead of creating one from Workers, so clustering and synthesis
 	// draw from one global budget.
 	Pool *parallel.Pool
+	// Ctx, when set, cancels a clustering run in flight: legality
+	// probes still waiting for a pool slot are abandoned and the run
+	// returns the context's error. Nil means context.Background().
+	Ctx context.Context
+}
+
+// ctx resolves the run's cancellation context.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // pool resolves the worker pool the clustering run should use.
@@ -306,7 +319,7 @@ func t1Sweep(out *Netlist, rep *Report, opt Options) (bool, error) {
 			return false, err
 		}
 		rest := channels[i:]
-		cands, err := parallel.Map(opt.Pool, len(rest), func(k int) (t1Candidate, error) {
+		cands, err := parallel.MapCtx(opt.ctx(), opt.Pool, len(rest), func(k int) (t1Candidate, error) {
 			return t1Evaluate(out, rest[k], uses, opt), nil
 		})
 		if err != nil {

@@ -1,0 +1,57 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"balsabm/internal/designs"
+	"balsabm/internal/techmap"
+)
+
+// A cancelled context must stop a flow run with the context's error
+// instead of a partial result.
+func TestRunDesignCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunDesignCtx(ctx, designs.SystolicCounter(), &Options{Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunDesignCtx error = %v, want context.Canceled", err)
+	}
+}
+
+// Cancelling mid-run must return promptly: leaf tasks still waiting
+// for a worker slot are abandoned rather than drained.
+func TestRunAllCtxCancelMidRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a multi-design flow")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	start := time.Now()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	_, err := RunAllCtx(ctx, &Options{Workers: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunAllCtx error = %v, want context.Canceled", err)
+	}
+	// The full four-design run takes far longer than a second even on
+	// fast machines; returning quickly shows leaves were abandoned.
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancelled run still took %v", elapsed)
+	}
+}
+
+// SynthesizeNetlistCtx must propagate cancellation too (it is the
+// server's path for submitted designs).
+func TestSynthesizeNetlistCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n := designs.SystolicCounter().Control()
+	_, _, err := SynthesizeNetlistCtx(ctx, n, techmap.SpeedSplit, &Options{Workers: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SynthesizeNetlistCtx error = %v, want context.Canceled", err)
+	}
+}

@@ -17,6 +17,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -196,18 +197,23 @@ type synthEntry struct {
 	res     ControllerResult
 }
 
-// runner carries the shared state of one flow invocation: the worker
-// pool, the canonical-form synthesis cache (shared across both arms
-// and, under RunAll, across designs) and the metrics sink.
+// runner carries the shared state of one flow invocation: the
+// cancellation context, the worker pool, the canonical-form synthesis
+// cache (shared across both arms and, under RunAll, across designs)
+// and the metrics sink.
 type runner struct {
+	ctx   context.Context
 	opt   Options // defaults applied; never the caller's struct
 	pool  *parallel.Pool
 	cache parallel.Memo[*synthEntry]
 	met   *Metrics
 }
 
-func newRunner(opt *Options) *runner {
-	r := &runner{opt: opt.withDefaults()}
+func newRunner(ctx context.Context, opt *Options) *runner {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r := &runner{ctx: ctx, opt: opt.withDefaults()}
 	r.pool = parallel.NewPool(r.opt.Workers)
 	r.met = r.opt.Metrics
 	if r.met == nil {
@@ -317,7 +323,7 @@ func (r *runner) synthesizeNetlist(n *core.Netlist, mode techmap.Mode) ([]*gates
 		nl  *gates.Netlist
 		res ControllerResult
 	}
-	outs, err := parallel.Map(r.pool, len(n.Components), func(i int) (synthOut, error) {
+	outs, err := parallel.MapCtx(r.ctx, r.pool, len(n.Components), func(i int) (synthOut, error) {
 		nl, res, err := r.synthOne(n.Components[i], mode)
 		if err != nil {
 			return synthOut{}, err
@@ -346,13 +352,20 @@ func (r *runner) synthesizeNetlist(n *core.Netlist, mode techmap.Mode) ([]*gates
 // rest (e.g. clustered controllers in mixed netlists) fall back to
 // synthesis.
 func SynthesizeNetlist(n *core.Netlist, mode techmap.Mode, opt *Options) ([]*gates.Netlist, []ControllerResult, error) {
-	return newRunner(opt).synthesizeNetlist(n, mode)
+	return SynthesizeNetlistCtx(context.Background(), n, mode, opt)
+}
+
+// SynthesizeNetlistCtx is SynthesizeNetlist with cancellation:
+// component syntheses still waiting for a worker slot when ctx is
+// cancelled are abandoned and the call returns the context's error.
+func SynthesizeNetlistCtx(ctx context.Context, n *core.Netlist, mode techmap.Mode, opt *Options) ([]*gates.Netlist, []ControllerResult, error) {
+	return newRunner(ctx, opt).synthesizeNetlist(n, mode)
 }
 
 // simulate runs one design arm: mapped controllers + datapath + bench.
 // A whole simulation is one leaf unit of pool work.
 func (r *runner) simulate(d *designs.Design, mapped []*gates.Netlist) (simTime, dpArea float64, events int64, desc string, err error) {
-	err = r.pool.Run(func() error {
+	err = r.pool.RunCtx(r.ctx, func() error {
 		start := time.Now()
 		defer func() { r.met.Timings.Observe("simulate", time.Since(start)) }()
 		s := sim.New(r.opt.Lib)
@@ -367,6 +380,9 @@ func (r *runner) simulate(d *designs.Design, mapped []*gates.Netlist) (simTime, 
 		}
 		bench.Start()
 		for !bench.Done() {
+			if err := r.ctx.Err(); err != nil {
+				return err
+			}
 			if err := s.Run(r.opt.TimeLimit, r.opt.EventLimit); err != nil {
 				return fmt.Errorf("flow: %s: %w", d.Name, err)
 			}
@@ -416,6 +432,7 @@ func (r *runner) runDesign(d *designs.Design) (*DesignResult, error) {
 	opt := func() error {
 		clOpt := r.opt.Cluster
 		clOpt.Pool = r.pool // clustering probes draw from the same budget
+		clOpt.Ctx = r.ctx   // and cancel with the same run
 		start := time.Now()
 		optNetlist, report, err := core.OptimizeOpt(d.Control(), clOpt)
 		r.met.Timings.Observe("cluster", time.Since(start))
@@ -447,14 +464,28 @@ func (r *runner) runDesign(d *designs.Design) (*DesignResult, error) {
 
 // RunDesign executes both arms of the flow for one design.
 func RunDesign(d *designs.Design, opt *Options) (*DesignResult, error) {
-	return newRunner(opt).runDesign(d)
+	return RunDesignCtx(context.Background(), d, opt)
+}
+
+// RunDesignCtx is RunDesign with cancellation. Cancelling ctx stops
+// the run at the next leaf boundary: syntheses, clustering probes and
+// simulations still waiting for a worker slot are abandoned, running
+// simulations stop at their next scheduler quantum, and the call
+// returns the context's error. No pool goroutines outlive the call.
+func RunDesignCtx(ctx context.Context, d *designs.Design, opt *Options) (*DesignResult, error) {
+	return newRunner(ctx, opt).runDesign(d)
 }
 
 // RunAll executes the flow for every Table 3 design. Designs run
 // concurrently and share one synthesis cache, so a controller shape
 // appearing in several designs synthesizes once.
 func RunAll(opt *Options) ([]*DesignResult, error) {
-	r := newRunner(opt)
+	return RunAllCtx(context.Background(), opt)
+}
+
+// RunAllCtx is RunAll with cancellation (see RunDesignCtx).
+func RunAllCtx(ctx context.Context, opt *Options) ([]*DesignResult, error) {
+	r := newRunner(ctx, opt)
 	all := designs.All()
 	out := make([]*DesignResult, len(all))
 	fns := make([]func() error, len(all))

@@ -43,6 +43,17 @@ func (m *Memo[V]) Do(key string, f func() (V, error)) (V, bool, error) {
 	return e.val, false, e.err
 }
 
+// Forget drops the entry for key, so the next Do computes afresh. It
+// is used to un-memoize results that are not deterministic properties
+// of the key — e.g. a computation that failed only because its job was
+// cancelled. Callers already waiting on the entry still receive the
+// old result; only future Do calls recompute.
+func (m *Memo[V]) Forget(key string) {
+	m.mu.Lock()
+	delete(m.entries, key)
+	m.mu.Unlock()
+}
+
 // Hits returns how many calls were served from the cache.
 func (m *Memo[V]) Hits() int64 { return m.hits.Load() }
 

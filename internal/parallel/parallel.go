@@ -12,6 +12,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -49,10 +50,36 @@ func (p *Pool) Workers() int { return cap(p.sem) }
 func (p *Pool) acquire() { p.sem <- struct{}{} }
 func (p *Pool) release() { <-p.sem }
 
+// Acquire takes one pool slot, or gives up when the context is
+// cancelled first, returning the context's error. A nil error means the
+// caller holds a slot and must release it.
+func (p *Pool) Acquire(ctx context.Context) error {
+	select {
+	case p.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // Run executes one leaf unit of work under pool admission.
 func (p *Pool) Run(f func() error) error {
-	p.acquire()
+	return p.RunCtx(context.Background(), f)
+}
+
+// RunCtx executes one leaf unit of work under pool admission,
+// abandoning it (without running f) when the context is cancelled
+// while waiting for a slot or before f starts. A running f is not
+// interrupted; long leaves that want finer-grained cancellation must
+// check ctx themselves.
+func (p *Pool) RunCtx(ctx context.Context, f func() error) error {
+	if err := p.Acquire(ctx); err != nil {
+		return err
+	}
 	defer p.release()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return f()
 }
 
@@ -64,6 +91,14 @@ func (p *Pool) Run(f func() error) error {
 // items with lower indices always run, so the winning error never
 // depends on scheduling.
 func Map[T any](p *Pool, n int, f func(int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), p, n, f)
+}
+
+// MapCtx is Map with cancellation: items still waiting for a pool slot
+// when the context is cancelled are skipped and fail with the context's
+// error, which then propagates under the same lowest-failing-index
+// rule. Items whose f already started run to completion.
+func MapCtx[T any](ctx context.Context, p *Pool, n int, f func(int) (T, error)) ([]T, error) {
 	if p == nil {
 		p = Default()
 	}
@@ -71,25 +106,35 @@ func Map[T any](p *Pool, n int, f func(int) (T, error)) ([]T, error) {
 	errs := make([]error, n)
 	var minErr atomic.Int64
 	minErr.Store(int64(n))
+	fail := func(i int, err error) {
+		errs[i] = err
+		for {
+			cur := minErr.Load()
+			if int64(i) >= cur || minErr.CompareAndSwap(cur, int64(i)) {
+				break
+			}
+		}
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			p.acquire()
+			if err := p.Acquire(ctx); err != nil {
+				fail(i, err)
+				return
+			}
 			defer p.release()
 			if int64(i) > minErr.Load() {
 				return // a lower index already failed; this result cannot matter
 			}
+			if err := ctx.Err(); err != nil {
+				fail(i, err)
+				return
+			}
 			v, err := f(i)
 			if err != nil {
-				errs[i] = err
-				for {
-					cur := minErr.Load()
-					if int64(i) >= cur || minErr.CompareAndSwap(cur, int64(i)) {
-						break
-					}
-				}
+				fail(i, err)
 				return
 			}
 			out[i] = v

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -160,4 +161,88 @@ func TestTimings(t *testing.T) {
 	if nilT.String() != "" {
 		t.Fatal("nil Timings should render empty")
 	}
+}
+
+func TestMapCtxCancelAbandonsQueuedItems(t *testing.T) {
+	p := NewPool(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var ran atomic.Int64
+	done := make(chan struct{})
+	var mapErr error
+	go func() {
+		defer close(done)
+		_, mapErr = MapCtx(ctx, p, 50, func(i int) (int, error) {
+			ran.Add(1)
+			if i == 0 {
+				close(started)
+				<-release
+			}
+			return i, nil
+		})
+	}()
+	<-started // item 0 occupies the only slot
+	cancel()  // items 1..49 still waiting for a slot must be abandoned
+	close(release)
+	<-done
+	if !errors.Is(mapErr, context.Canceled) {
+		t.Fatalf("MapCtx error = %v, want context.Canceled", mapErr)
+	}
+	if n := ran.Load(); n >= 50 {
+		t.Fatalf("all %d items ran despite cancellation", n)
+	}
+}
+
+func TestRunCtxCancelled(t *testing.T) {
+	p := NewPool(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := p.RunCtx(ctx, func() error {
+		t.Fatal("leaf ran under a cancelled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunCtx error = %v, want context.Canceled", err)
+	}
+}
+
+func TestMemoForget(t *testing.T) {
+	var m Memo[int]
+	var runs atomic.Int64
+	compute := func() (int, error) { runs.Add(1); return int(runs.Load()), nil }
+	if v, _, _ := m.Do("k", compute); v != 1 {
+		t.Fatalf("first Do = %d, want 1", v)
+	}
+	m.Forget("k")
+	v, hit, _ := m.Do("k", compute)
+	if hit || v != 2 {
+		t.Fatalf("Do after Forget: hit=%v v=%d, want fresh recompute", hit, v)
+	}
+}
+
+func TestTimingsNotify(t *testing.T) {
+	var tm Timings
+	type obs struct {
+		stage string
+		d     time.Duration
+		s     Stage
+	}
+	var mu sync.Mutex
+	var got []obs
+	tm.Notify(func(stage string, d time.Duration, s Stage) {
+		mu.Lock()
+		got = append(got, obs{stage, d, s})
+		mu.Unlock()
+	})
+	tm.Observe("compile", 2*time.Millisecond)
+	tm.Observe("compile", 3*time.Millisecond)
+	if len(got) != 2 {
+		t.Fatalf("got %d notifications, want 2", len(got))
+	}
+	if got[1].d != 3*time.Millisecond || got[1].s.Count != 2 || got[1].s.Total != 5*time.Millisecond {
+		t.Fatalf("second notification %+v", got[1])
+	}
+	var nilT *Timings
+	nilT.Notify(func(string, time.Duration, Stage) {}) // must not panic
 }

@@ -20,6 +20,22 @@ type Stage struct {
 type Timings struct {
 	mu     sync.Mutex
 	stages map[string]Stage
+	notify []func(stage string, d time.Duration, s Stage)
+}
+
+// Notify registers fn to run after every Observe, with the stage name,
+// the duration of the observed unit, and the stage's updated
+// cumulative counters. It is how live consumers (the server's progress
+// streams and its aggregate metrics) see stage completions as they
+// happen. Callbacks run on the observing goroutine, outside the
+// Timings lock, and must be fast and concurrency-safe.
+func (t *Timings) Notify(fn func(stage string, d time.Duration, s Stage)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.notify = append(t.notify, fn)
+	t.mu.Unlock()
 }
 
 // Observe adds one completed unit of the named stage.
@@ -35,7 +51,11 @@ func (t *Timings) Observe(stage string, d time.Duration) {
 	s.Count++
 	s.Total += d
 	t.stages[stage] = s
+	fns := t.notify
 	t.mu.Unlock()
+	for _, fn := range fns {
+		fn(stage, d, s)
+	}
 }
 
 // Time runs f and charges its duration to the named stage.

@@ -1,0 +1,499 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"balsabm/internal/api"
+	"balsabm/internal/balsa"
+	"balsabm/internal/cell"
+	"balsabm/internal/ch"
+	"balsabm/internal/core"
+	"balsabm/internal/designs"
+	"balsabm/internal/flow"
+	"balsabm/internal/parallel"
+	"balsabm/internal/techmap"
+)
+
+// Config tunes the job manager.
+type Config struct {
+	// Workers is the number of jobs executing concurrently; 0 means 1.
+	// Each job additionally fans its own leaf work (syntheses, probes,
+	// simulations) across the flow's per-run pool, bounded by the
+	// request's FlowConfig.Workers.
+	Workers int
+	// QueueDepth bounds the number of jobs waiting to run; submissions
+	// beyond it are rejected (the HTTP layer answers 503). 0 means 64.
+	QueueDepth int
+	// History bounds the progress events retained per job for replay
+	// to late stream subscribers; 0 means 512.
+	History int
+	// Clock supplies timestamps for job statuses; nil means time.Now.
+	// Tests inject a fixed clock.
+	Clock func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.History <= 0 {
+		c.History = 512
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// ErrQueueFull rejects submissions when the job queue is at capacity.
+var ErrQueueFull = errors.New("server: job queue full")
+
+// Job is one unit of synthesis work moving through the queue.
+type Job struct {
+	ID  string
+	Req api.JobRequest
+	// Key is the job's dedup key digest (see requestKey).
+	Key string
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	events *broker
+	met    *flow.Metrics
+	exec   func(ctx context.Context, met *flow.Metrics) (*api.JobResult, error)
+
+	mu       sync.Mutex
+	state    string
+	dedup    bool
+	err      string
+	result   *api.JobResult
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	done     chan struct{} // closed on terminal state
+}
+
+// Status snapshots the job for the wire.
+func (j *Job) Status() api.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := api.JobStatus{
+		ID:      j.ID,
+		Kind:    j.Req.Kind,
+		State:   j.state,
+		Dedup:   j.dedup,
+		Key:     j.Key,
+		Error:   j.err,
+		Created: j.created.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.started.IsZero() {
+		st.Started = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		st.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	return st
+}
+
+// Result returns the job's result once done (nil otherwise).
+func (j *Job) Result() *api.JobResult {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// terminal reports whether a state is final.
+func terminal(state string) bool {
+	return state == api.StateDone || state == api.StateFailed || state == api.StateCanceled
+}
+
+// Manager owns the job queue: bounded-concurrency execution on top of
+// per-job contexts, request deduplication through a single-flight
+// memo keyed on canonical design forms, per-job progress brokers, and
+// the daemon-wide counters behind /metrics.
+type Manager struct {
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	queue  chan *Job
+	memo   parallel.Memo[*api.JobResult]
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	nextID int64
+
+	dedupHits   parallel.Counter
+	dedupMisses parallel.Counter
+	flowHits    parallel.Counter
+	flowMisses  parallel.Counter
+	aggTimings  parallel.Timings
+}
+
+// NewManager starts a manager with cfg.Workers executor goroutines.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:    cfg,
+		ctx:    ctx,
+		cancel: cancel,
+		queue:  make(chan *Job, cfg.QueueDepth),
+		jobs:   map[string]*Job{},
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Close cancels every job and stops the workers. In-flight flow runs
+// stop at their next leaf boundary.
+func (m *Manager) Close() {
+	m.cancel()
+	m.wg.Wait()
+}
+
+// Submit validates and enqueues one request. The returned job is
+// already queued (or rejected with ErrQueueFull / a validation error).
+func (m *Manager) Submit(req api.JobRequest) (*Job, error) {
+	exec, key, err := prepare(req)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(m.ctx)
+	j := &Job{
+		Req:    req,
+		Key:    key,
+		ctx:    ctx,
+		cancel: cancel,
+		events: newBroker(m.cfg.History),
+		met:    &flow.Metrics{},
+		exec:   exec,
+		state:  api.StateQueued,
+		done:   make(chan struct{}),
+	}
+	// Forward the job's stage completions to its progress stream and
+	// fold them into the daemon-wide stage totals.
+	j.events.publish(api.Event{Type: "state", State: api.StateQueued})
+	j.met.Timings.Notify(func(stage string, d time.Duration, s parallel.Stage) {
+		m.aggTimings.Observe(stage, d)
+		j.events.publish(api.Event{
+			Type:        "stage",
+			Stage:       stage,
+			Count:       s.Count,
+			TotalMicros: s.Total.Microseconds(),
+		})
+	})
+
+	m.mu.Lock()
+	m.nextID++
+	j.ID = fmt.Sprintf("j%05d", m.nextID)
+	j.created = m.cfg.Clock()
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Unlock()
+		cancel()
+		return nil, ErrQueueFull
+	}
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	m.mu.Unlock()
+	return j, nil
+}
+
+// Get returns a job by ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List returns every job in submission order.
+func (m *Manager) List() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// Cancel cancels a job. A queued job transitions to canceled
+// immediately; a running one stops at its next leaf boundary and
+// transitions when its executor observes the cancellation.
+func (m *Manager) Cancel(id string) bool {
+	j, ok := m.Get(id)
+	if !ok {
+		return false
+	}
+	j.cancel()
+	j.mu.Lock()
+	if j.state == api.StateQueued {
+		j.mu.Unlock()
+		m.finish(j, api.StateCanceled, nil, context.Canceled)
+	} else {
+		j.mu.Unlock()
+	}
+	return true
+}
+
+// QueueDepth is the number of jobs waiting for an executor.
+func (m *Manager) QueueDepth() int64 { return int64(len(m.queue)) }
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case j := <-m.queue:
+			m.run(j)
+		}
+	}
+}
+
+// run executes one dequeued job through the dedup memo.
+func (m *Manager) run(j *Job) {
+	j.mu.Lock()
+	if terminal(j.state) { // canceled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = api.StateRunning
+	j.started = m.cfg.Clock()
+	j.mu.Unlock()
+	j.events.publish(api.Event{Type: "state", State: api.StateRunning})
+
+	res, hit, err := m.memo.Do(j.Key, func() (*api.JobResult, error) {
+		return j.exec(j.ctx, j.met)
+	})
+	if hit {
+		m.dedupHits.Add(1)
+		j.mu.Lock()
+		j.dedup = true
+		j.mu.Unlock()
+	} else {
+		m.dedupMisses.Add(1)
+		m.flowHits.Add(j.met.CacheHits.Load())
+		m.flowMisses.Add(j.met.CacheMisses.Load())
+	}
+	switch {
+	case err == nil:
+		m.finish(j, api.StateDone, res, nil)
+	case j.ctx.Err() != nil || errors.Is(err, context.Canceled):
+		// A cancelled run is not a property of the design; un-memoize
+		// it so the next identical submission computes afresh.
+		if !hit {
+			m.memo.Forget(j.Key)
+		}
+		m.finish(j, api.StateCanceled, nil, err)
+	default:
+		m.finish(j, api.StateFailed, nil, err)
+	}
+}
+
+// finish moves a job to a terminal state, publishes the terminal
+// event and closes its progress stream.
+func (m *Manager) finish(j *Job, state string, res *api.JobResult, err error) {
+	j.mu.Lock()
+	if terminal(j.state) {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.result = res
+	j.finished = m.cfg.Clock()
+	if err != nil {
+		j.err = err.Error()
+	}
+	dedup := j.dedup
+	j.mu.Unlock()
+	ev := api.Event{Type: "state", State: state, Dedup: dedup}
+	if err != nil {
+		ev.Error = err.Error()
+	}
+	j.events.publish(ev)
+	j.events.close()
+	close(j.done)
+	j.cancel()
+}
+
+// Metrics snapshots the daemon-wide counters.
+func (m *Manager) Metrics() *api.MetricsJSON {
+	out := &api.MetricsJSON{
+		JobsByState: map[string]int64{
+			api.StateQueued: 0, api.StateRunning: 0, api.StateDone: 0,
+			api.StateFailed: 0, api.StateCanceled: 0,
+		},
+		QueueDepth:      m.QueueDepth(),
+		DedupHits:       m.dedupHits.Load(),
+		DedupMisses:     m.dedupMisses.Load(),
+		FlowCacheHits:   m.flowHits.Load(),
+		FlowCacheMisses: m.flowMisses.Load(),
+		Stages:          map[string]api.StageJSON{},
+	}
+	for _, j := range m.List() {
+		j.mu.Lock()
+		out.JobsByState[j.state]++
+		j.mu.Unlock()
+	}
+	for name, s := range m.aggTimings.Snapshot() {
+		out.Stages[name] = api.StageJSON{Count: s.Count, TotalMicros: s.Total.Microseconds()}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Request preparation: validation, canonical dedup keys, executors.
+
+// netlistKey digests a control netlist for deduplication. Each
+// component contributes its name plus its ch.Canonicalize form — the
+// α-renamed body key and the actual wire names in canonical channel
+// order. Actual wires (not α-classes) are part of the key because the
+// netlist's interconnect and the emitted gate netlists depend on them;
+// two requests share a key exactly when the flow would produce
+// byte-identical outputs for them, however their sources were
+// formatted. Components the canonicalizer rejects (verb channels)
+// contribute their formatted text instead.
+func netlistKey(n *core.Netlist) string {
+	h := sha256.New()
+	for _, c := range n.Components {
+		if cf, ok := ch.CanonicalizeProgram(c); ok {
+			fmt.Fprintf(h, "%s|%s|%s\n", c.Name, cf.Key, strings.Join(cf.Wires, ","))
+		} else {
+			fmt.Fprintf(h, "%s|raw|%s\n", c.Name, ch.FormatProgram(c))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// prepare validates a request and returns its executor closure and
+// dedup key. All parsing happens here, at submission time, so a
+// malformed request fails synchronously with a 400-class error.
+func prepare(req api.JobRequest) (func(context.Context, *flow.Metrics) (*api.JobResult, error), string, error) {
+	cfgKey := req.Config.Key()
+	switch req.Kind {
+	case api.KindDesign:
+		d, err := designs.ByName(req.Design)
+		if err != nil {
+			return nil, "", err
+		}
+		key := fmt.Sprintf("design|%s|%s|%s", req.Design, cfgKey, netlistKey(d.Control()))
+		exec := func(ctx context.Context, met *flow.Metrics) (*api.JobResult, error) {
+			r, err := flow.RunDesignCtx(ctx, d, req.Config.Options(met))
+			if err != nil {
+				return nil, err
+			}
+			return &api.JobResult{Kind: api.KindDesign, Design: api.FromDesignResult(r)}, nil
+		}
+		return exec, key, nil
+
+	case api.KindTable3:
+		key := fmt.Sprintf("table3|%s", cfgKey)
+		exec := func(ctx context.Context, met *flow.Metrics) (*api.JobResult, error) {
+			rs, err := flow.RunAllCtx(ctx, req.Config.Options(met))
+			if err != nil {
+				return nil, err
+			}
+			return &api.JobResult{Kind: api.KindTable3, Table3: api.FromDesignResults(rs)}, nil
+		}
+		return exec, key, nil
+
+	case api.KindSynth:
+		n, err := parseSource(req)
+		if err != nil {
+			return nil, "", err
+		}
+		mode := req.Mode
+		if mode == "" {
+			mode = api.ModeOpt
+		}
+		if mode != api.ModeOpt && mode != api.ModeUnopt {
+			return nil, "", fmt.Errorf("server: unknown mode %q", req.Mode)
+		}
+		key := fmt.Sprintf("synth|%s|%s|%s", mode, cfgKey, netlistKey(n))
+		exec := func(ctx context.Context, met *flow.Metrics) (*api.JobResult, error) {
+			return runSynth(ctx, n, mode, req.Config, met)
+		}
+		return exec, key, nil
+	}
+	return nil, "", fmt.Errorf("server: unknown job kind %q", req.Kind)
+}
+
+// parseSource turns a KindSynth request body into a control netlist.
+func parseSource(req api.JobRequest) (*core.Netlist, error) {
+	if strings.TrimSpace(req.Source) == "" {
+		return nil, fmt.Errorf("server: synth request has empty source")
+	}
+	switch req.Format {
+	case "", api.FormatCH:
+		return core.ParseNetlist(req.Source)
+	case api.FormatBalsa:
+		name := req.Name
+		if name == "" {
+			name = "design"
+		}
+		hcn, err := balsa.CompileSource(req.Source, name)
+		if err != nil {
+			return nil, err
+		}
+		return hcn.Control()
+	}
+	return nil, fmt.Errorf("server: unknown source format %q", req.Format)
+}
+
+// runSynth is the executor for submitted designs: optional clustering,
+// then synthesis and mapping of every controller, returning summary
+// numbers and structural Verilog per controller.
+func runSynth(ctx context.Context, n *core.Netlist, mode string, cfg api.FlowConfig, met *flow.Metrics) (*api.JobResult, error) {
+	out := &api.SynthResultJSON{Mode: mode}
+	tmMode := techmap.AreaShared
+	if mode == api.ModeOpt {
+		tmMode = techmap.SpeedSplit
+		var rep *core.Report
+		var err error
+		start := time.Now()
+		n, rep, err = core.OptimizeOpt(n, core.Options{
+			MaxStates: cfg.MaxStates, Workers: cfg.Workers, Ctx: ctx,
+		})
+		met.Timings.Observe("cluster", time.Since(start))
+		if err != nil {
+			return nil, err
+		}
+		out.Report = api.FromReport(rep)
+	}
+	opts := cfg.Options(met)
+	mapped, ctrls, err := flow.SynthesizeNetlistCtx(ctx, n, tmMode, opts)
+	if err != nil {
+		return nil, err
+	}
+	lib := opts.Lib
+	if lib == nil {
+		lib = cell.AMS035()
+	}
+	for i, nl := range mapped {
+		out.Controllers = append(out.Controllers, api.SynthControllerJSON{
+			Controller: api.FromControllerResult(ctrls[i]),
+			Verilog:    techmap.VerilogModules(nl, lib),
+		})
+	}
+	return &api.JobResult{Kind: api.KindSynth, Synth: out}, nil
+}

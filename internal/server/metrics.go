@@ -1,0 +1,64 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"balsabm/internal/api"
+)
+
+// PrometheusText renders the daemon counters in the Prometheus text
+// exposition format (hand-rolled; the repo is standard-library only).
+// Series are emitted in sorted label order so scrapes are
+// deterministic and diffable.
+func PrometheusText(m *api.MetricsJSON) string {
+	var sb strings.Builder
+	line := func(format string, args ...any) { fmt.Fprintf(&sb, format+"\n", args...) }
+
+	line("# HELP balsabmd_jobs_total Jobs by current state.")
+	line("# TYPE balsabmd_jobs_total gauge")
+	states := make([]string, 0, len(m.JobsByState))
+	for s := range m.JobsByState {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+	for _, s := range states {
+		line("balsabmd_jobs_total{state=%q} %d", s, m.JobsByState[s])
+	}
+
+	line("# HELP balsabmd_queue_depth Jobs waiting for an executor.")
+	line("# TYPE balsabmd_queue_depth gauge")
+	line("balsabmd_queue_depth %d", m.QueueDepth)
+
+	line("# HELP balsabmd_dedup_hits_total Jobs served from the request dedup cache.")
+	line("# TYPE balsabmd_dedup_hits_total counter")
+	line("balsabmd_dedup_hits_total %d", m.DedupHits)
+	line("# HELP balsabmd_dedup_misses_total Jobs that ran the flow.")
+	line("# TYPE balsabmd_dedup_misses_total counter")
+	line("balsabmd_dedup_misses_total %d", m.DedupMisses)
+
+	line("# HELP balsabmd_flow_cache_hits_total Canonical-form synthesis cache hits across jobs.")
+	line("# TYPE balsabmd_flow_cache_hits_total counter")
+	line("balsabmd_flow_cache_hits_total %d", m.FlowCacheHits)
+	line("# HELP balsabmd_flow_cache_misses_total Canonical-form synthesis cache misses across jobs.")
+	line("# TYPE balsabmd_flow_cache_misses_total counter")
+	line("balsabmd_flow_cache_misses_total %d", m.FlowCacheMisses)
+
+	line("# HELP balsabmd_stage_runs_total Completed pipeline-stage units.")
+	line("# TYPE balsabmd_stage_runs_total counter")
+	stages := make([]string, 0, len(m.Stages))
+	for s := range m.Stages {
+		stages = append(stages, s)
+	}
+	sort.Strings(stages)
+	for _, s := range stages {
+		line("balsabmd_stage_runs_total{stage=%q} %d", s, m.Stages[s].Count)
+	}
+	line("# HELP balsabmd_stage_seconds_total Wall-clock spent per pipeline stage.")
+	line("# TYPE balsabmd_stage_seconds_total counter")
+	for _, s := range stages {
+		line("balsabmd_stage_seconds_total{stage=%q} %.6f", s, float64(m.Stages[s].TotalMicros)/1e6)
+	}
+	return sb.String()
+}

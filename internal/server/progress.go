@@ -1,0 +1,85 @@
+package server
+
+import (
+	"sync"
+
+	"balsabm/internal/api"
+)
+
+// broker is one job's progress stream: a bounded replay buffer plus
+// live fan-out to subscribers. Publishing never blocks — a subscriber
+// whose channel is full simply misses that event, which is harmless
+// because stage events carry cumulative counters and the terminal
+// state is always observable from the job status.
+type broker struct {
+	mu      sync.Mutex
+	seq     int64
+	history []api.Event
+	maxHist int
+	subs    map[chan api.Event]struct{}
+	closed  bool
+}
+
+func newBroker(maxHist int) *broker {
+	return &broker{maxHist: maxHist, subs: map[chan api.Event]struct{}{}}
+}
+
+// publish assigns the next sequence number, records the event for
+// replay and fans it out to live subscribers.
+func (b *broker) publish(ev api.Event) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.seq++
+	ev.Seq = b.seq
+	b.history = append(b.history, ev)
+	if len(b.history) > b.maxHist {
+		b.history = b.history[len(b.history)-b.maxHist:]
+	}
+	for ch := range b.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop, cumulative events recover
+		}
+	}
+	b.mu.Unlock()
+}
+
+// subscribe returns the replay of retained events and a live channel.
+// The channel is closed when the job's stream ends. The caller must
+// call the returned cancel function when done reading.
+func (b *broker) subscribe() (replay []api.Event, ch chan api.Event, cancel func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	replay = append([]api.Event(nil), b.history...)
+	ch = make(chan api.Event, 64)
+	if b.closed {
+		close(ch)
+		return replay, ch, func() {}
+	}
+	b.subs[ch] = struct{}{}
+	return replay, ch, func() {
+		b.mu.Lock()
+		if _, ok := b.subs[ch]; ok {
+			delete(b.subs, ch)
+			close(ch)
+		}
+		b.mu.Unlock()
+	}
+}
+
+// close ends the stream: all subscriber channels close and further
+// publishes are dropped.
+func (b *broker) close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		for ch := range b.subs {
+			delete(b.subs, ch)
+			close(ch)
+		}
+	}
+	b.mu.Unlock()
+}
