@@ -12,6 +12,10 @@
 //	balsabm fig5              call distribution example (Fig 5)
 //	balsabm verify            Section 4.3 conformance experiment
 //	balsabm flow <design>     detailed per-controller flow report
+//	balsabm lint [file...]    run the chlint analyzer on CH source files
+//	                          (no files: lint every built-in design);
+//	                          -lint is an equivalent flag spelling.
+//	                          Exit status 1 when errors are reported.
 //	balsabm artifacts <design> <dir>
 //	                          write the Fig 1 file pipeline (.bms, .sol,
 //	                          .v per controller, both arms) into dir
@@ -39,6 +43,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -47,6 +52,7 @@ import (
 	"strings"
 	"syscall"
 
+	"balsabm/internal/analysis"
 	"balsabm/internal/api"
 	"balsabm/internal/cell"
 	"balsabm/internal/ch"
@@ -62,8 +68,9 @@ import (
 var (
 	workersFlag = flag.Int("j", 0, "parallel workers (0 = all CPU cores)")
 	statsFlag   = flag.Bool("stats", false, "print cache and timing statistics after flow runs")
-	jsonFlag    = flag.Bool("json", false, "emit JSON results (table3, flow)")
-	serverFlag  = flag.String("server", "", "run table3/flow on a balsabmd daemon at this URL")
+	jsonFlag    = flag.Bool("json", false, "emit JSON results (table3, flow, lint)")
+	serverFlag  = flag.String("server", "", "run table3/flow/lint on a balsabmd daemon at this URL")
+	lintFlag    = flag.Bool("lint", false, "lint CH source files (same as the lint subcommand)")
 )
 
 // flowOptions builds the flow configuration from the command-line
@@ -82,7 +89,7 @@ func printStats(met *flow.Metrics) {
 func main() {
 	flag.Usage = usage
 	flag.Parse()
-	if flag.NArg() < 1 {
+	if flag.NArg() < 1 && !*lintFlag {
 		usage()
 		os.Exit(2)
 	}
@@ -91,6 +98,9 @@ func main() {
 	defer stop()
 	cmd := flag.Arg(0)
 	args := flag.Args()[1:]
+	if *lintFlag {
+		cmd, args = "lint", flag.Args()
+	}
 	var err error
 	switch cmd {
 	case "table1":
@@ -109,6 +119,8 @@ func main() {
 		err = fig5()
 	case "verify":
 		err = verify()
+	case "lint":
+		err = lintCmd(ctx, args)
 	case "flow":
 		err = flowReport(ctx, args)
 	case "artifacts":
@@ -121,6 +133,9 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	if err == errLintFindings {
+		os.Exit(1) // diagnostics already printed, vet-style
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "balsabm:", err)
 		os.Exit(1)
@@ -128,8 +143,91 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: balsabm [-j N] [-stats] [-json] [-server URL] <table1|table2|table3|fig2|fig3|fig4|fig5|verify|flow|artifacts|designs> [args]`)
+	fmt.Fprintln(os.Stderr, `usage: balsabm [-j N] [-stats] [-json] [-server URL] <table1|table2|table3|fig2|fig3|fig4|fig5|verify|flow|lint|artifacts|designs> [args]`)
 	flag.PrintDefaults()
+}
+
+// errLintFindings reports that lint printed error diagnostics; main
+// exits 1 without the generic error banner.
+var errLintFindings = errors.New("lint found errors")
+
+// lintCmd runs the chlint analyzer. With file arguments it lints each
+// CH source file; with none it lints the control netlists of every
+// built-in design. -json emits the api wire form (one object for a
+// single file — byte-identical to POST /api/v1/lint — or a list);
+// -server delegates the analysis to a balsabmd daemon. Exit status is
+// 1 when any error-severity diagnostic is reported.
+func lintCmd(ctx context.Context, args []string) error {
+	var results []*api.LintResultJSON
+	if len(args) == 0 {
+		for _, d := range designs.All() {
+			results = append(results, api.LintResult(d.Name, analysis.Analyze(d.Control())))
+		}
+	}
+	for _, file := range args {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		var res *api.LintResultJSON
+		if *serverFlag != "" {
+			res, err = server.NewClient(*serverFlag).Lint(ctx, api.LintRequest{Source: string(data), File: file})
+			if err != nil {
+				return err
+			}
+		} else {
+			res = api.LintResult(file, analysis.LintSource(string(data)))
+		}
+		results = append(results, res)
+	}
+	failed := false
+	for _, res := range results {
+		if res.Errors > 0 {
+			failed = true
+		}
+	}
+	if *jsonFlag {
+		if len(results) == 1 {
+			if err := emitJSON(results[0]); err != nil {
+				return err
+			}
+		} else if err := emitJSON(results); err != nil {
+			return err
+		}
+	} else {
+		for _, res := range results {
+			for _, d := range res.Diags {
+				fmt.Println(renderDiagJSON(res.File, d))
+			}
+		}
+	}
+	if failed {
+		return errLintFindings
+	}
+	return nil
+}
+
+// renderDiagJSON renders a wire-form diagnostic in the analyzer's
+// vet-style text form (remote results arrive as JSON, so the text
+// renderer on analysis.Diag is out of reach).
+func renderDiagJSON(file string, d api.DiagJSON) string {
+	var sb strings.Builder
+	if file != "" {
+		sb.WriteString(file)
+		sb.WriteString(":")
+	}
+	if d.Line > 0 {
+		fmt.Fprintf(&sb, "%d:%d:", d.Line, d.Col)
+	}
+	if sb.Len() > 0 {
+		sb.WriteString(" ")
+	}
+	fmt.Fprintf(&sb, "%s: %s: %s", d.Severity, d.Code, d.Message)
+	for _, n := range d.Notes {
+		sb.WriteString("\n\t")
+		sb.WriteString(n)
+	}
+	return sb.String()
 }
 
 func table1() error {

@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"balsabm/internal/parallel"
 	"balsabm/internal/server"
 )
 
@@ -44,14 +45,14 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	go func() {
+	parallel.Go(func() {
 		<-ctx.Done()
 		fmt.Fprintln(os.Stderr, "balsabmd: shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		httpSrv.Shutdown(shutdownCtx)
 		srv.Close() // cancels in-flight jobs at their next leaf boundary
-	}()
+	})
 
 	fmt.Fprintf(os.Stderr, "balsabmd: listening on %s (%d executors, queue %d)\n",
 		*addr, *jobs, *queue)

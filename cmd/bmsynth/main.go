@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"balsabm/internal/bm"
 	"balsabm/internal/cell"
@@ -65,8 +66,14 @@ func main() {
 		fmt.Println("; hazard audit: mapped logic matches the hazard-free covers")
 	}
 	fmt.Printf("; %s\n", techmap.Summarize(nl, m, lib))
-	for cellName, count := range nl.CellCounts() {
-		fmt.Printf(";   %-8s x%d\n", cellName, count)
+	counts := nl.CellCounts()
+	cellNames := make([]string, 0, len(counts))
+	for cellName := range counts {
+		cellNames = append(cellNames, cellName)
+	}
+	sort.Strings(cellNames)
+	for _, cellName := range cellNames {
+		fmt.Printf(";   %-8s x%d\n", cellName, counts[cellName])
 	}
 	if *verilog {
 		fmt.Print(techmap.VerilogModules(nl, lib))

@@ -5,17 +5,21 @@
 // Usage:
 //
 //	chc expand  'expr'            print the four-phase expansion
-//	chc check   'expr'            validate against Table 1
+//	chc check   'expr'            validate against Table 1 (first error)
+//	chc lint    'expr'            run every chlint analyzer pass and
+//	                              report all findings; exit 1 on errors
 //	chc bms     '(program n e)'   compile to a .bms specification
 //	chc pn      '(program n e)'   translate to a 1-safe Petri net
 //	                              (the paper's future-work backend style)
-//	chc bms -f  file.ch           compile a program file
+//	chc bms -f  file.ch           compile a program file (every command
+//	                              accepts -f)
 package main
 
 import (
 	"fmt"
 	"os"
 
+	"balsabm/internal/analysis"
 	"balsabm/internal/ch"
 	"balsabm/internal/chtobm"
 	"balsabm/internal/petri"
@@ -27,11 +31,13 @@ func main() {
 	}
 	cmd := os.Args[1]
 	src := os.Args[2]
+	file := ""
 	if src == "-f" {
 		if len(os.Args) < 4 {
 			usage()
 		}
-		data, err := os.ReadFile(os.Args[3])
+		file = os.Args[3]
+		data, err := os.ReadFile(file)
 		if err != nil {
 			fail(err)
 		}
@@ -57,6 +63,15 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("ok: Burst-Mode aware (activity: %s)\n", e.Activity())
+	case "lint":
+		ds := analysis.LintSource(src)
+		fmt.Print(analysis.Format(ds, file))
+		if analysis.HasErrors(ds) {
+			os.Exit(1)
+		}
+		if len(ds) == 0 {
+			fmt.Println("ok: no findings")
+		}
 	case "pn":
 		p, err := ch.ParseProgram(src)
 		if err != nil {
@@ -105,7 +120,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: chc <expand|check|bms> 'expr' | chc bms -f file.ch")
+	fmt.Fprintln(os.Stderr, "usage: chc <expand|check|lint|bms|pn> 'expr' | chc <cmd> -f file.ch")
 	os.Exit(2)
 }
 

@@ -1,0 +1,2 @@
+; break is only meaningful inside a rep loop.
+(seq (break) (p-to-p active a))

@@ -1,0 +1,6 @@
+; A clean caller/call pair that the optimizer can improve: "act" is a
+; hideable internal channel (T1) and "callmux" is a 2-way call (T2).
+(program caller (rep (enc-early (p-to-p passive go) (p-to-p active act))))
+(program callmux
+  (rep (mutex (enc-early (p-to-p passive act) (p-to-p active b))
+              (enc-early (p-to-p passive c2) (p-to-p active b)))))

@@ -1,0 +1,5 @@
+; Channel wiring problems: "up" is driven from both ends, and
+; component "c" connects to nothing else in the netlist.
+(program a (rep (enc-early (p-to-p passive go_a) (p-to-p active up))))
+(program b (rep (enc-early (p-to-p passive go_b) (p-to-p active up))))
+(program c (rep (enc-early (p-to-p passive lonely) (p-to-p active nothing))))

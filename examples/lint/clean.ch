@@ -1,0 +1,5 @@
+; A well-formed two-stage control: no findings at any severity.
+(rep
+  (enc-early (p-to-p passive activate)
+    (seq (p-to-p active left)
+         (p-to-p active right))))

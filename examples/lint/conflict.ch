@@ -1,0 +1,4 @@
+; Channel "x" is point-to-point in one component and mult-req in the
+; other: the two ends disagree about the wires between them.
+(program a (rep (enc-early (p-to-p passive go_a) (p-to-p active x))))
+(program b (rep (enc-early (mult-req passive x 2) (p-to-p active done))))

@@ -1,0 +1,3 @@
+; The break makes the rest of the seq unreachable, and the loop run
+; at most once.
+(rep (seq (break) (p-to-p active a)))

@@ -1,0 +1,4 @@
+; Channel "x" touches three components; channels are point-to-point.
+(program a (rep (enc-early (p-to-p passive go_a) (p-to-p active x))))
+(program b (rep (enc-early (p-to-p passive x) (p-to-p active out_b))))
+(program c (rep (enc-early (p-to-p passive x) (p-to-p active out_c))))

@@ -1,0 +1,4 @@
+; Both mutex alternatives wait on "g" first: the environment cannot
+; choose between them.
+(mutex (p-to-p passive g)
+       (seq (p-to-p passive g) (p-to-p active a)))

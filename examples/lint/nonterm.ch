@@ -1,0 +1,4 @@
+; The rep has no break, so the channel after it never fires.
+(seq
+  (rep (enc-early (p-to-p passive p) (p-to-p active a)))
+  (p-to-p active never))

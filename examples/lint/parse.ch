@@ -1,0 +1,4 @@
+; "sideways" is not an activity; the parse failure itself becomes a
+; CH000 diagnostic at the offending token.
+(rep
+  (p-to-p sideways x))

@@ -1,0 +1,7 @@
+; Three distinct Table 1 violations, one per line: mutex needs two
+; passive arguments, enc-late needs a passive first argument, and
+; seq-ov needs two active arguments.
+(seq
+  (mutex (p-to-p active e) (p-to-p active f))
+  (enc-late (p-to-p active c) (p-to-p passive d))
+  (seq-ov (p-to-p passive a) (p-to-p active b)))

@@ -1,0 +1,2 @@
+; A verb with no transitions at all does nothing; void says so.
+(verb () () () ())

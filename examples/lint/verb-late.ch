@@ -1,0 +1,3 @@
+; The first event is empty, so the verb's activity is inferred from
+; the second event — legal, but rarely what the author meant.
+(verb () ((i r +)) ((i r -)) ())

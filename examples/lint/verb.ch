@@ -1,0 +1,3 @@
+; Signal r rises twice without falling, and its three edges leave it
+; away from its initial level.
+(verb ((i r +)) ((i r +)) ((i r -)) ())

@@ -1,0 +1,2 @@
+; mult channels describe 1-to-n wire fans; zero wires is meaningless.
+(mult-req passive m 0)

@@ -1,0 +1,299 @@
+// Package analysis implements chlint, a pass-based static analyzer
+// for CH programs with structured, position-rich diagnostics.
+//
+// The paper's core guarantee (Section 3.5) is that CH programs obeying
+// the Table 1 "Burst-Mode aware" restrictions compile
+// correct-by-construction into valid Burst-Mode specifications.
+// ch.Validate enforces that, but stops at the first violation and
+// reports a bare error. chlint instead runs a fixed set of passes over
+// a whole control netlist and reports every finding as a Diag: a
+// source position (threaded from the parser through the AST), a
+// severity, a stable CHxxx code, a message and optional notes — the
+// shape of a compiler diagnostic, in the spirit of Rosendahl &
+// Kirkeby's static communication analysis for hardware design.
+//
+// Severities follow go vet conventions: errors mean the netlist will
+// not synthesize (or will synthesize to broken hardware) and gate the
+// flow; warnings are suspicious-but-synthesizable constructs; infos
+// are advisory, e.g. clustering opportunities tying lint output back
+// to the paper's T1/T2 optimizations.
+//
+// Entry points: Analyze (a parsed netlist), LintSource (text, folding
+// parse failures into the diagnostic stream), and Passes (the
+// registry, for tools that want to select passes).
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"balsabm/internal/ch"
+	"balsabm/internal/core"
+	"balsabm/internal/sexp"
+)
+
+// Severity classifies a diagnostic.
+type Severity int
+
+const (
+	// SevError marks violations that make the netlist unsynthesizable
+	// (or the synthesized hardware wrong). Errors abort the flow.
+	SevError Severity = iota
+	// SevWarning marks constructs that synthesize but are almost
+	// certainly not what the author meant.
+	SevWarning
+	// SevInfo marks advisory findings, e.g. optimization opportunities.
+	SevInfo
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	case SevInfo:
+		return "info"
+	}
+	return fmt.Sprintf("Severity(%d)", int(s))
+}
+
+// Diag is one diagnostic: where, how bad, which rule, and why.
+type Diag struct {
+	Pos      ch.Pos
+	Severity Severity
+	Code     string // stable "CHxxx" code, see Codes
+	Message  string
+	Notes    []string // secondary lines: table rows, related positions
+}
+
+// String renders the diagnostic without a file name: "3:5: error:
+// CH001: ...". Notes follow on tab-indented lines.
+func (d Diag) String() string { return d.Render("") }
+
+// Render renders the diagnostic vet-style, prefixed with file when
+// non-empty. Diagnostics on programmatically built nodes (zero Pos)
+// omit the position rather than printing a bogus one.
+func (d Diag) Render(file string) string {
+	var sb strings.Builder
+	if file != "" {
+		sb.WriteString(file)
+		sb.WriteString(":")
+	}
+	if d.Pos.IsValid() {
+		fmt.Fprintf(&sb, "%d:%d:", d.Pos.Line, d.Pos.Col)
+	}
+	if sb.Len() > 0 {
+		sb.WriteString(" ")
+	}
+	fmt.Fprintf(&sb, "%s: %s: %s", d.Severity, d.Code, d.Message)
+	for _, n := range d.Notes {
+		sb.WriteString("\n\t")
+		sb.WriteString(n)
+	}
+	return sb.String()
+}
+
+// Codes maps every stable diagnostic code to its one-line meaning.
+// Codes are append-only: a released code never changes meaning, so
+// suppressions and CI greps stay valid.
+var Codes = map[string]string{
+	"CH000": "source does not parse",
+	"CH001": "illegal operator/activity combination (Table 1)",
+	"CH002": "break outside of rep loop",
+	"CH003": "channel must be passive or active",
+	"CH004": "mult channel needs a positive wire count",
+	"CH005": "mux channel has no arms",
+	"CH010": "internal channel with two same-activity ends",
+	"CH011": "channel connected to more than two components",
+	"CH012": "conflicting declarations of one channel",
+	"CH013": "component shares no channel with the rest of the netlist",
+	"CH020": "unreachable: preceding expression always breaks",
+	"CH021": "unreachable: preceding rep loop never terminates",
+	"CH022": "rep body always breaks; loop runs at most once",
+	"CH030": "mutex alternatives guarded by the same channel",
+	"CH040": "verb signal repeats an edge without the opposite edge",
+	"CH041": "verb signal does not return to its initial level",
+	"CH042": "verb declares no transitions",
+	"CH043": "verb's first event is empty; activity inferred from a later event",
+	"CH100": "hideable internal channel: T1 activation-channel-removal candidate",
+	"CH101": "call-shaped component: T2 call-distribution candidate",
+}
+
+// Reporter collects diagnostics during a pass run.
+type Reporter struct {
+	diags []Diag
+}
+
+// Report appends one diagnostic.
+func (r *Reporter) Report(d Diag) { r.diags = append(r.diags, d) }
+
+// Errorf reports an error-severity diagnostic at pos.
+func (r *Reporter) Errorf(pos ch.Pos, code, format string, args ...any) {
+	r.Report(Diag{Pos: pos, Severity: SevError, Code: code, Message: fmt.Sprintf(format, args...)})
+}
+
+// Warnf reports a warning-severity diagnostic at pos.
+func (r *Reporter) Warnf(pos ch.Pos, code, format string, args ...any) {
+	r.Report(Diag{Pos: pos, Severity: SevWarning, Code: code, Message: fmt.Sprintf(format, args...)})
+}
+
+// Infof reports an info-severity diagnostic at pos.
+func (r *Reporter) Infof(pos ch.Pos, code, format string, args ...any) {
+	r.Report(Diag{Pos: pos, Severity: SevInfo, Code: code, Message: fmt.Sprintf(format, args...)})
+}
+
+// note attaches a note to the most recently reported diagnostic.
+func (r *Reporter) note(format string, args ...any) {
+	if len(r.diags) == 0 {
+		return
+	}
+	d := &r.diags[len(r.diags)-1]
+	d.Notes = append(d.Notes, fmt.Sprintf(format, args...))
+}
+
+// Pass is one analyzer pass: a name, a one-line doc string and a run
+// function receiving the netlist under analysis.
+type Pass struct {
+	Name string
+	Doc  string
+	Run  func(n *core.Netlist, r *Reporter)
+}
+
+// Passes returns the full pass registry in its fixed run order.
+func Passes() []*Pass {
+	return []*Pass{
+		LegalityPass,
+		ChannelsPass,
+		UnreachablePass,
+		MutexPass,
+		VerbPass,
+		ClusterPass,
+	}
+}
+
+// Run executes the given passes over a netlist and returns the merged
+// diagnostics sorted by position, then code, then message — a stable,
+// deterministic order at any pass count.
+func Run(n *core.Netlist, passes []*Pass) []Diag {
+	r := &Reporter{}
+	for _, p := range passes {
+		p.Run(n, r)
+	}
+	sortDiags(r.diags)
+	return r.diags
+}
+
+// Analyze runs every registered pass over a netlist.
+func Analyze(n *core.Netlist) []Diag { return Run(n, Passes()) }
+
+func sortDiags(ds []Diag) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Message < b.Message
+	})
+}
+
+// LintSource lints CH source text: a sequence of (program name expr)
+// forms, or a single bare expression (wrapped as program "main").
+// Parse failures do not abort the lint; they surface as a single
+// CH000 error diagnostic carrying the parser's position, so every
+// caller — CLI, daemon, golden tests — sees one uniform stream.
+func LintSource(src string) []Diag {
+	n, diag := parseSource(src)
+	if diag != nil {
+		return []Diag{*diag}
+	}
+	return Analyze(n)
+}
+
+// parseSource parses lint input, translating parse errors into a
+// CH000 diagnostic.
+func parseSource(src string) (*core.Netlist, *Diag) {
+	nodes, err := sexp.ParseAll(src)
+	if err != nil {
+		return nil, parseDiag(err)
+	}
+	if len(nodes) == 0 {
+		return nil, &Diag{Severity: SevError, Code: "CH000", Message: "empty input"}
+	}
+	// A sequence of (program ...) forms is a netlist; a single other
+	// form is a bare expression.
+	if l, ok := nodes[0].(sexp.List); ok && l.Head() == "program" {
+		n := &core.Netlist{}
+		for _, node := range nodes {
+			p, err := ch.ProgramFromSexp(node)
+			if err != nil {
+				return nil, parseDiag(err)
+			}
+			n.Components = append(n.Components, p)
+		}
+		return n, nil
+	}
+	if len(nodes) > 1 {
+		return nil, &Diag{Severity: SevError, Code: "CH000",
+			Message: "expected a single expression or a sequence of (program name expr) forms"}
+	}
+	e, err := ch.FromSexp(nodes[0])
+	if err != nil {
+		return nil, parseDiag(err)
+	}
+	return &core.Netlist{Components: []*ch.Program{{Name: "main", Body: e}}}, nil
+}
+
+// parseDiag converts a parser error (ch.ParseError or
+// sexp.SyntaxError) into a CH000 diagnostic at the error's position.
+func parseDiag(err error) *Diag {
+	d := &Diag{Severity: SevError, Code: "CH000", Message: err.Error()}
+	switch e := err.(type) {
+	case *ch.ParseError:
+		d.Pos = e.Pos
+		d.Message = e.Msg
+	case *sexp.SyntaxError:
+		d.Pos = ch.Pos{Line: e.Line, Col: e.Col}
+		d.Message = e.Msg
+	}
+	return d
+}
+
+// Count tallies diagnostics by severity.
+func Count(ds []Diag) (errors, warnings, infos int) {
+	for _, d := range ds {
+		switch d.Severity {
+		case SevError:
+			errors++
+		case SevWarning:
+			warnings++
+		default:
+			infos++
+		}
+	}
+	return
+}
+
+// HasErrors reports whether any diagnostic is error-severity.
+func HasErrors(ds []Diag) bool {
+	e, _, _ := Count(ds)
+	return e > 0
+}
+
+// Format renders diagnostics vet-style, one per line (plus note
+// lines), prefixed with file when non-empty.
+func Format(ds []Diag, file string) string {
+	var sb strings.Builder
+	for _, d := range ds {
+		sb.WriteString(d.Render(file))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

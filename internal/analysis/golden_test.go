@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"balsabm/internal/designs"
+)
+
+var update = flag.Bool("update", false, "rewrite examples/lint golden .diag files")
+
+const corpusDir = "../../examples/lint"
+
+// TestGoldenCorpus lints every examples/lint/*.ch file and diffs the
+// rendered diagnostics against the checked-in .diag file next to it.
+// Run with -update to regenerate after an intentional output change.
+func TestGoldenCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join(corpusDir, "*.ch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 10 {
+		t.Fatalf("corpus suspiciously small: %d files", len(files))
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := Format(LintSource(string(src)), filepath.Base(file))
+			golden := strings.TrimSuffix(file, ".ch") + ".diag"
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run go test ./internal/analysis -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics changed for %s:\n--- got ---\n%s--- want ---\n%s",
+					filepath.Base(file), got, want)
+			}
+		})
+	}
+}
+
+// TestCorpusCoversCodes: together the corpus exercises every
+// diagnostic code reachable from parsed source (CH003/CH005 need
+// programmatically built ASTs; the parser cannot produce them).
+func TestCorpusCoversCodes(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join(corpusDir, "*.ch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range LintSource(string(src)) {
+			seen[d.Code] = true
+		}
+	}
+	unreachableFromSource := map[string]bool{"CH003": true, "CH005": true}
+	for _, code := range sortedCodes() {
+		if !seen[code] && !unreachableFromSource[code] {
+			t.Errorf("no corpus file exercises %s (%s)", code, Codes[code])
+		}
+	}
+}
+
+// TestDesignsLintClean: every built-in Table 3 design's control
+// netlist must be free of error-severity findings — the lint gate in
+// the flow would otherwise refuse to synthesize the repo's own
+// examples.
+func TestDesignsLintClean(t *testing.T) {
+	for _, d := range designs.All() {
+		ds := Analyze(d.Control())
+		var errs []Diag
+		for _, diag := range ds {
+			if diag.Severity == SevError {
+				errs = append(errs, diag)
+			}
+		}
+		if len(errs) > 0 {
+			t.Errorf("design %s has lint errors:\n%s", d.Name, Format(errs, d.Name))
+		}
+	}
+	balsa, err := designs.AllBalsa()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range balsa {
+		ds := Analyze(d.Control())
+		var errs []Diag
+		for _, diag := range ds {
+			if diag.Severity == SevError {
+				errs = append(errs, diag)
+			}
+		}
+		if len(errs) > 0 {
+			t.Errorf("design %s has lint errors:\n%s", d.Name, Format(errs, d.Name))
+		}
+	}
+}

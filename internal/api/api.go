@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"balsabm/internal/analysis"
 	"balsabm/internal/core"
 	"balsabm/internal/flow"
 )
@@ -199,7 +200,7 @@ type JobResult struct {
 // Event is one element of a job's progress stream.
 type Event struct {
 	Seq  int64  `json:"seq"`
-	Type string `json:"type"` // "state", "stage", "error"
+	Type string `json:"type"` // "state", "stage", "lint", "error"
 	// State carries the new job state for "state" events.
 	State string `json:"state,omitempty"`
 	// Dedup marks the terminal "state" event of a dedup-served job.
@@ -210,6 +211,9 @@ type Event struct {
 	Count       int64  `json:"count,omitempty"`
 	TotalMicros int64  `json:"totalMicros,omitempty"`
 	Error       string `json:"error,omitempty"`
+	// Lint carries one analyzer finding for "lint" events: the
+	// non-error diagnostics the pre-synthesis gate surfaced.
+	Lint *DiagJSON `json:"lint,omitempty"`
 }
 
 // StageJSON is one pipeline stage's cumulative counters.
@@ -323,6 +327,60 @@ func (d *DesignResultJSON) ToFlow() *flow.DesignResult {
 		Unopt:  arm(d.Unopt),
 		Opt:    arm(d.Opt),
 	}
+}
+
+// LintRequest is the body of POST /api/v1/lint: CH source to analyze
+// (a netlist of (program ...) forms or a single bare expression) and
+// an optional file name echoed into the result for rendering.
+type LintRequest struct {
+	Source string `json:"source"`
+	File   string `json:"file,omitempty"`
+}
+
+// DiagJSON mirrors analysis.Diag. Line and Col are omitted for
+// findings on programmatically built nodes, matching the text
+// renderer's position-free form.
+type DiagJSON struct {
+	Line     int      `json:"line,omitempty"`
+	Col      int      `json:"col,omitempty"`
+	Severity string   `json:"severity"`
+	Code     string   `json:"code"`
+	Message  string   `json:"message"`
+	Notes    []string `json:"notes,omitempty"`
+}
+
+// LintResultJSON is the body answered by POST /api/v1/lint and emitted
+// by `balsabm lint -json` — the same struct through the same encoder,
+// so the two surfaces are byte-identical for the same input.
+type LintResultJSON struct {
+	File     string     `json:"file,omitempty"`
+	Diags    []DiagJSON `json:"diags"`
+	Errors   int        `json:"errors"`
+	Warnings int        `json:"warnings"`
+	Infos    int        `json:"infos"`
+}
+
+// FromDiag converts one analyzer finding.
+func FromDiag(d analysis.Diag) DiagJSON {
+	return DiagJSON{
+		Line:     d.Pos.Line,
+		Col:      d.Pos.Col,
+		Severity: d.Severity.String(),
+		Code:     d.Code,
+		Message:  d.Message,
+		Notes:    d.Notes,
+	}
+}
+
+// LintResult packages a diagnostic list for the wire. Diags is always
+// non-nil so a clean lint encodes as [] rather than null.
+func LintResult(file string, ds []analysis.Diag) *LintResultJSON {
+	out := &LintResultJSON{File: file, Diags: make([]DiagJSON, 0, len(ds))}
+	for _, d := range ds {
+		out.Diags = append(out.Diags, FromDiag(d))
+	}
+	out.Errors, out.Warnings, out.Infos = analysis.Count(ds)
+	return out
 }
 
 // Encode renders any wire value in the canonical machine-readable

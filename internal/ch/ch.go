@@ -16,6 +16,45 @@ package ch
 
 import "fmt"
 
+// Pos is a source position in CH concrete syntax: 1-based line and
+// column of the node's opening token. The zero Pos marks nodes built
+// programmatically (clustering rewrites, tests) rather than parsed.
+type Pos struct {
+	Line, Col int
+}
+
+// IsValid reports whether the position came from real source.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// ExprPos returns the source position of an expression node (the zero
+// Pos for programmatically built nodes).
+func ExprPos(e Expr) Pos {
+	switch n := e.(type) {
+	case *Chan:
+		return n.Pos
+	case *Void:
+		return n.Pos
+	case *Break:
+		return n.Pos
+	case *Rep:
+		return n.Pos
+	case *Op:
+		return n.Pos
+	case *MuxAck:
+		return n.Pos
+	case *MuxReq:
+		return n.Pos
+	}
+	return Pos{}
+}
+
 // Activity is the handshake activity of a channel or expression.
 // Passive expressions wait for an input request; active expressions
 // initiate with an output request. Neutral is used for void channels
@@ -231,6 +270,7 @@ type Chan struct {
 	Name string
 	N    int      // wire multiplicity for MultReq/MultAck
 	Ev   [4]Event // Verb only: the user-specified events
+	Pos  Pos
 }
 
 func (c *Chan) isExpr()            {}
@@ -248,13 +288,13 @@ func (c *Chan) Clone() Expr {
 // Void is the void channel: all four events are empty and the activity
 // is neutral. Void channels appear only during optimization, standing
 // in for a hidden activation channel.
-type Void struct{}
+type Void struct{ Pos Pos }
 
 func (Void) isExpr()            {}
 func (Void) Activity() Activity { return Neutral }
 
 // Clone returns a deep copy.
-func (v *Void) Clone() Expr { return &Void{} }
+func (v *Void) Clone() Expr { return &Void{Pos: v.Pos} }
 
 // MuxArm is one alternative of a mux-ack or mux-req channel: an
 // interleaving operator applied to the channel's per-branch events
@@ -277,6 +317,7 @@ type MuxArm struct {
 type MuxAck struct {
 	Name string
 	Arms []MuxArm
+	Pos  Pos
 }
 
 func (m *MuxAck) isExpr()            {}
@@ -284,7 +325,7 @@ func (m *MuxAck) Activity() Activity { return Active }
 
 // Clone returns a deep copy.
 func (m *MuxAck) Clone() Expr {
-	d := &MuxAck{Name: m.Name, Arms: make([]MuxArm, len(m.Arms))}
+	d := &MuxAck{Name: m.Name, Arms: make([]MuxArm, len(m.Arms)), Pos: m.Pos}
 	for i, a := range m.Arms {
 		d.Arms[i] = MuxArm{Op: a.Op, Arg: a.Arg.Clone()}
 	}
@@ -297,6 +338,7 @@ func (m *MuxAck) Clone() Expr {
 type MuxReq struct {
 	Name string
 	Arms []MuxArm
+	Pos  Pos
 }
 
 func (m *MuxReq) isExpr()            {}
@@ -304,7 +346,7 @@ func (m *MuxReq) Activity() Activity { return Passive }
 
 // Clone returns a deep copy.
 func (m *MuxReq) Clone() Expr {
-	d := &MuxReq{Name: m.Name, Arms: make([]MuxArm, len(m.Arms))}
+	d := &MuxReq{Name: m.Name, Arms: make([]MuxArm, len(m.Arms)), Pos: m.Pos}
 	for i, a := range m.Arms {
 		d.Arms[i] = MuxArm{Op: a.Op, Arg: a.Arg.Clone()}
 	}
@@ -314,27 +356,31 @@ func (m *MuxReq) Clone() Expr {
 // Rep repeats its body forever (unless interrupted by Break). Its
 // expansion is degenerate: one non-empty event followed by three empty
 // ones.
-type Rep struct{ Body Expr }
+type Rep struct {
+	Body Expr
+	Pos  Pos
+}
 
 func (r *Rep) isExpr()            {}
 func (r *Rep) Activity() Activity { return r.Body.Activity() }
 
 // Clone returns a deep copy.
-func (r *Rep) Clone() Expr { return &Rep{Body: r.Body.Clone()} }
+func (r *Rep) Clone() Expr { return &Rep{Body: r.Body.Clone(), Pos: r.Pos} }
 
 // Break ends the innermost loop. Neither passive nor active.
-type Break struct{}
+type Break struct{ Pos Pos }
 
 func (Break) isExpr()            {}
 func (Break) Activity() Activity { return Neutral }
 
 // Clone returns a deep copy.
-func (b *Break) Clone() Expr { return &Break{} }
+func (b *Break) Clone() Expr { return &Break{Pos: b.Pos} }
 
 // Op is an interleaving operator applied to two arguments.
 type Op struct {
 	Kind OpKind
 	A, B Expr
+	Pos  Pos
 }
 
 func (o *Op) isExpr() {}
@@ -359,13 +405,14 @@ func (o *Op) Activity() Activity {
 }
 
 // Clone returns a deep copy.
-func (o *Op) Clone() Expr { return &Op{Kind: o.Kind, A: o.A.Clone(), B: o.B.Clone()} }
+func (o *Op) Clone() Expr { return &Op{Kind: o.Kind, A: o.A.Clone(), B: o.B.Clone(), Pos: o.Pos} }
 
 // Program is a named CH program: the full behavior of one controller.
 type Program struct {
 	Name string
 	Body Expr
+	Pos  Pos
 }
 
 // Clone returns a deep copy of the program.
-func (p *Program) Clone() *Program { return &Program{Name: p.Name, Body: p.Body.Clone()} }
+func (p *Program) Clone() *Program { return &Program{Name: p.Name, Body: p.Body.Clone(), Pos: p.Pos} }

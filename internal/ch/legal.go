@@ -46,15 +46,23 @@ func Legal(op OpKind, a, b Activity) bool {
 	return false
 }
 
-// ValidationError reports a Burst-Mode aware restriction violation.
+// ValidationError reports a Burst-Mode aware restriction violation:
+// which operator was applied to which argument activities, where in
+// the expression tree (Path), and where in the source (Pos; the zero
+// Pos for programmatically built expressions).
 type ValidationError struct {
 	Op   OpKind
 	ActA Activity
 	ActB Activity
 	Path string
+	Pos  Pos
 }
 
 func (e *ValidationError) Error() string {
+	if e.Pos.IsValid() {
+		return fmt.Sprintf("ch: %s: %s: illegal combination %s applied to %s/%s arguments (Table 1)",
+			e.Pos, e.Path, e.Op, e.ActA, e.ActB)
+	}
 	return fmt.Sprintf("ch: %s: illegal combination %s applied to %s/%s arguments (Table 1)",
 		e.Path, e.Op, e.ActA, e.ActB)
 }
@@ -89,7 +97,7 @@ func validate(e Expr, path string, loopDepth int) error {
 	case *Op:
 		actA, actB := n.A.Activity(), n.B.Activity()
 		if !Legal(n.Kind, actA, actB) {
-			return &ValidationError{Op: n.Kind, ActA: actA, ActB: actB, Path: path}
+			return &ValidationError{Op: n.Kind, ActA: actA, ActB: actB, Path: path, Pos: n.Pos}
 		}
 		if err := validate(n.A, fmt.Sprintf("%s/%s[1]", path, n.Kind), loopDepth); err != nil {
 			return err
@@ -104,7 +112,7 @@ func validate(e Expr, path string, loopDepth int) error {
 			// continuation.
 			if !Legal(arm.Op, Active, arm.Arg.Activity()) {
 				return &ValidationError{Op: arm.Op, ActA: Active, ActB: arm.Arg.Activity(),
-					Path: fmt.Sprintf("%s/mux-ack[%d]", path, i+1)}
+					Path: fmt.Sprintf("%s/mux-ack[%d]", path, i+1), Pos: ExprPos(arm.Arg)}
 			}
 			if err := validate(arm.Arg, fmt.Sprintf("%s/mux-ack[%d]", path, i+1), loopDepth); err != nil {
 				return err
@@ -118,7 +126,7 @@ func validate(e Expr, path string, loopDepth int) error {
 		for i, arm := range n.Arms {
 			if !Legal(arm.Op, Passive, arm.Arg.Activity()) {
 				return &ValidationError{Op: arm.Op, ActA: Passive, ActB: arm.Arg.Activity(),
-					Path: fmt.Sprintf("%s/mux-req[%d]", path, i+1)}
+					Path: fmt.Sprintf("%s/mux-req[%d]", path, i+1), Pos: ExprPos(arm.Arg)}
 			}
 			if err := validate(arm.Arg, fmt.Sprintf("%s/mux-req[%d]", path, i+1), loopDepth); err != nil {
 				return err

@@ -7,6 +7,38 @@ import (
 	"balsabm/internal/sexp"
 )
 
+// ParseError reports a malformed CH form with its source position. It
+// is the one position-carrying error type shared by the parser and the
+// static analyzer (internal/analysis), which folds parse errors into
+// its diagnostic stream.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	if !e.Pos.IsValid() {
+		return "ch: " + e.Msg
+	}
+	return fmt.Sprintf("ch: %d:%d: %s", e.Pos.Line, e.Pos.Col, e.Msg)
+}
+
+// parseErrorf builds a ParseError at the given node's position.
+func parseErrorf(n sexp.Node, format string, args ...any) *ParseError {
+	return &ParseError{Pos: nodePos(n), Msg: fmt.Sprintf(format, args...)}
+}
+
+// nodePos extracts the source position of an s-expression node.
+func nodePos(n sexp.Node) Pos {
+	switch x := n.(type) {
+	case sexp.Atom:
+		return Pos{Line: x.Line, Col: x.Col}
+	case sexp.List:
+		return Pos{Line: x.Line, Col: x.Col}
+	}
+	return Pos{}
+}
+
 // Parse reads a CH expression from its s-expression concrete syntax:
 //
 //	(p-to-p activity name)
@@ -24,6 +56,9 @@ import (
 // Underscore spellings (mux_ack, seq_ov, ...) are accepted as in the
 // paper. seq and mutex with more than two arguments desugar into
 // right-nested binary applications.
+//
+// Every parsed node records its Line:Col source position (see Pos), so
+// downstream diagnostics point at real source.
 func Parse(src string) (Expr, error) {
 	n, err := sexp.Parse(src)
 	if err != nil {
@@ -38,19 +73,27 @@ func ParseProgram(src string) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
+	return ProgramFromSexp(n)
+}
+
+// ProgramFromSexp converts a parsed (program name expr) form into a CH
+// program, preserving the node's source positions. It is the building
+// block of core.ParseNetlist, which parses a whole netlist in one
+// scanner pass so component positions stay absolute within the file.
+func ProgramFromSexp(n sexp.Node) (*Program, error) {
 	l, ok := n.(sexp.List)
 	if !ok || l.Head() != "program" || l.Len() != 3 {
-		return nil, fmt.Errorf("ch: expected (program name expr)")
+		return nil, parseErrorf(n, "expected (program name expr)")
 	}
 	name, ok := l.Items[1].(sexp.Atom)
 	if !ok {
-		return nil, fmt.Errorf("ch: program name must be an atom")
+		return nil, parseErrorf(l.Items[1], "program name must be an atom")
 	}
 	body, err := FromSexp(l.Items[2])
 	if err != nil {
 		return nil, err
 	}
-	return &Program{Name: name.Text, Body: body}, nil
+	return &Program{Name: name.Text, Body: body, Pos: nodePos(n)}, nil
 }
 
 func canon(s string) string { return strings.ReplaceAll(s, "_", "-") }
@@ -67,7 +110,7 @@ var opKinds = map[string]OpKind{
 func parseActivity(n sexp.Node) (Activity, error) {
 	a, ok := n.(sexp.Atom)
 	if !ok {
-		return 0, fmt.Errorf("ch: expected activity, got %s", n)
+		return 0, parseErrorf(n, "expected activity, got %s", n)
 	}
 	switch a.Text {
 	case "passive":
@@ -75,13 +118,13 @@ func parseActivity(n sexp.Node) (Activity, error) {
 	case "active":
 		return Active, nil
 	}
-	return 0, fmt.Errorf("ch: %d:%d: unknown activity %q", a.Line, a.Col, a.Text)
+	return 0, parseErrorf(n, "unknown activity %q", a.Text)
 }
 
 func atomText(n sexp.Node, what string) (string, error) {
 	a, ok := n.(sexp.Atom)
 	if !ok {
-		return "", fmt.Errorf("ch: expected %s, got %s", what, n)
+		return "", parseErrorf(n, "expected %s, got %s", what, n)
 	}
 	return a.Text, nil
 }
@@ -90,29 +133,30 @@ func atomText(n sexp.Node, what string) (string, error) {
 func FromSexp(n sexp.Node) (Expr, error) {
 	if a, ok := n.(sexp.Atom); ok {
 		if canon(a.Text) == "void" {
-			return &Void{}, nil
+			return &Void{Pos: nodePos(n)}, nil
 		}
-		return nil, fmt.Errorf("ch: %d:%d: unexpected atom %q", a.Line, a.Col, a.Text)
+		return nil, parseErrorf(n, "unexpected atom %q", a.Text)
 	}
 	l := n.(sexp.List)
+	pos := nodePos(n)
 	head := canon(l.Head())
 	switch head {
 	case "void":
-		return &Void{}, nil
+		return &Void{Pos: pos}, nil
 	case "break":
-		return &Break{}, nil
+		return &Break{Pos: pos}, nil
 	case "rep":
 		if l.Len() != 2 {
-			return nil, fmt.Errorf("ch: %d:%d: rep takes one argument", l.Line, l.Col)
+			return nil, parseErrorf(n, "rep takes one argument")
 		}
 		body, err := FromSexp(l.Items[1])
 		if err != nil {
 			return nil, err
 		}
-		return &Rep{Body: body}, nil
+		return &Rep{Body: body, Pos: pos}, nil
 	case "p-to-p":
 		if l.Len() != 3 {
-			return nil, fmt.Errorf("ch: %d:%d: (p-to-p activity name)", l.Line, l.Col)
+			return nil, parseErrorf(n, "(p-to-p activity name)")
 		}
 		act, err := parseActivity(l.Items[1])
 		if err != nil {
@@ -122,10 +166,10 @@ func FromSexp(n sexp.Node) (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Chan{Kind: PToP, Act: act, Name: name}, nil
+		return &Chan{Kind: PToP, Act: act, Name: name, Pos: pos}, nil
 	case "mult-req", "mult-ack":
 		if l.Len() != 4 {
-			return nil, fmt.Errorf("ch: %d:%d: (%s activity name n)", l.Line, l.Col, head)
+			return nil, parseErrorf(n, "(%s activity name n)", head)
 		}
 		act, err := parseActivity(l.Items[1])
 		if err != nil {
@@ -137,7 +181,7 @@ func FromSexp(n sexp.Node) (Expr, error) {
 		}
 		na, ok := l.Items[3].(sexp.Atom)
 		if !ok {
-			return nil, fmt.Errorf("ch: %d:%d: wire count must be an atom", l.Line, l.Col)
+			return nil, parseErrorf(l.Items[3], "wire count must be an atom")
 		}
 		count, err := na.Int()
 		if err != nil {
@@ -147,10 +191,10 @@ func FromSexp(n sexp.Node) (Expr, error) {
 		if head == "mult-ack" {
 			kind = MultAck
 		}
-		return &Chan{Kind: kind, Act: act, Name: name, N: count}, nil
+		return &Chan{Kind: kind, Act: act, Name: name, N: count, Pos: pos}, nil
 	case "mux-ack", "mux-req":
 		if l.Len() < 3 {
-			return nil, fmt.Errorf("ch: %d:%d: (%s name (op expr)...)", l.Line, l.Col, head)
+			return nil, parseErrorf(n, "(%s name (op expr)...)", head)
 		}
 		name, err := atomText(l.Items[1], "channel name")
 		if err != nil {
@@ -160,11 +204,11 @@ func FromSexp(n sexp.Node) (Expr, error) {
 		for _, item := range l.Items[2:] {
 			al, ok := item.(sexp.List)
 			if !ok || al.Len() != 2 {
-				return nil, fmt.Errorf("ch: %s arm must be (op expr), got %s", head, item)
+				return nil, parseErrorf(item, "%s arm must be (op expr), got %s", head, item)
 			}
 			op, ok := opKinds[canon(al.Head())]
 			if !ok {
-				return nil, fmt.Errorf("ch: unknown arm operator %q", al.Head())
+				return nil, parseErrorf(item, "unknown arm operator %q", al.Head())
 			}
 			arg, err := FromSexp(al.Items[1])
 			if err != nil {
@@ -173,16 +217,17 @@ func FromSexp(n sexp.Node) (Expr, error) {
 			arms = append(arms, MuxArm{Op: op, Arg: arg})
 		}
 		if head == "mux-ack" {
-			return &MuxAck{Name: name, Arms: arms}, nil
+			return &MuxAck{Name: name, Arms: arms, Pos: pos}, nil
 		}
-		return &MuxReq{Name: name, Arms: arms}, nil
+		return &MuxReq{Name: name, Arms: arms, Pos: pos}, nil
 	case "verb":
 		if l.Len() != 5 {
-			return nil, fmt.Errorf("ch: %d:%d: verb takes exactly four event lists", l.Line, l.Col)
+			return nil, parseErrorf(n, "verb takes exactly four event lists")
 		}
 		var c Chan
 		c.Kind = Verb
 		c.Act = Neutral
+		c.Pos = pos
 		for i := 0; i < 4; i++ {
 			ev, err := parseEvent(l.Items[i+1])
 			if err != nil {
@@ -208,13 +253,13 @@ func FromSexp(n sexp.Node) (Expr, error) {
 	default:
 		op, ok := opKinds[head]
 		if !ok {
-			return nil, fmt.Errorf("ch: %d:%d: unknown form %q", l.Line, l.Col, l.Head())
+			return nil, parseErrorf(n, "unknown form %q", l.Head())
 		}
 		if l.Len() < 3 {
-			return nil, fmt.Errorf("ch: %d:%d: %s needs at least two arguments", l.Line, l.Col, head)
+			return nil, parseErrorf(n, "%s needs at least two arguments", head)
 		}
 		if (op != Seq && op != Mutex) && l.Len() != 3 {
-			return nil, fmt.Errorf("ch: %d:%d: %s takes exactly two arguments", l.Line, l.Col, head)
+			return nil, parseErrorf(n, "%s takes exactly two arguments", head)
 		}
 		args := make([]Expr, 0, l.Len()-1)
 		for _, item := range l.Items[1:] {
@@ -224,10 +269,11 @@ func FromSexp(n sexp.Node) (Expr, error) {
 			}
 			args = append(args, e)
 		}
-		// (seq c1 c2 c3) = (seq c1 (seq c2 c3)); likewise mutex.
+		// (seq c1 c2 c3) = (seq c1 (seq c2 c3)); likewise mutex. Every
+		// synthetic binary node keeps the surface form's position.
 		expr := args[len(args)-1]
 		for i := len(args) - 2; i >= 0; i-- {
-			expr = &Op{Kind: op, A: args[i], B: expr}
+			expr = &Op{Kind: op, A: args[i], B: expr, Pos: pos}
 		}
 		return expr, nil
 	}
@@ -237,13 +283,13 @@ func FromSexp(n sexp.Node) (Expr, error) {
 func parseEvent(n sexp.Node) (Event, error) {
 	l, ok := n.(sexp.List)
 	if !ok {
-		return nil, fmt.Errorf("ch: verb event must be a list, got %s", n)
+		return nil, parseErrorf(n, "verb event must be a list, got %s", n)
 	}
 	ev := make(Event, 0, l.Len())
 	for _, item := range l.Items {
 		tl, ok := item.(sexp.List)
 		if !ok || tl.Len() != 3 {
-			return nil, fmt.Errorf("ch: verb transition must be (i|o signal +|-), got %s", item)
+			return nil, parseErrorf(item, "verb transition must be (i|o signal +|-), got %s", item)
 		}
 		dirText, err := atomText(tl.Items[0], "direction")
 		if err != nil {
@@ -256,7 +302,7 @@ func parseEvent(n sexp.Node) (Event, error) {
 		case "o":
 			dir = Out
 		default:
-			return nil, fmt.Errorf("ch: bad direction %q", dirText)
+			return nil, parseErrorf(tl.Items[0], "bad direction %q", dirText)
 		}
 		sig, err := atomText(tl.Items[1], "signal name")
 		if err != nil {
@@ -273,7 +319,7 @@ func parseEvent(n sexp.Node) (Event, error) {
 		case "-":
 			rise = false
 		default:
-			return nil, fmt.Errorf("ch: bad edge %q", edge)
+			return nil, parseErrorf(tl.Items[2], "bad edge %q", edge)
 		}
 		ev = append(ev, Trans{Signal: sig, Dir: dir, Rise: rise})
 	}

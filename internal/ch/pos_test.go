@@ -1,0 +1,95 @@
+package ch
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestParsePositions: every parsed node points at its opening token.
+func TestParsePositions(t *testing.T) {
+	src := `(rep
+  (enc-early (p-to-p passive P)
+    (seq (p-to-p active A1)
+         (p-to-p active A2))))`
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := e.(*Rep)
+	if !ok {
+		t.Fatalf("want *Rep, got %T", e)
+	}
+	if rep.Pos != (Pos{Line: 1, Col: 1}) {
+		t.Errorf("rep at %s, want 1:1", rep.Pos)
+	}
+	enc := rep.Body.(*Op)
+	if enc.Pos != (Pos{Line: 2, Col: 3}) {
+		t.Errorf("enc-early at %s, want 2:3", enc.Pos)
+	}
+	p := enc.A.(*Chan)
+	if p.Pos != (Pos{Line: 2, Col: 14}) {
+		t.Errorf("channel P at %s, want 2:14", p.Pos)
+	}
+	seq := enc.B.(*Op)
+	if seq.Pos != (Pos{Line: 3, Col: 5}) {
+		t.Errorf("seq at %s, want 3:5", seq.Pos)
+	}
+	a2 := seq.B.(*Chan)
+	if a2.Pos != (Pos{Line: 4, Col: 10}) {
+		t.Errorf("channel A2 at %s, want 4:10", a2.Pos)
+	}
+}
+
+// TestParseErrorPosition: parse failures carry a typed position.
+func TestParseErrorPosition(t *testing.T) {
+	_, err := Parse("(rep\n  (p-to-p sideways x))")
+	if err == nil {
+		t.Fatal("want error for bad activity")
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *ParseError, got %T: %v", err, err)
+	}
+	if pe.Pos != (Pos{Line: 2, Col: 11}) {
+		t.Errorf("error at %s, want 2:11", pe.Pos)
+	}
+}
+
+// TestValidationErrorPosition: Table 1 violations point at the
+// offending operator and carry its arguments as fields.
+func TestValidationErrorPosition(t *testing.T) {
+	e, err := Parse("(seq-ov (p-to-p passive a)\n        (p-to-p active b))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	verr := Validate(e)
+	if verr == nil {
+		t.Fatal("want validation error for seq-ov p/a")
+	}
+	var ve *ValidationError
+	if !errors.As(verr, &ve) {
+		t.Fatalf("want *ValidationError, got %T: %v", verr, verr)
+	}
+	if ve.Op != SeqOv || ve.ActA != Passive || ve.ActB != Active {
+		t.Errorf("fields %s %s/%s, want seq-ov passive/active", ve.Op, ve.ActA, ve.ActB)
+	}
+	if ve.Pos != (Pos{Line: 1, Col: 1}) {
+		t.Errorf("error at %s, want 1:1", ve.Pos)
+	}
+}
+
+// TestClonePreservesPos: clustering rewrites clone subtrees; positions
+// must survive so post-rewrite diagnostics still point at source.
+func TestClonePreservesPos(t *testing.T) {
+	e, err := Parse("(mutex (p-to-p passive a) (p-to-p passive b))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.Clone()
+	if got, want := ExprPos(c), ExprPos(e); got != want {
+		t.Errorf("clone at %s, want %s", got, want)
+	}
+	if got := ExprPos(c.(*Op).A); got != (Pos{Line: 1, Col: 8}) {
+		t.Errorf("cloned channel a at %s, want 1:8", got)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"balsabm/internal/ch"
+	"balsabm/internal/sexp"
 )
 
 // Netlist is a network of control handshake components described by CH
@@ -168,49 +169,23 @@ func (n *Netlist) Format() string {
 	return sb.String()
 }
 
-// ParseNetlist reads a sequence of (program name expr) forms.
+// ParseNetlist reads a sequence of (program name expr) forms. The
+// whole source is scanned in one pass, so the Line:Col positions
+// recorded on every component's AST nodes are absolute within the
+// text — which is what makes multi-program lint diagnostics
+// (internal/analysis) point at the right lines.
 func ParseNetlist(src string) (*Netlist, error) {
+	nodes, err := sexp.ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
 	n := &Netlist{}
-	rest := src
-	for {
-		rest = strings.TrimSpace(rest)
-		if rest == "" {
-			return n, nil
-		}
-		// Find the end of the next balanced form.
-		depth, end := 0, -1
-		inComment := false
-		for i := 0; i < len(rest); i++ {
-			c := rest[i]
-			if inComment {
-				if c == '\n' {
-					inComment = false
-				}
-				continue
-			}
-			switch c {
-			case ';':
-				inComment = true
-			case '(':
-				depth++
-			case ')':
-				depth--
-				if depth == 0 {
-					end = i + 1
-				}
-			}
-			if end >= 0 {
-				break
-			}
-		}
-		if end < 0 {
-			return nil, fmt.Errorf("core: unbalanced netlist text")
-		}
-		p, err := ch.ParseProgram(rest[:end])
+	for _, node := range nodes {
+		p, err := ch.ProgramFromSexp(node)
 		if err != nil {
 			return nil, err
 		}
 		n.Components = append(n.Components, p)
-		rest = rest[end:]
 	}
+	return n, nil
 }

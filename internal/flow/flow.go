@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"balsabm/internal/cell"
@@ -129,6 +130,40 @@ type Metrics struct {
 	CacheHits   parallel.Counter
 	CacheMisses parallel.Counter
 	Timings     parallel.Timings
+
+	lintMu     sync.Mutex
+	lint       []LintFinding
+	lintNotify func(LintFinding)
+}
+
+// NotifyLint registers a callback invoked (synchronously, in gate
+// order) for every non-error finding the pre-synthesis lint gate
+// records — the hook the daemon uses to stream findings over SSE.
+// Call before the run starts.
+func (m *Metrics) NotifyLint(fn func(LintFinding)) {
+	m.lintMu.Lock()
+	defer m.lintMu.Unlock()
+	m.lintNotify = fn
+}
+
+// LintFindings returns the non-error findings recorded so far, in
+// gate order.
+func (m *Metrics) LintFindings() []LintFinding {
+	m.lintMu.Lock()
+	defer m.lintMu.Unlock()
+	out := make([]LintFinding, len(m.lint))
+	copy(out, m.lint)
+	return out
+}
+
+func (m *Metrics) recordLint(f LintFinding) {
+	m.lintMu.Lock()
+	m.lint = append(m.lint, f)
+	fn := m.lintNotify
+	m.lintMu.Unlock()
+	if fn != nil {
+		fn(f)
+	}
 }
 
 // String renders the metrics for human consumption.
@@ -140,6 +175,9 @@ func (m *Metrics) String() string {
 		m.CacheHits.Load(), m.CacheMisses.Load())
 	if t := m.Timings.String(); t != "" {
 		s += t
+	}
+	for _, f := range m.LintFindings() {
+		s += fmt.Sprintf("lint: %s: %s\n", f.Design, f.Diag)
 	}
 	return s
 }
@@ -405,6 +443,11 @@ func (r *runner) simulate(d *designs.Design, mapped []*gates.Netlist) (simTime, 
 // benchmark simulations — occupy pool slots, so nesting cannot
 // deadlock even with a single worker.
 func (r *runner) runDesign(d *designs.Design) (*DesignResult, error) {
+	// Pre-synthesis gate: error findings abort before any synthesis
+	// work starts; warnings and advisories land on the metrics sink.
+	if err := LintNetlist(d.Control(), d.Name, r.met); err != nil {
+		return nil, err
+	}
 	res := &DesignResult{Design: d.Name}
 
 	// Unoptimized arm: the original component netlist with the

@@ -1,0 +1,66 @@
+package flow
+
+import (
+	"strings"
+	"time"
+
+	"balsabm/internal/analysis"
+	"balsabm/internal/core"
+)
+
+// LintError aborts a flow run: the control netlist has error-severity
+// analyzer findings, so synthesis would produce broken hardware (or
+// fail half-way with a far less useful message).
+type LintError struct {
+	Design string
+	Diags  []analysis.Diag // the error-severity findings only
+}
+
+func (e *LintError) Error() string {
+	var sb strings.Builder
+	sb.WriteString("lint: ")
+	sb.WriteString(e.Design)
+	sb.WriteString(": ")
+	if len(e.Diags) == 1 {
+		sb.WriteString(e.Diags[0].String())
+	} else {
+		sb.WriteString("control netlist fails lint:")
+		for _, d := range e.Diags {
+			sb.WriteString("\n\t")
+			sb.WriteString(d.String())
+		}
+	}
+	return sb.String()
+}
+
+// LintFinding is one non-error analyzer finding surfaced by the gate,
+// tagged with the design it was found in.
+type LintFinding struct {
+	Design string
+	Diag   analysis.Diag
+}
+
+// LintNetlist is the pre-synthesis gate: it runs every analyzer pass
+// over the control netlist before any synthesis work starts. Error
+// findings abort the run as a *LintError; warnings and advisories are
+// recorded on the metrics sink (shown by -stats, streamed by the
+// daemon's SSE brokers) and never block.
+func LintNetlist(n *core.Netlist, design string, met *Metrics) error {
+	start := time.Now()
+	diags := analysis.Analyze(n)
+	if met != nil {
+		met.Timings.Observe("lint", time.Since(start))
+	}
+	var errs []analysis.Diag
+	for _, d := range diags {
+		if d.Severity == analysis.SevError {
+			errs = append(errs, d)
+		} else if met != nil {
+			met.recordLint(LintFinding{Design: design, Diag: d})
+		}
+	}
+	if len(errs) > 0 {
+		return &LintError{Design: design, Diags: errs}
+	}
+	return nil
+}

@@ -181,3 +181,13 @@ func (c *Counter) Add(d int64) { c.n.Add(d) }
 
 // Load returns the current count.
 func (c *Counter) Load() int64 { return c.n.Load() }
+
+// Go launches fn on its own goroutine. It is the blessed escape hatch
+// for fire-and-forget work (signal watchers, long-lived workers) that
+// genuinely does not fit Map/All: the gostmt vet pass forbids naked go
+// statements outside this package, so every spawn site is greppable as
+// a parallel.Go call. The caller still owns fn's lifecycle — pair it
+// with a WaitGroup or context as usual.
+func Go(fn func()) {
+	go fn()
+}

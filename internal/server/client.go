@@ -35,6 +35,15 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
+// Lint runs the chlint analyzer on the daemon (POST /api/v1/lint).
+func (c *Client) Lint(ctx context.Context, req api.LintRequest) (*api.LintResultJSON, error) {
+	var out api.LintResultJSON
+	if err := c.do(ctx, http.MethodPost, "/api/v1/lint", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // do issues one request and decodes the JSON response into out
 // (skipped when out is nil). Non-2xx responses decode the server's
 // error body into the returned error.

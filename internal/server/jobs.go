@@ -156,7 +156,7 @@ func NewManager(cfg Config) *Manager {
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
-		go m.worker()
+		parallel.Go(m.worker)
 	}
 	return m
 }
@@ -198,6 +198,11 @@ func (m *Manager) Submit(req api.JobRequest) (*Job, error) {
 			Count:       s.Count,
 			TotalMicros: s.Total.Microseconds(),
 		})
+	})
+	// Stream the lint gate's non-error findings as they are recorded.
+	j.met.NotifyLint(func(f flow.LintFinding) {
+		d := api.FromDiag(f.Diag)
+		j.events.publish(api.Event{Type: "lint", Lint: &d})
 	})
 
 	m.mu.Lock()
@@ -464,6 +469,12 @@ func parseSource(req api.JobRequest) (*core.Netlist, error) {
 // then synthesis and mapping of every controller, returning summary
 // numbers and structural Verilog per controller.
 func runSynth(ctx context.Context, n *core.Netlist, mode string, cfg api.FlowConfig, met *flow.Metrics) (*api.JobResult, error) {
+	// Pre-synthesis lint gate, mirroring the flow's runDesign: error
+	// findings fail the job before clustering or synthesis start;
+	// warnings stream to subscribers via the metrics lint hook.
+	if err := flow.LintNetlist(n, "submitted", met); err != nil {
+		return nil, err
+	}
 	out := &api.SynthResultJSON{Mode: mode}
 	tmMode := techmap.AreaShared
 	if mode == api.ModeOpt {

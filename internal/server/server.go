@@ -15,6 +15,8 @@
 //	DELETE /api/v1/jobs/{id}        cancel the job
 //	GET    /api/v1/jobs/{id}/result the JobResult (202 while running)
 //	GET    /api/v1/jobs/{id}/events live progress stream (SSE)
+//	POST   /api/v1/lint             run the chlint analyzer on CH source,
+//	                                synchronously; body is a LintRequest
 //	GET    /api/v1/designs          built-in benchmark design names
 //	GET    /api/v1/metrics          daemon counters as JSON
 //	GET    /metrics                 same counters, Prometheus text format
@@ -28,6 +30,7 @@ import (
 	"net/http"
 	"time"
 
+	"balsabm/internal/analysis"
 	"balsabm/internal/api"
 	"balsabm/internal/designs"
 )
@@ -47,6 +50,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("POST /api/v1/lint", s.handleLint)
 	s.mux.HandleFunc("GET /api/v1/designs", s.handleDesigns)
 	s.mux.HandleFunc("GET /api/v1/metrics", s.handleMetricsJSON)
 	s.mux.HandleFunc("GET /metrics", s.handleMetricsText)
@@ -228,6 +232,21 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleLint runs the chlint analyzer synchronously — no job queue;
+// lint is cheap. The response body is api.Encode(api.LintResult(...)),
+// the same struct and encoder `balsabm lint -json` prints, so the two
+// surfaces answer byte-identical diagnostics for the same source.
+func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
+	var req api.LintRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, api.LintResult(req.File, analysis.LintSource(req.Source)))
 }
 
 func (s *Server) handleDesigns(w http.ResponseWriter, r *http.Request) {

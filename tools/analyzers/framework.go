@@ -1,0 +1,91 @@
+// Command analyzers is the repo's vet tool: custom static checks for
+// the two invariants the paper's flow depends on and ordinary review
+// keeps missing.
+//
+//   - mapiter: no iteration over a map while producing output. Every
+//     machine-facing surface (Table 3, -json, the daemon responses)
+//     promises byte-identical output across runs; one `for k := range m`
+//     feeding a printf breaks that silently. Collect, sort, then print.
+//   - gostmt: no naked `go` statements outside internal/parallel. All
+//     production goroutines go through the pool/fan-out helpers (or the
+//     blessed parallel.Go escape hatch) so concurrency stays bounded,
+//     error-propagating and greppable.
+//
+// It speaks the `go vet -vettool` protocol (the cmd/go side of
+// golang.org/x/tools' unitchecker) using only the standard library, so
+// CI runs it with no module downloads:
+//
+//	go build -o bin/analyzers ./tools/analyzers
+//	go vet -vettool=bin/analyzers ./...
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// analyzers is the registry, in run order.
+var analyzers = []*Analyzer{mapiterAnalyzer, gostmtAnalyzer}
+
+// Pass hands one type-checked package to an analyzer.
+type Pass struct {
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+	PkgPath string // import path as the build system sees it
+
+	diags *[]diagnostic
+}
+
+type diagnostic struct {
+	pos     token.Pos
+	message string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, diagnostic{pos: pos, message: fmt.Sprintf(format, args...)})
+}
+
+// runAnalyzers executes the selected analyzers over one package and
+// returns the merged findings in position order.
+func runAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, pkgPath string, selected []*Analyzer) []diagnostic {
+	var diags []diagnostic
+	for _, a := range selected {
+		a.Run(&Pass{
+			Fset:    fset,
+			Files:   files,
+			Pkg:     pkg,
+			Info:    info,
+			PkgPath: pkgPath,
+			diags:   &diags,
+		})
+	}
+	// Deterministic output order regardless of analyzer interleaving.
+	for i := 1; i < len(diags); i++ {
+		for j := i; j > 0 && diags[j].pos < diags[j-1].pos; j-- {
+			diags[j], diags[j-1] = diags[j-1], diags[j]
+		}
+	}
+	return diags
+}
+
+// typeInfo allocates the maps the analyzers rely on.
+func typeInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// gostmtAnalyzer flags naked `go` statements outside internal/parallel.
+// The repo's concurrency contract routes every production goroutine
+// through that package — Pool for bounded leaf work, All/Map for
+// error-propagating fan-out, Go for the rare fire-and-forget watcher —
+// so goroutine creation stays bounded, cancellable, and greppable.
+// Test files are exempt.
+var gostmtAnalyzer = &Analyzer{
+	Name: "gostmt",
+	Doc:  "flag naked go statements outside internal/parallel",
+	Run:  runGostmt,
+}
+
+func runGostmt(pass *Pass) {
+	if strings.HasSuffix(pass.PkgPath, "internal/parallel") {
+		return // the one package allowed to spell `go` directly
+	}
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Go,
+					"naked go statement; use internal/parallel (Pool, All, Map, or Go for fire-and-forget) so goroutines stay bounded and tracked")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// main speaks the protocol cmd/go expects from a -vettool binary:
+//
+//   - `analyzers -V=full` prints an identification line so the build
+//     cache can key on the tool;
+//   - `analyzers -flags` prints the JSON description of the flags the
+//     tool accepts, so cmd/go knows which of its own vet flags to
+//     forward;
+//   - `analyzers <cfg>.cfg` analyzes one package described by the JSON
+//     config file, writing findings to stderr (exit 2 if any) and the
+//     facts file named by VetxOutput (always, even when empty —
+//     cmd/go caches it).
+func main() {
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch {
+		case strings.HasPrefix(args[0], "-V="):
+			// The version string must not be "devel": cmd/go refuses
+			// to cache against a tool that calls itself a devel build.
+			fmt.Printf("analyzers version go1.0-balsabm\n")
+			return
+		case args[0] == "-flags":
+			printFlags()
+			return
+		}
+	}
+	// Filter out forwarded vet flags (-mapiter, -gostmt enable/disable).
+	enabled := map[string]bool{}
+	var cfgFile string
+	for _, a := range args {
+		if name, val, ok := parseEnableFlag(a); ok {
+			enabled[name] = val
+			continue
+		}
+		cfgFile = a
+	}
+	if cfgFile == "" {
+		fmt.Fprintln(os.Stderr, "usage: analyzers [-mapiter] [-gostmt] <config>.cfg")
+		os.Exit(1)
+	}
+	selected := analyzers
+	if len(enabled) > 0 {
+		selected = nil
+		for _, a := range analyzers {
+			if enabled[a.Name] {
+				selected = append(selected, a)
+			}
+		}
+	}
+	os.Exit(runConfig(cfgFile, selected, os.Stderr))
+}
+
+// printFlags answers cmd/go's -flags query: a JSON array describing
+// the flags this tool accepts. We expose one boolean per analyzer so
+// `go vet -vettool=... -mapiter ./...` selects a single check.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	var fs []jsonFlag
+	for _, a := range analyzers {
+		fs = append(fs, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	data, err := json.Marshal(fs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// parseEnableFlag recognizes -name, -name=true, -name=false for the
+// registered analyzers.
+func parseEnableFlag(arg string) (name string, val bool, ok bool) {
+	if !strings.HasPrefix(arg, "-") {
+		return "", false, false
+	}
+	body := strings.TrimPrefix(arg, "-")
+	val = true
+	if i := strings.IndexByte(body, '='); i >= 0 {
+		val = body[i+1:] == "true"
+		body = body[:i]
+	}
+	for _, a := range analyzers {
+		if a.Name == body {
+			return body, val, true
+		}
+	}
+	return "", false, false
+}
+
+// vetConfig mirrors the JSON config cmd/go writes for each package.
+// Only the fields we consume are listed; unknown fields are ignored.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runConfig analyzes the single package described by cfgFile and
+// returns the process exit code (0 clean, 1 internal error, 2 findings).
+func runConfig(cfgFile string, selected []*Analyzer, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "analyzers: bad config %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// cmd/go caches the facts file; it must exist even though these
+	// analyzers export no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Type-check against the export data cmd/go already compiled,
+	// resolving vendored/rewritten paths through ImportMap.
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(compiler, "amd64"),
+		Error:    func(error) {}, // collect all; the first is reported below
+	}
+	if cfg.GoVersion != "" {
+		tc.GoVersion = cfg.GoVersion
+	}
+	info := typeInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "analyzers: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags := runAnalyzers(fset, files, pkg, info, cfg.ImportPath, selected)
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s\n", fset.Position(d.pos), d.message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// mapiterAnalyzer flags `range` loops over maps whose bodies produce
+// output (fmt print-family calls or Write*-style method calls). Map
+// iteration order is deliberately randomized by the runtime, so such a
+// loop emits its lines in a different order on every run — breaking
+// the back-end's byte-identical-output guarantee. The fix is always
+// the same: collect the keys, sort them, range over the sorted slice.
+var mapiterAnalyzer = &Analyzer{
+	Name: "mapiter",
+	Doc:  "flag map iteration in output-producing code (nondeterministic order)",
+	Run:  runMapiter,
+}
+
+func runMapiter(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if call := findOutputCall(pass, rng.Body); call != nil {
+				pass.Reportf(rng.For,
+					"range over map produces output via %s in nondeterministic order; collect and sort the keys first",
+					callName(call))
+			}
+			return true
+		})
+	}
+}
+
+// findOutputCall returns the first output-producing call in the loop
+// body: a call into package fmt's print family, or a Write/WriteString/
+// WriteByte/WriteRune method call (strings.Builder, bytes.Buffer,
+// io.Writer — any receiver counts).
+func findOutputCall(pass *Pass, body *ast.BlockStmt) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if isFmtPrint(pass, sel) || isWriteMethod(pass, sel) {
+			found = call
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+var fmtPrintNames = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Sprint": true, "Sprintf": true, "Sprintln": true,
+	"Append": true, "Appendf": true, "Appendln": true,
+}
+
+// isFmtPrint reports whether sel is fmt.<print-family>.
+func isFmtPrint(pass *Pass, sel *ast.SelectorExpr) bool {
+	if !fmtPrintNames[sel.Sel.Name] {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "fmt"
+}
+
+var writeMethodNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+// isWriteMethod reports whether sel is a Write*-named method call.
+func isWriteMethod(pass *Pass, sel *ast.SelectorExpr) bool {
+	if !writeMethodNames[sel.Sel.Name] {
+		return false
+	}
+	s, ok := pass.Info.Selections[sel]
+	return ok && s.Kind() == types.MethodVal
+}
+
+// callName renders the callee for the diagnostic message.
+func callName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			return id.Name + "." + sel.Sel.Name
+		}
+		return sel.Sel.Name
+	}
+	return "a call"
+}

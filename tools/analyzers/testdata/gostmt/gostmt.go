@@ -1,0 +1,22 @@
+// Package gostmttest exercises the gostmt analyzer.
+package gostmttest
+
+import "sync"
+
+func nakedGo() {
+	go func() {}() // want `naked go statement`
+}
+
+func nakedGoNamed() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(&wg) // want `naked go statement`
+	wg.Wait()
+}
+
+func worker(wg *sync.WaitGroup) { wg.Done() }
+
+func noGoroutines() {
+	f := func() {}
+	f() // plain call: fine
+}

@@ -1,0 +1,5 @@
+package gostmttest
+
+func spawnInTest() {
+	go func() {}() // test files are exempt: fine
+}

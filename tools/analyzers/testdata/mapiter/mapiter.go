@@ -1,0 +1,56 @@
+// Package mapitertest exercises the mapiter analyzer.
+package mapitertest
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func printsDirectly(m map[string]int) {
+	for k, v := range m { // want `range over map produces output via fmt\.Printf`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func printsNested(m map[string]int) {
+	for k := range m { // want `range over map produces output via fmt\.Fprintln`
+		if k != "" {
+			fmt.Fprintln(os.Stdout, k)
+		}
+	}
+}
+
+func buildsString(m map[string]bool) string {
+	var b strings.Builder
+	for k := range m { // want `range over map produces output via b\.WriteString`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func sortsFirst(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m { // collect only: fine
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k]) // range over slice: fine
+	}
+}
+
+func rangesSlice(xs []string) {
+	for _, x := range xs {
+		fmt.Println(x)
+	}
+}
+
+func silentMapLoop(m map[string]int) int {
+	total := 0
+	for _, v := range m { // no output in body: fine
+		total += v
+	}
+	return total
+}

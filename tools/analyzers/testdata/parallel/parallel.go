@@ -1,0 +1,7 @@
+// Package parallel stands in for balsabm/internal/parallel in the
+// gostmt tests: the one package allowed to use naked go statements.
+package parallel
+
+func Go(fn func()) {
+	go fn() // exempt package: fine
+}
