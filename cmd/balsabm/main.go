@@ -35,6 +35,10 @@
 //	-server URL
 //	          thin-client mode: run table3/flow on a balsabmd daemon
 //	          at URL instead of in process
+//	-cpuprofile FILE
+//	          write a CPU profile of the run to FILE (go tool pprof)
+//	-memprofile FILE
+//	          write an allocation profile taken at exit to FILE
 //
 // Ctrl-C cancels an in-flight flow run cleanly: leaf tasks still
 // waiting for a worker slot are abandoned and no pool goroutines are
@@ -49,6 +53,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
@@ -71,7 +77,44 @@ var (
 	jsonFlag    = flag.Bool("json", false, "emit JSON results (table3, flow, lint)")
 	serverFlag  = flag.String("server", "", "run table3/flow/lint on a balsabmd daemon at this URL")
 	lintFlag    = flag.Bool("lint", false, "lint CH source files (same as the lint subcommand)")
+	cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile  = flag.String("memprofile", "", "write an allocation profile (taken at exit) to this file")
 )
+
+// startProfiles starts CPU profiling when requested and returns a
+// cleanup that stops it and writes the exit heap profile. Profile
+// errors are fatal: a silently missing profile defeats the point.
+func startProfiles() func() {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "balsabm:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "balsabm:", err)
+			os.Exit(1)
+		}
+	}
+	return func() {
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "balsabm:", err)
+				os.Exit(1)
+			}
+			runtime.GC() // materialize final allocation stats
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "balsabm:", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+	}
+}
 
 // flowOptions builds the flow configuration from the command-line
 // flags; the returned metrics are printed when -stats is set.
@@ -93,6 +136,8 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	stopProfiles := startProfiles()
+	defer stopProfiles()
 	// Ctrl-C / SIGTERM cancel in-flight flow runs cleanly.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -134,16 +179,20 @@ func main() {
 		os.Exit(2)
 	}
 	if err == errLintFindings {
+		stopProfiles()
+		stop()
 		os.Exit(1) // diagnostics already printed, vet-style
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "balsabm:", err)
+		stopProfiles()
+		stop()
 		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: balsabm [-j N] [-stats] [-json] [-server URL] <table1|table2|table3|fig2|fig3|fig4|fig5|verify|flow|lint|artifacts|designs> [args]`)
+	fmt.Fprintln(os.Stderr, `usage: balsabm [-j N] [-stats] [-json] [-server URL] [-cpuprofile FILE] [-memprofile FILE] <table1|table2|table3|fig2|fig3|fig4|fig5|verify|flow|lint|artifacts|designs> [args]`)
 	flag.PrintDefaults()
 }
 

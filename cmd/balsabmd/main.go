@@ -14,6 +14,9 @@
 //	        additionally fans leaf work across its own flow pool
 //	-queue  queued-job bound; submissions beyond it get HTTP 503
 //	        (default 64)
+//	-pprof  serve net/http/pprof on this extra address (e.g.
+//	        localhost:6060); off by default so profiling endpoints
+//	        are never exposed on the service port
 //
 // See package balsabm/internal/server for the API, and `balsabm
 // -server URL ...` for the thin client.
@@ -25,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,10 +42,29 @@ func main() {
 	addr := flag.String("addr", ":8337", "listen address")
 	jobs := flag.Int("jobs", 2, "jobs executing concurrently")
 	queue := flag.Int("queue", 64, "maximum queued jobs")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
 
 	srv := server.New(server.Config{Workers: *jobs, QueueDepth: *queue})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	if *pprofAddr != "" {
+		// A dedicated mux on a dedicated listener: the profiling
+		// surface never shares a port with the service API.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv := &http.Server{Addr: *pprofAddr, Handler: mux}
+		parallel.Go(func() {
+			fmt.Fprintf(os.Stderr, "balsabmd: pprof on %s\n", *pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "balsabmd: pprof:", err)
+			}
+		})
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

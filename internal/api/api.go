@@ -133,6 +133,9 @@ type ControllerJSON struct {
 	Cells     int     `json:"cells"`
 	Area      float64 `json:"area"`
 	Critical  float64 `json:"critical"`
+	// Exact reports the controller minimized entirely on the exact
+	// path (no greedy fallback in enumeration or covering).
+	Exact bool `json:"exact"`
 }
 
 // ArmJSON mirrors flow.ArmResult.
@@ -226,13 +229,21 @@ type StageJSON struct {
 // (GET /api/v1/metrics; /metrics serves the same data in Prometheus
 // text format).
 type MetricsJSON struct {
-	JobsByState     map[string]int64     `json:"jobsByState"`
-	QueueDepth      int64                `json:"queueDepth"`
-	DedupHits       int64                `json:"dedupHits"`
-	DedupMisses     int64                `json:"dedupMisses"`
-	FlowCacheHits   int64                `json:"flowCacheHits"`
-	FlowCacheMisses int64                `json:"flowCacheMisses"`
-	Stages          map[string]StageJSON `json:"stages"`
+	JobsByState     map[string]int64 `json:"jobsByState"`
+	QueueDepth      int64            `json:"queueDepth"`
+	DedupHits       int64            `json:"dedupHits"`
+	DedupMisses     int64            `json:"dedupMisses"`
+	FlowCacheHits   int64            `json:"flowCacheHits"`
+	FlowCacheMisses int64            `json:"flowCacheMisses"`
+	// Minimizer work counters aggregated over every flow the daemon
+	// ran: functions minimized on the exact path vs. with a greedy
+	// fallback, and nodes visited by the prime enumeration and the
+	// covering branch-and-bound.
+	MinimizeExact  int64                `json:"minimizeExact"`
+	MinimizeGreedy int64                `json:"minimizeGreedy"`
+	EnumNodes      int64                `json:"enumNodes"`
+	BranchNodes    int64                `json:"branchNodes"`
+	Stages         map[string]StageJSON `json:"stages"`
 }
 
 // FromControllerResult converts one controller summary.
@@ -240,6 +251,7 @@ func FromControllerResult(c flow.ControllerResult) ControllerJSON {
 	return ControllerJSON{
 		Name: c.Name, States: c.States, StateBits: c.StateBits,
 		Products: c.Products, Cells: c.Cells, Area: c.Area, Critical: c.Critical,
+		Exact: c.Exact,
 	}
 }
 
@@ -317,6 +329,7 @@ func (d *DesignResultJSON) ToFlow() *flow.DesignResult {
 			out.Controllers = append(out.Controllers, flow.ControllerResult{
 				Name: c.Name, States: c.States, StateBits: c.StateBits,
 				Products: c.Products, Cells: c.Cells, Area: c.Area, Critical: c.Critical,
+				Exact: c.Exact,
 			})
 		}
 		return out

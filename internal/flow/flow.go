@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"balsabm/internal/bm"
 	"balsabm/internal/cell"
 	"balsabm/internal/ch"
 	"balsabm/internal/chtobm"
@@ -47,6 +48,11 @@ type ControllerResult struct {
 	Cells     int
 	Area      float64
 	Critical  float64
+	// Exact reports that every function of the controller was
+	// minimized on the exact path (no greedy fallback in the prime
+	// enumeration or the covering branch-and-bound). Hand-library
+	// controllers are exact by construction.
+	Exact bool
 }
 
 // ArmResult is one complete flow arm (unoptimized or optimized).
@@ -98,8 +104,8 @@ func (r *DesignResult) DebugString() string {
 		fmt.Fprintf(&sb, "%s: control=%.6f datapath=%.6f time=%.6f events=%d\n",
 			label, a.ControlArea, a.DatapathArea, a.BenchTime, a.Events)
 		for _, c := range a.Controllers {
-			fmt.Fprintf(&sb, "  %s states=%d bits=%d products=%d cells=%d area=%.6f critical=%.6f\n",
-				c.Name, c.States, c.StateBits, c.Products, c.Cells, c.Area, c.Critical)
+			fmt.Fprintf(&sb, "  %s states=%d bits=%d products=%d cells=%d area=%.6f critical=%.6f exact=%t\n",
+				c.Name, c.States, c.StateBits, c.Products, c.Cells, c.Area, c.Critical, c.Exact)
 		}
 	}
 	arm("unopt", r.Unopt)
@@ -130,6 +136,16 @@ type Metrics struct {
 	CacheHits   parallel.Counter
 	CacheMisses parallel.Counter
 	Timings     parallel.Timings
+
+	// Minimizer work counters, aggregated over every function of
+	// every (non-cached, non-hand-library) controller synthesis:
+	// functions solved on the exact path vs. falling back to a greedy
+	// stage, and nodes visited by the prime enumeration and the
+	// covering branch-and-bound.
+	MinimizeExact  parallel.Counter
+	MinimizeGreedy parallel.Counter
+	EnumNodes      parallel.Counter
+	BranchNodes    parallel.Counter
 
 	lintMu     sync.Mutex
 	lint       []LintFinding
@@ -173,6 +189,10 @@ func (m *Metrics) String() string {
 	}
 	s := fmt.Sprintf("synthesis cache: %d hits, %d misses\n",
 		m.CacheHits.Load(), m.CacheMisses.Load())
+	if n := m.MinimizeExact.Load() + m.MinimizeGreedy.Load(); n > 0 {
+		s += fmt.Sprintf("hfmin: %d/%d functions exact, %d enum nodes, %d branch nodes\n",
+			m.MinimizeExact.Load(), n, m.EnumNodes.Load(), m.BranchNodes.Load())
+	}
 	if t := m.Timings.String(); t != "" {
 		s += t
 	}
@@ -262,47 +282,77 @@ func newRunner(ctx context.Context, opt *Options) *runner {
 
 // synthesize runs the full per-controller pipeline (compile, two-level
 // synthesis or hand-library lookup, mapping, audit) with no caching.
+// It is a composite task: the compile/hclib and map/audit stages each
+// take one pool slot, and the per-function minimizations inside
+// minimalist.SynthesizeOpt are individually pool-admitted leaves — no
+// slot is ever held while waiting for another.
 func (r *runner) synthesize(comp *ch.Program, mode techmap.Mode) (*gates.Netlist, ControllerResult, error) {
 	tm := &r.met.Timings
-	start := time.Now()
-	sp, err := chtobm.Compile(comp)
-	tm.Observe("compile", time.Since(start))
-	if err != nil {
-		return nil, ControllerResult{}, fmt.Errorf("flow: %s: %w", comp.Name, err)
-	}
-	if mode == techmap.AreaShared {
-		start = time.Now()
-		nl, ok := hclib.Build(comp)
-		tm.Observe("hclib", time.Since(start))
-		if ok {
-			return nl, ControllerResult{
-				Name:     comp.Name,
-				States:   sp.NStates,
-				Cells:    len(nl.Instances),
-				Area:     nl.Area(r.opt.Lib),
-				Critical: nl.CriticalDelay(r.opt.Lib),
-			}, nil
+	var sp *bm.Spec
+	var hclibNl *gates.Netlist
+	err := r.pool.RunCtx(r.ctx, func() error {
+		start := time.Now()
+		var err error
+		sp, err = chtobm.Compile(comp)
+		tm.Observe("compile", time.Since(start))
+		if err != nil {
+			return fmt.Errorf("flow: %s: %w", comp.Name, err)
 		}
+		if mode == techmap.AreaShared {
+			start = time.Now()
+			nl, ok := hclib.Build(comp)
+			tm.Observe("hclib", time.Since(start))
+			if ok {
+				hclibNl = nl
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, ControllerResult{}, err
 	}
-	start = time.Now()
-	ctrl, err := minimalist.Synthesize(sp)
+	if hclibNl != nil {
+		return hclibNl, ControllerResult{
+			Name:     comp.Name,
+			States:   sp.NStates,
+			Cells:    len(hclibNl.Instances),
+			Area:     hclibNl.Area(r.opt.Lib),
+			Critical: hclibNl.CriticalDelay(r.opt.Lib),
+			Exact:    true, // hand-designed circuit: nothing minimized
+		}, nil
+	}
+	start := time.Now()
+	ctrl, err := minimalist.SynthesizeOpt(sp, minimalist.Options{Pool: r.pool, Ctx: r.ctx})
 	tm.Observe("synthesize", time.Since(start))
 	if err != nil {
 		return nil, ControllerResult{}, fmt.Errorf("flow: %s: %w", comp.Name, err)
 	}
-	start = time.Now()
-	nl, err := techmap.MapController(ctrl, mode, r.opt.Lib)
-	tm.Observe("map", time.Since(start))
-	if err != nil {
-		return nil, ControllerResult{}, fmt.Errorf("flow: %s: %w", comp.Name, err)
-	}
-	if mode == techmap.SpeedSplit && !r.opt.SkipAudit {
-		start = time.Now()
-		err := techmap.CheckMapped(ctrl, nl, r.opt.Lib)
-		tm.Observe("audit", time.Since(start))
+	st := ctrl.Stats
+	r.met.MinimizeExact.Add(int64(st.ExactFunctions))
+	r.met.MinimizeGreedy.Add(int64(st.Functions - st.ExactFunctions))
+	r.met.EnumNodes.Add(st.EnumNodes)
+	r.met.BranchNodes.Add(st.BranchNodes)
+	var nl *gates.Netlist
+	err = r.pool.RunCtx(r.ctx, func() error {
+		start := time.Now()
+		var err error
+		nl, err = techmap.MapController(ctrl, mode, r.opt.Lib)
+		tm.Observe("map", time.Since(start))
 		if err != nil {
-			return nil, ControllerResult{}, fmt.Errorf("flow: hazard audit: %w", err)
+			return fmt.Errorf("flow: %s: %w", comp.Name, err)
 		}
+		if mode == techmap.SpeedSplit && !r.opt.SkipAudit {
+			start = time.Now()
+			err := techmap.CheckMapped(ctrl, nl, r.opt.Lib)
+			tm.Observe("audit", time.Since(start))
+			if err != nil {
+				return fmt.Errorf("flow: hazard audit: %w", err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, ControllerResult{}, err
 	}
 	return nl, ControllerResult{
 		Name:      comp.Name,
@@ -312,6 +362,7 @@ func (r *runner) synthesize(comp *ch.Program, mode techmap.Mode) (*gates.Netlist
 		Cells:     len(nl.Instances),
 		Area:      nl.Area(r.opt.Lib),
 		Critical:  nl.CriticalDelay(r.opt.Lib),
+		Exact:     st.Exact(),
 	}, nil
 }
 
@@ -353,15 +404,17 @@ func (r *runner) synthOne(comp *ch.Program, mode techmap.Mode) (*gates.Netlist, 
 	return nl, res, nil
 }
 
-// synthesizeNetlist fans the components of a control netlist across
-// the worker pool, returning mapped netlists and reports in component
-// order with sequential first-error semantics.
+// synthesizeNetlist fans the components of a control netlist out as
+// composite tasks (their compile, per-function minimization and
+// map/audit stages are the pool-admitted leaves), returning mapped
+// netlists and reports in component order with sequential first-error
+// semantics.
 func (r *runner) synthesizeNetlist(n *core.Netlist, mode techmap.Mode) ([]*gates.Netlist, []ControllerResult, error) {
 	type synthOut struct {
 		nl  *gates.Netlist
 		res ControllerResult
 	}
-	outs, err := parallel.MapCtx(r.ctx, r.pool, len(n.Components), func(i int) (synthOut, error) {
+	outs, err := parallel.MapAllCtx(r.ctx, len(n.Components), func(i int) (synthOut, error) {
 		nl, res, err := r.synthOne(n.Components[i], mode)
 		if err != nil {
 			return synthOut{}, err

@@ -56,6 +56,33 @@ func TestTable3Shape(t *testing.T) {
 	}
 }
 
+// TestTable3Exact asserts the acceptance bar of the packed-cube
+// engine: with cheap enumeration nodes and the lifted budget, every
+// controller of every Table 3 design minimizes through the exact
+// covering path — no greedy fallback anywhere in the published rows.
+func TestTable3Exact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full four-design flow")
+	}
+	results, err := RunAll(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		for _, arm := range []struct {
+			name string
+			res  ArmResult
+		}{{"unopt", r.Unopt}, {"opt", r.Opt}} {
+			for _, c := range arm.res.Controllers {
+				if !c.Exact {
+					t.Errorf("%s/%s: controller %s fell back to greedy minimization",
+						r.Design, arm.name, c.Name)
+				}
+			}
+		}
+	}
+}
+
 // Both arms must produce identical external behavior: the benchmark's
 // functional validation runs inside RunDesign for both, so a passing
 // run already certifies functional equivalence on the benchmark; here

@@ -141,154 +141,390 @@ func (e *ConflictError) Error() string {
 		e.On, e.Off, e.On.Intersect(e.Off))
 }
 
+// enumBudget bounds the nodes one dhfPrimes enumeration may visit
+// before falling back to greedy expansion. The packed engine made
+// nodes roughly an order of magnitude cheaper than the original
+// []Lit implementation's 1500-node budget, so the exact path now
+// covers the Table 3 controllers without truncating.
+const enumBudget = 20000
+
+// bbBudget bounds the covering branch-and-bound; beyond it the
+// incumbent (at worst the greedy solution) is kept and the result is
+// flagged inexact.
+const bbBudget = 1 << 20
+
+// packedPriv is a privileged cube in packed form: the dynamic 1→0
+// transition cube and its start minterm as a PointWords plane.
+type packedPriv struct {
+	cube  logic.PackedCube
+	start []uint64
+}
+
+// problemMat is the packed OFF-set / privileged-cube matrix every
+// dhf-implicant test scans.
+type problemMat struct {
+	sp   *logic.Space
+	off  []logic.PackedCube
+	priv []packedPriv
+}
+
+func newProblemMat(vars int, off logic.Cover, priv []privileged) *problemMat {
+	sp := logic.NewSpace(vars)
+	m := &problemMat{sp: sp, off: sp.PackCover(off)}
+	m.priv = make([]packedPriv, len(priv))
+	for i, pv := range priv {
+		m.priv[i] = packedPriv{cube: sp.Pack(pv.cube), start: sp.PointWords(pv.start)}
+	}
+	return m
+}
+
 // isDHF reports whether c is a dhf-implicant: it touches no OFF point
-// and has no illegal intersection with a privileged cube.
-func isDHF(c logic.Cube, off logic.Cover, priv []privileged) bool {
-	if off.AnyIntersects(c) {
+// and has no illegal intersection with a privileged cube. Both scans
+// are word-parallel over the packed matrix.
+func (m *problemMat) isDHF(c logic.PackedCube) bool {
+	if logic.AnyIntersectsPacked(m.off, c) {
 		return false
 	}
-	for _, pv := range priv {
-		if c.Intersects(pv.cube) && !c.ContainsPoint(pv.start) {
+	for i := range m.priv {
+		if c.Intersects(m.priv[i].cube) && !c.ContainsPointWords(m.priv[i].start) {
 			return false
 		}
 	}
 	return true
 }
 
-// dhfPrimes returns maximal dhf-implicants containing seed. The
-// enumeration walks freed-variable subsets in canonical (ascending)
-// order under a node budget; beyond the budget it falls back to a
-// handful of greedy maximal expansions, which keeps the covering
-// problem well-supplied with candidates at a small optimality cost.
-func dhfPrimes(seed logic.Cube, off logic.Cover, priv []privileged) []logic.Cube {
-	const budget = 1500
-	nodes := 0
-	seen := map[string]bool{}
-	addSeen := func(c logic.Cube) bool {
-		k := cubeKey(c)
-		if seen[k] {
-			return false
+// dhfPrimes returns the maximal dhf-implicants containing seed, under
+// a node budget; beyond the budget it falls back to greedy maximal
+// expansions, which keeps the covering problem supplied with
+// candidates at a small optimality cost. It reports the nodes visited
+// and whether the enumeration completed without truncation.
+//
+// Because growth only ever frees literals of the seed, every reachable
+// cube is identified by the subset of seed literals freed so far. When
+// the seed has at most 64 specified variables (every real controller),
+// the enumeration runs entirely on uint64 subset masks, branching on
+// violated constraints so the tree size tracks the number of primes.
+// Wider seeds take the defensive generic packed-cube path, a bottom-up
+// subset walk whose exactness flag is conservative (it can truncate on
+// instances the mask path finishes).
+func (m *problemMat) dhfPrimes(seed logic.PackedCube) (out []logic.PackedCube, nodes int64, exact bool) {
+	var spec []int
+	for v := 0; v < m.sp.Vars(); v++ {
+		if seed.Lit(v) != logic.DC {
+			spec = append(spec, v)
 		}
-		seen[k] = true
+	}
+	if len(spec) <= 64 {
+		return m.dhfPrimesMask(seed, spec)
+	}
+	return m.dhfPrimesWide(seed)
+}
+
+// dhfPrimesMask is the subset-mask fast path of dhfPrimes. Bit i of a
+// mask stands for spec[i], the i-th specified variable of the seed;
+// a set bit means that literal has been freed. For each OFF cube o,
+// conf(o) holds the seed literals conflicting with o: the grown cube
+// intersects o exactly when all of them are freed (conf ⊆ S). For each
+// privileged cube P, the same conf test detects intersection, and
+// dist(P) (seed literals disagreeing with P's start point) detects
+// start-point containment, so the dhf condition "intersecting P implies
+// containing its start" is conf(P) ⊆ S ⇒ dist(P) ⊆ S.
+//
+// Rather than walking freed-literal subsets bottom-up (2^f nodes when
+// the constraints are loose, however few primes exist), the search
+// branches top-down on violated constraints, the classic
+// prime-generation-via-complement recursion: a node is a set Ex of
+// literals pinned to the seed value, its candidate is the complement
+// U = full∖Ex with everything else freed, and when some constraint is
+// violated at U each of its exclusion witnesses spawns one child. A
+// maximal feasible S below a node with S ⊆ U and U infeasible must
+// exclude a witness literal of any constraint violated at U (for an
+// OFF conflict, conf ⊄ S since S is feasible; for a privileged pair,
+// D ⊆ S would contradict D ⊄ U, hence P ⊄ S), so the branch set is
+// complete and every dhf-prime surfaces as a leaf. Leaves are feasible
+// by construction and filtered for pairwise maximality at the end;
+// the tree size tracks the number of primes, not the subset count.
+func (m *problemMat) dhfPrimesMask(seed logic.PackedCube, spec []int) (out []logic.PackedCube, nodes int64, exact bool) {
+	k := len(spec)
+	offConf := make([]uint64, 0, len(m.off))
+	for _, o := range m.off {
+		var conf uint64
+		for i, v := range spec {
+			ol := o.Lit(v)
+			if ol != logic.DC && ol != seed.Lit(v) {
+				conf |= 1 << uint(i)
+			}
+		}
+		offConf = append(offConf, conf)
+	}
+	privConf := make([]uint64, len(m.priv))
+	privDist := make([]uint64, len(m.priv))
+	for pi := range m.priv {
+		for i, v := range spec {
+			pl := m.priv[pi].cube.Lit(v)
+			if pl != logic.DC && pl != seed.Lit(v) {
+				privConf[pi] |= 1 << uint(i)
+			}
+			startOne := m.priv[pi].start[v>>6]>>uint(v&63)&1 != 0
+			if (seed.Lit(v) == logic.One) != startOne {
+				privDist[pi] |= 1 << uint(i)
+			}
+		}
+	}
+	feasible := func(s uint64) bool {
+		for _, conf := range offConf {
+			if conf&^s == 0 {
+				return false
+			}
+		}
+		for i := range privConf {
+			if privConf[i]&^s == 0 && privDist[i]&^s != 0 {
+				return false
+			}
+		}
 		return true
 	}
-	var out []logic.Cube
-	outSet := map[string]bool{}
-	record := func(c logic.Cube) {
-		k := cubeKey(c)
-		if !outSet[k] {
-			outSet[k] = true
-			out = append(out, c)
-		}
+
+	full := ^uint64(0)
+	if k < 64 {
+		full = 1<<uint(k) - 1
 	}
+	var leaves []uint64
+	seen := map[uint64]struct{}{}
 	overflow := false
-	var grow func(c logic.Cube, minVar int)
-	grow = func(c logic.Cube, minVar int) {
+	var walk func(ex uint64)
+	walk = func(ex uint64) {
 		if overflow {
 			return
 		}
-		if nodes++; nodes > budget {
+		if _, dup := seen[ex]; dup {
+			return
+		}
+		if nodes++; nodes > enumBudget {
 			overflow = true
 			return
 		}
-		if !addSeen(c) {
+		seen[ex] = struct{}{}
+		// A constraint is violated at the candidate U = full∖ex when
+		// its conflict set avoids ex entirely (conf ⊆ U) and, for a
+		// privileged pair, a start-distance literal is pinned (D ⊄ U).
+		// Branch on the first violation; an empty witness set (conf or
+		// P already empty) prunes the node — no feasible set survives.
+		for _, conf := range offConf {
+			if conf&ex == 0 {
+				for b := conf; b != 0; b &= b - 1 {
+					walk(ex | b&-b)
+				}
+				return
+			}
+		}
+		for i := range privConf {
+			if privConf[i]&ex == 0 && privDist[i]&ex != 0 {
+				for b := privConf[i]; b != 0; b &= b - 1 {
+					walk(ex | b&-b)
+				}
+				return
+			}
+		}
+		leaves = append(leaves, full&^ex)
+	}
+	walk(0)
+	if overflow {
+		// Greedy maximal expansions guarantee candidates even when the
+		// exact enumeration is truncated.
+		for _, dir := range []int{1, -1} {
+			var s uint64
+			for changed := true; changed; {
+				changed = false
+				for j := 0; j < k; j++ {
+					i := j
+					if dir < 0 {
+						i = k - 1 - j
+					}
+					if s>>uint(i)&1 != 0 {
+						continue
+					}
+					if feasible(s | 1<<uint(i)) {
+						s |= 1 << uint(i)
+						changed = true
+					}
+				}
+			}
+			dup := false
+			for _, u := range leaves {
+				if u == s {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				leaves = append(leaves, s)
+			}
+		}
+	}
+	// Distinct exclusion sets can close on nested candidates; keep only
+	// the maximal masks (the true dhf-primes).
+	for _, s := range leaves {
+		maximal := true
+		for _, t := range leaves {
+			if s != t && s&^t == 0 {
+				maximal = false
+				break
+			}
+		}
+		if !maximal {
+			continue
+		}
+		c := seed.Clone()
+		for i := 0; i < k; i++ {
+			if s>>uint(i)&1 != 0 {
+				c.FreeLit(spec[i])
+			}
+		}
+		out = append(out, c)
+	}
+	return out, nodes, !overflow
+}
+
+// dhfPrimesWide is the generic path for seeds with more than 64
+// specified variables: the same walk on packed cubes directly.
+func (m *problemMat) dhfPrimesWide(seed logic.PackedCube) (out []logic.PackedCube, nodes int64, exact bool) {
+	n := m.sp.Vars()
+	seen := logic.NewKeySet(m.sp)
+	outSet := logic.NewKeySet(m.sp)
+	record := func(c logic.PackedCube) {
+		if outSet.Add(c) {
+			out = append(out, c.Clone())
+		}
+	}
+	overflow := false
+	var grow func(c logic.PackedCube, minVar int)
+	grow = func(c logic.PackedCube, minVar int) {
+		if overflow {
+			return
+		}
+		if nodes++; nodes > enumBudget {
+			overflow = true
+			return
+		}
+		if !seen.Add(c) {
 			return
 		}
 		maximal := true
-		for v := 0; v < len(c); v++ {
-			if c[v] == logic.DC {
+		for v := 0; v < n; v++ {
+			lit := c.Lit(v)
+			if lit == logic.DC {
 				continue
 			}
-			e := c.Clone()
-			e[v] = logic.DC
-			if !isDHF(e, off, priv) {
-				continue
+			c.FreeLit(v)
+			if m.isDHF(c) {
+				maximal = false
+				if v >= minVar {
+					grow(c, v+1)
+				}
 			}
-			maximal = false
-			if v >= minVar {
-				grow(e, v+1)
-			}
+			c.SetLit(v, lit)
 		}
 		if maximal {
 			record(c)
 		}
 	}
-	grow(seed, 0)
+	grow(seed.Clone(), 0)
 	// Greedy maximal expansions guarantee candidates even when the
 	// exact enumeration is truncated (and cover corner cases where the
-	// canonical order dead-ends before a maximal cube).
+	// canonical order dead-ends before a maximal cube: dhf-ness is not
+	// monotone along the ascending-order path, because growing a cube
+	// can acquire a privileged start point its sub-cubes lack).
 	for _, dir := range []int{1, -1} {
 		c := seed.Clone()
 		for changed := true; changed; {
 			changed = false
-			n := len(c)
 			for k := 0; k < n; k++ {
 				v := k
 				if dir < 0 {
 					v = n - 1 - k
 				}
-				if c[v] == logic.DC {
+				lit := c.Lit(v)
+				if lit == logic.DC {
 					continue
 				}
-				e := c.Clone()
-				e[v] = logic.DC
-				if isDHF(e, off, priv) {
-					c = e
+				c.FreeLit(v)
+				if m.isDHF(c) {
 					changed = true
+				} else {
+					c.SetLit(v, lit)
 				}
 			}
 		}
 		record(c)
 	}
-	return out
+	return out, nodes, !overflow
 }
 
-// cubeKey returns a cheap map key for a cube.
-func cubeKey(c logic.Cube) string {
-	b := make([]byte, len(c))
-	for i, l := range c {
-		b[i] = byte(l)
-	}
-	return string(b)
-}
-
-// Result is a minimized hazard-free cover.
+// Result is a minimized hazard-free cover, with the work counters
+// that make a fallback to the greedy paths observable.
 type Result struct {
 	Cover    logic.Cover
 	Primes   int // number of dhf-prime candidates considered
 	Required int // number of required cubes
+	// Exact reports that every prime enumeration completed within its
+	// node budget AND the covering step proved minimality — i.e. the
+	// cover is a true minimum-product hazard-free solution, not a
+	// greedy approximation.
+	Exact bool
+	// EnumNodes counts expansion nodes visited across all prime
+	// enumerations; BranchNodes counts covering branch-and-bound
+	// nodes.
+	EnumNodes   int64
+	BranchNodes int64
 }
 
 // Minimize solves the instance, returning a minimum-product hazard-free
-// cover (exact for small instances via branch and bound, greedy beyond
-// that).
+// cover. The candidate enumeration and the covering branch-and-bound
+// each run under a node budget; within budget the result is exact
+// (Result.Exact), beyond it the greedy fallbacks keep the cover valid
+// at a small optimality cost.
 func (p *Problem) Minimize() (*Result, error) {
 	on, off, required, priv, err := p.sets()
 	if err != nil {
 		return nil, err
 	}
 	if len(required) == 0 {
-		return &Result{Cover: nil}, nil // constant-0 function
+		return &Result{Cover: nil, Exact: true}, nil // constant-0 function
 	}
+	mat := newProblemMat(p.Vars, off, priv)
 	// Generate candidate dhf-primes from each required cube.
-	var primes logic.Cover
-	primeSet := map[string]bool{}
-	for _, r := range required {
-		if !isDHF(r, off, priv) {
+	var primes []logic.PackedCube
+	primeSet := logic.NewKeySet(mat.sp)
+	res := &Result{Required: len(required), Exact: true}
+	packedReq := make([]logic.PackedCube, len(required))
+	for i, r := range required {
+		packedReq[i] = mat.sp.Pack(r)
+		if !mat.isDHF(packedReq[i]) {
 			return nil, fmt.Errorf("hfmin: required cube %s is not a dhf-implicant; specification is not hazard-free realizable", r)
 		}
-		for _, pr := range dhfPrimes(r, off, priv) {
-			if !primeSet[pr.String()] {
-				primeSet[pr.String()] = true
+		cand, nodes, exact := mat.dhfPrimes(packedReq[i])
+		res.EnumNodes += nodes
+		if !exact {
+			res.Exact = false
+		}
+		for _, pr := range cand {
+			if primeSet.Add(pr) {
 				primes = append(primes, pr)
 			}
 		}
 	}
+	// Containment pruning: a candidate strictly contained in another
+	// covers a subset of the required cubes the larger one covers (and
+	// both are dhf-implicants), so dropping it shrinks the covering
+	// matrix without losing any minimum solution.
+	primes = pruneContained(primes)
+	res.Primes = len(primes)
 	// Build the unate covering matrix.
 	covers := make([][]int, len(required)) // row -> candidate column indices
-	for i, r := range required {
-		for j, pr := range primes {
-			if pr.Contains(r) {
+	for i := range packedReq {
+		for j := range primes {
+			if primes[j].Contains(packedReq[i]) {
 				covers[i] = append(covers[i], j)
 			}
 		}
@@ -296,14 +532,20 @@ func (p *Problem) Minimize() (*Result, error) {
 			return nil, fmt.Errorf("hfmin: required cube %s has no covering dhf-prime", required[i])
 		}
 	}
-	chosen := solveCover(covers, primes)
+	chosen, bbNodes, coverExact := solveCover(covers, len(primes))
+	res.BranchNodes = bbNodes
+	if !coverExact {
+		res.Exact = false
+	}
 	var cover logic.Cover
 	for _, j := range chosen {
-		cover = append(cover, primes[j])
+		cover = append(cover, mat.sp.Unpack(primes[j]))
 	}
 	sortCover(cover)
 	// Post-verify: the cover must contain the whole ON-set and be
-	// hazard-free (defense in depth; cheap at these sizes).
+	// hazard-free. Deliberately run on the unpacked reference engine
+	// (defense in depth: a packed-engine bug cannot certify its own
+	// output; cheap at these sizes).
 	for _, o := range on {
 		if !cover.ContainsCube(o) {
 			return nil, fmt.Errorf("hfmin: internal error: ON cube %s not covered", o)
@@ -312,28 +554,55 @@ func (p *Problem) Minimize() (*Result, error) {
 	if err := CheckCover(cover, p.Transitions); err != nil {
 		return nil, fmt.Errorf("hfmin: internal error: %w", err)
 	}
-	return &Result{Cover: cover, Primes: len(primes), Required: len(required)}, nil
+	res.Cover = cover
+	return res, nil
 }
 
-// solveCover finds a small set of columns covering all rows: essential
-// columns, then exact branch-and-bound when feasible, greedy otherwise.
-func solveCover(rows [][]int, primes logic.Cover) []int {
-	nCols := len(primes)
-	// Essential columns: rows with a single candidate.
-	selected := map[int]bool{}
-	var uncovered []int
-	for i, cands := range rows {
-		if len(cands) == 1 {
-			selected[cands[0]] = true
-		} else {
-			uncovered = append(uncovered, i)
+// pruneContained drops candidates strictly contained in another
+// candidate, preserving first-seen order (duplicates were already
+// removed by the caller's key set).
+func pruneContained(primes []logic.PackedCube) []logic.PackedCube {
+	out := primes[:0]
+	for i := range primes {
+		maximal := true
+		for j := range primes {
+			if i != j && primes[j].Contains(primes[i]) && !primes[i].Contains(primes[j]) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, primes[i])
 		}
 	}
-	remaining := func() []int {
-		var out []int
-		for _, i := range uncovered {
+	return out
+}
+
+// solveCover finds a minimum set of columns covering all rows:
+// essential-column extraction and row/column dominance reduce the
+// matrix to its cyclic core, a greedy pass seeds the incumbent, and
+// branch-and-bound with a maximal-independent-row-set lower bound
+// proves minimality. Everything is index-ordered and sequential, so
+// the selection is deterministic. It reports the branch-and-bound
+// node count and whether minimality was proven within bbBudget.
+func solveCover(rows [][]int, nCols int) (cols []int, nodes int64, exact bool) {
+	selected := map[int]bool{}
+	// Active candidate lists, pruned in place by the reductions.
+	cands := make([][]int, len(rows))
+	for i, r := range rows {
+		cands[i] = append([]int(nil), r...)
+	}
+	active := make([]int, 0, len(rows))
+	for i := range cands {
+		active = append(active, i)
+	}
+	colRemoved := make([]bool, nCols)
+
+	dropCoveredRows := func() {
+		out := active[:0]
+		for _, i := range active {
 			done := false
-			for _, j := range rows[i] {
+			for _, j := range cands[i] {
 				if selected[j] {
 					done = true
 					break
@@ -343,91 +612,245 @@ func solveCover(rows [][]int, primes logic.Cover) []int {
 				out = append(out, i)
 			}
 		}
-		return out
+		active = out
 	}
-	rest := remaining()
-	if len(rest) > 0 {
-		if nCols <= 24 && len(rest) <= 24 {
-			best := exactCover(rest, rows, nCols, selected)
-			for _, j := range best {
-				selected[j] = true
+	// subset reports a ⊆ b for ascending-sorted int slices.
+	subset := func(a, b []int) bool {
+		k := 0
+		for _, x := range a {
+			for k < len(b) && b[k] < x {
+				k++
 			}
-		} else {
-			// Greedy: repeatedly take the column covering most rows.
-			for len(rest) > 0 {
-				count := make([]int, nCols)
-				for _, i := range rest {
-					for _, j := range rows[i] {
-						count[j]++
-					}
-				}
-				bestJ, bestC := -1, -1
-				for j, c := range count {
-					if c > bestC || (c == bestC && j < bestJ) {
-						bestJ, bestC = j, c
-					}
-				}
-				selected[bestJ] = true
-				rest = remaining()
+			if k == len(b) || b[k] != x {
+				return false
 			}
 		}
+		return true
 	}
-	var out []int
-	for j := range selected {
-		out = append(out, j)
-	}
-	sort.Ints(out)
-	return out
-}
 
-// exactCover finds a minimum column set covering the given rows by
-// branch and bound.
-func exactCover(rest []int, rows [][]int, nCols int, preselected map[int]bool) []int {
-	var best []int
-	var cur []int
-	var rec func(remaining []int)
-	rec = func(remaining []int) {
-		if len(remaining) == 0 {
-			if best == nil || len(cur) < len(best) {
-				best = append([]int(nil), cur...)
-			}
-			return
-		}
-		if best != nil && len(cur)+1 >= len(best) {
-			// Even one more column cannot beat the incumbent unless it
-			// finishes everything; prune when it cannot.
-			if len(cur)+1 > len(best) {
-				return
+	// Reduction fixpoint: essentials, row dominance, column dominance.
+	for {
+		changed := false
+		// Essential columns: rows with a single live candidate.
+		for _, i := range active {
+			if len(cands[i]) == 1 && !selected[cands[i][0]] {
+				selected[cands[i][0]] = true
+				changed = true
 			}
 		}
-		// Branch on the row with fewest candidates.
-		bi := remaining[0]
-		for _, i := range remaining {
-			if len(rows[i]) < len(rows[bi]) {
-				bi = i
+		if changed {
+			dropCoveredRows()
+		}
+		if len(active) == 0 {
+			break
+		}
+		// Row dominance: a row whose candidate set contains another
+		// row's is satisfied whenever the tighter row is — drop it.
+		// On identical sets the higher index is dropped.
+		dominated := map[int]bool{}
+		for ai, i := range active {
+			for bi, j := range active {
+				if ai == bi || dominated[i] || dominated[j] {
+					continue
+				}
+				if subset(cands[j], cands[i]) && (len(cands[j]) < len(cands[i]) || j < i) {
+					dominated[i] = true
+				}
 			}
 		}
-		for _, j := range rows[bi] {
-			cur = append(cur, j)
-			var next []int
-			for _, i := range remaining {
-				covered := false
-				for _, k := range rows[i] {
-					if k == j {
-						covered = true
+		if len(dominated) > 0 {
+			out := active[:0]
+			for _, i := range active {
+				if !dominated[i] {
+					out = append(out, i)
+				}
+			}
+			active = out
+			changed = true
+		}
+		// Column dominance: a column covering a subset of another's
+		// live rows can be replaced by the dominating column in any
+		// solution — remove it. On identical row sets the lower index
+		// is kept.
+		colRows := map[int][]int{}
+		for _, i := range active {
+			for _, j := range cands[i] {
+				colRows[j] = append(colRows[j], i)
+			}
+		}
+		liveCols := make([]int, 0, len(colRows))
+		for j := range colRows {
+			liveCols = append(liveCols, j)
+		}
+		sort.Ints(liveCols)
+		for _, j := range liveCols {
+			if colRemoved[j] {
+				continue
+			}
+			for _, k := range liveCols {
+				if j == k || colRemoved[k] {
+					continue
+				}
+				if subset(colRows[j], colRows[k]) && (len(colRows[j]) < len(colRows[k]) || k < j) {
+					colRemoved[j] = true
+					changed = true
+					break
+				}
+			}
+		}
+		if changed {
+			for _, i := range active {
+				out := cands[i][:0]
+				for _, j := range cands[i] {
+					if !colRemoved[j] {
+						out = append(out, j)
+					}
+				}
+				cands[i] = out
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	exact = true
+	if len(active) > 0 {
+		// Greedy incumbent: repeatedly take the column covering the
+		// most uncovered rows (ties to the lower index). Guarantees a
+		// solution even if the branch-and-bound budget runs out.
+		greedy := make([]bool, nCols)
+		count := make([]int, nCols)
+		var best []int
+		rest := append([]int(nil), active...)
+		for len(rest) > 0 {
+			for i := range count {
+				count[i] = 0
+			}
+			for _, i := range rest {
+				for _, j := range cands[i] {
+					count[j]++
+				}
+			}
+			bestJ, bestC := -1, -1
+			for j, c := range count {
+				if c > bestC {
+					bestJ, bestC = j, c
+				}
+			}
+			greedy[bestJ] = true
+			best = append(best, bestJ)
+			out := rest[:0]
+			for _, i := range rest {
+				done := false
+				for _, j := range cands[i] {
+					if greedy[j] {
+						done = true
 						break
 					}
 				}
-				if !covered {
-					next = append(next, i)
+				if !done {
+					out = append(out, i)
 				}
 			}
-			rec(next)
-			cur = cur[:len(cur)-1]
+			rest = out
+		}
+		sort.Ints(best)
+
+		// Lower bound: a set of pairwise column-disjoint rows needs
+		// one distinct column each (a maximal independent row set,
+		// built greedily in row order).
+		lbUsed := make([]bool, nCols)
+		independentLB := func(remaining []int) int {
+			for i := range lbUsed {
+				lbUsed[i] = false
+			}
+			lb := 0
+			for _, i := range remaining {
+				disjoint := true
+				for _, j := range cands[i] {
+					if lbUsed[j] {
+						disjoint = false
+						break
+					}
+				}
+				if disjoint {
+					lb++
+					for _, j := range cands[i] {
+						lbUsed[j] = true
+					}
+				}
+			}
+			return lb
+		}
+
+		overflow := false
+		var cur []int
+		// Depth-indexed scratch rows: the recursion reuses one buffer
+		// per depth instead of allocating a remaining-set per node.
+		arena := make([][]int, len(active)+1)
+		var rec func(remaining []int, depth int)
+		rec = func(remaining []int, depth int) {
+			if overflow {
+				return
+			}
+			if nodes++; nodes > bbBudget {
+				overflow = true
+				return
+			}
+			if len(remaining) == 0 {
+				if len(cur) < len(best) {
+					best = append(best[:0], cur...)
+				}
+				return
+			}
+			if len(cur)+independentLB(remaining) >= len(best) {
+				return
+			}
+			// Branch on the row with fewest candidates (ties to the
+			// lower row index).
+			bi := remaining[0]
+			for _, i := range remaining {
+				if len(cands[i]) < len(cands[bi]) {
+					bi = i
+				}
+			}
+			if arena[depth] == nil {
+				arena[depth] = make([]int, 0, len(remaining))
+			}
+			for _, j := range cands[bi] {
+				cur = append(cur, j)
+				next := arena[depth][:0]
+				for _, i := range remaining {
+					covered := false
+					for _, k := range cands[i] {
+						if k == j {
+							covered = true
+							break
+						}
+					}
+					if !covered {
+						next = append(next, i)
+					}
+				}
+				arena[depth] = next
+				rec(next, depth+1)
+				cur = cur[:len(cur)-1]
+			}
+		}
+		rec(active, 0)
+		exact = !overflow
+		sort.Ints(best)
+		for _, j := range best {
+			selected[j] = true
 		}
 	}
-	rec(rest)
-	return best
+	cols = make([]int, 0, len(selected))
+	for j := range selected {
+		cols = append(cols, j)
+	}
+	sort.Ints(cols)
+	return cols, nodes, exact
 }
 
 // CheckCover verifies that a cover implements the specified transitions

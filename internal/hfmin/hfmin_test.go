@@ -192,6 +192,123 @@ func TestCheckCoverValues(t *testing.T) {
 	}
 }
 
+// The result must report how it was obtained: exact instances carry
+// Exact with a nonzero enumeration node count, and wide instances
+// (>64 specified variables, served by the generic packed path) agree
+// with the mask path on exactness.
+func TestResultExactAndCounters(t *testing.T) {
+	p := benchProblem(14)
+	res, err := p.Minimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatalf("benchProblem(14) fell back to greedy: %+v", res)
+	}
+	if res.EnumNodes == 0 {
+		t.Fatal("exact result reports zero enumeration nodes")
+	}
+	if res.BranchNodes < 0 {
+		t.Fatalf("negative branch nodes: %d", res.BranchNodes)
+	}
+	// A trivial constant-zero function is exact with no work at all.
+	zero := &Problem{Vars: 2, Transitions: []Transition{
+		{Start: pt(0, 0), End: pt(1, 1), From: false, To: false},
+	}}
+	rz, err := zero.Minimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rz.Exact {
+		t.Fatal("constant-zero function not exact")
+	}
+}
+
+// dhfPrimes against a brute-force oracle: enumerate every subset of
+// the seed's specified literals, keep the subsets whose freed cube is
+// a dhf-implicant under the reference []Lit engine, filter to the
+// maximal ones, and require the constraint-branching enumeration to
+// return exactly that set.
+func TestDHFPrimesOracle(t *testing.T) {
+	problems := []*Problem{
+		benchProblem(10),
+		benchProblem(12),
+		{Vars: 3, Transitions: []Transition{
+			{Start: pt(1, 1, 1), End: pt(0, 0, 1), From: true, To: false},
+			{Start: pt(0, 0, 0), End: pt(1, 1, 0), From: false, To: false},
+		}},
+	}
+	for pi, p := range problems {
+		_, off, required, priv, err := p.sets()
+		if err != nil {
+			t.Fatal(err)
+		}
+		isDHFRef := func(c logic.Cube) bool {
+			for _, o := range off {
+				if c.Intersects(o) {
+					return false
+				}
+			}
+			for _, pv := range priv {
+				if c.Intersects(pv.cube) && !c.ContainsPoint(pv.start) {
+					return false
+				}
+			}
+			return true
+		}
+		mat := newProblemMat(p.Vars, off, priv)
+		for _, r := range required {
+			var spec []int
+			for v := 0; v < p.Vars; v++ {
+				if r[v] != logic.DC {
+					spec = append(spec, v)
+				}
+			}
+			if len(spec) > 16 {
+				t.Fatalf("problem %d: seed too wide for the oracle", pi)
+			}
+			// All feasible freed-subsets, as cubes.
+			var feasible []logic.Cube
+			for s := 0; s < 1<<len(spec); s++ {
+				c := r.Clone()
+				for i, v := range spec {
+					if s>>i&1 != 0 {
+						c[v] = logic.DC
+					}
+				}
+				if isDHFRef(c) {
+					feasible = append(feasible, c)
+				}
+			}
+			want := map[string]bool{}
+			for _, c := range feasible {
+				maximal := true
+				for _, d := range feasible {
+					if !c.Equal(d) && d.Contains(c) {
+						maximal = false
+						break
+					}
+				}
+				if maximal {
+					want[c.String()] = true
+				}
+			}
+			got, _, exact := mat.dhfPrimes(mat.sp.Pack(r))
+			if !exact {
+				t.Fatalf("problem %d seed %s: enumeration truncated", pi, r)
+			}
+			if len(got) != len(want) {
+				t.Errorf("problem %d seed %s: got %d primes, oracle has %d", pi, r, len(got), len(want))
+			}
+			for _, c := range got {
+				if !want[mat.sp.Unpack(c).String()] {
+					t.Errorf("problem %d seed %s: %s is not an oracle prime", pi, r, mat.sp.Unpack(c))
+				}
+			}
+		}
+	}
+}
+
 func TestFormatPLA(t *testing.T) {
 	out := FormatPLA("f", []string{"a", "b"}, logic.Cover{mustCube(t, "1-")})
 	for _, want := range []string{".ob f", ".i 2", ".ilb a b", ".p 1", "1- 1", ".e"} {

@@ -1,0 +1,89 @@
+package logic
+
+import "testing"
+
+// FuzzPackedCubeAgreement feeds arbitrary cube pairs (up to 130
+// variables, so every operation crosses word boundaries and exercises
+// a ragged final word) through both cube engines and requires
+// identical answers for Contains, Intersects, Intersect, Supercube,
+// Cofactor and the point tests. The fuzz input encodes two cubes and
+// a cofactor position from one byte string.
+func FuzzPackedCubeAgreement(f *testing.F) {
+	f.Add([]byte("\x05\x00012-012-01"))
+	f.Add([]byte{130, 1, 0, 1, 2})
+	f.Add([]byte{65, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		n := int(data[0])
+		if n == 0 || n > 130 {
+			return
+		}
+		v := int(data[1]) % n
+		data = data[2:]
+		lit := func(i int) Lit {
+			if i < len(data) {
+				return Lit(data[i] % 3)
+			}
+			return DC
+		}
+		c := make(Cube, n)
+		d := make(Cube, n)
+		for i := 0; i < n; i++ {
+			c[i] = lit(i)
+			d[i] = lit(i + n)
+		}
+		sp := NewSpace(n)
+		pc, pd := sp.Pack(c), sp.Pack(d)
+
+		if got := sp.Unpack(pc); !got.Equal(c) {
+			t.Fatalf("round trip: %s -> %s", c, got)
+		}
+		if got, want := pc.Contains(pd), c.Contains(d); got != want {
+			t.Fatalf("Contains(%s, %s): packed %t, reference %t", c, d, got, want)
+		}
+		if got, want := pd.Contains(pc), d.Contains(c); got != want {
+			t.Fatalf("Contains(%s, %s): packed %t, reference %t", d, c, got, want)
+		}
+		if got, want := pc.Intersects(pd), c.Intersects(d); got != want {
+			t.Fatalf("Intersects(%s, %s): packed %t, reference %t", c, d, got, want)
+		}
+		inter := sp.NewCube()
+		ok := pc.IntersectInto(inter, pd)
+		ref := c.Intersect(d)
+		if ok != (ref != nil) {
+			t.Fatalf("Intersect(%s, %s): packed ok=%t, reference %v", c, d, ok, ref)
+		}
+		if ok && !sp.Unpack(inter).Equal(ref) {
+			t.Fatalf("Intersect(%s, %s): packed %s, reference %s", c, d, sp.Unpack(inter), ref)
+		}
+		super := sp.NewCube()
+		pc.SupercubeInto(super, pd)
+		if want := c.Supercube(d); !sp.Unpack(super).Equal(want) {
+			t.Fatalf("Supercube(%s, %s): packed %s, reference %s", c, d, sp.Unpack(super), want)
+		}
+		// Distance 0 must coincide with intersection.
+		if got, want := pc.Distance(pd) == 0, c.Intersects(d); got != want {
+			t.Fatalf("Distance(%s, %s)==0 is %t, Intersects %t", c, d, got, want)
+		}
+		// Cofactor at v by One, on a scratch copy (packed mutates).
+		scratch := pc.Clone()
+		ok = scratch.Cofactor(v, One)
+		refCo := c.Cofactor(v, One)
+		if ok != (refCo != nil) {
+			t.Fatalf("Cofactor(%s, %d): packed ok=%t, reference %v", c, v, ok, refCo)
+		}
+		if ok && !sp.Unpack(scratch).Equal(refCo) {
+			t.Fatalf("Cofactor(%s, %d): packed %s, reference %s", c, v, sp.Unpack(scratch), refCo)
+		}
+		// Point containment: derive a minterm from d's specified values.
+		point := make([]bool, n)
+		for i := 0; i < n; i++ {
+			point[i] = d[i] == One
+		}
+		if got, want := pc.ContainsPointWords(sp.PointWords(point)), c.ContainsPoint(point); got != want {
+			t.Fatalf("ContainsPoint(%s, %v): packed %t, reference %t", c, point, got, want)
+		}
+	})
+}

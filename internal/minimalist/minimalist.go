@@ -16,6 +16,7 @@
 package minimalist
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -23,6 +24,7 @@ import (
 	"balsabm/internal/bm"
 	"balsabm/internal/hfmin"
 	"balsabm/internal/logic"
+	"balsabm/internal/parallel"
 )
 
 // Controller is a synthesized Burst-Mode controller: two-level
@@ -50,6 +52,45 @@ type Controller struct {
 	// Transitions records the specified input transitions per function,
 	// for downstream hazard auditing of mapped logic.
 	Transitions map[string][]hfmin.Transition
+	// Stats aggregates the minimizer's work counters over every
+	// function of the final (conflict-free) encoding.
+	Stats Stats
+}
+
+// Stats aggregates hfmin work counters across a controller's output
+// and next-state functions, making a fallback to the greedy paths
+// observable per controller.
+type Stats struct {
+	Functions      int   // functions minimized
+	ExactFunctions int   // functions solved on the exact path end to end
+	EnumNodes      int64 // prime-enumeration nodes visited
+	BranchNodes    int64 // covering branch-and-bound nodes visited
+}
+
+// Exact reports whether every function went through the exact
+// enumeration and covering path (no greedy fallback anywhere).
+func (s Stats) Exact() bool { return s.Functions == s.ExactFunctions }
+
+func (s *Stats) observe(r *hfmin.Result) {
+	s.Functions++
+	if r.Exact {
+		s.ExactFunctions++
+	}
+	s.EnumNodes += r.EnumNodes
+	s.BranchNodes += r.BranchNodes
+}
+
+// Options tune synthesis. The zero value minimizes every function
+// sequentially on the calling goroutine.
+type Options struct {
+	// Pool, when non-nil, admits per-function minimizations as leaf
+	// units of pool work, so independent output and next-state
+	// functions minimize concurrently. Results are byte-identical to
+	// the sequential path: fan-out preserves function order and every
+	// minimization is deterministic in isolation.
+	Pool *parallel.Pool
+	// Ctx cancels in-flight synthesis; nil means context.Background().
+	Ctx context.Context
 }
 
 // Products returns the total number of product terms.
@@ -94,8 +135,14 @@ type arcInfo struct {
 	xEnd   []bool // input values after the input burst
 }
 
-// Synthesize runs the full flow on a checked specification.
+// Synthesize runs the full flow on a checked specification,
+// sequentially. See SynthesizeOpt for the concurrent form.
 func Synthesize(sp *bm.Spec) (*Controller, error) {
+	return SynthesizeOpt(sp, Options{})
+}
+
+// SynthesizeOpt runs the full flow on a checked specification.
+func SynthesizeOpt(sp *bm.Spec, opt Options) (*Controller, error) {
 	if err := sp.Check(); err != nil {
 		return nil, err
 	}
@@ -202,7 +249,7 @@ func Synthesize(sp *bm.Spec) (*Controller, error) {
 			code := make([]bool, 0, len(outVec[s])+len(extra[s]))
 			codes[s] = append(append(code, outVec[s]...), extra[s]...)
 		}
-		ctrl, conflict, err := buildAndMinimize(sp, inputs, arcs, values, codes, len(extra[0]))
+		ctrl, conflict, err := buildAndMinimize(sp, inputs, arcs, values, codes, len(extra[0]), opt)
 		if err != nil {
 			return nil, err
 		}
@@ -369,7 +416,7 @@ type fnSpec struct {
 // given full-state encoding (fed-back outputs ++ nExtra extra bits) and
 // minimizes each; on a value conflict it returns the dichotomy that
 // would separate the clashing arcs.
-func buildAndMinimize(sp *bm.Spec, inputs []string, arcs []arcInfo, values []map[string]bool, codes [][]bool, nExtra int) (*Controller, *dichotomy, error) {
+func buildAndMinimize(sp *bm.Spec, inputs []string, arcs []arcInfo, values []map[string]bool, codes [][]bool, nExtra int, opt Options) (*Controller, *dichotomy, error) {
 	nOut := len(sp.Outputs)
 	vars := make([]string, 0, len(inputs)+nOut+nExtra)
 	vars = append(vars, inputs...)
@@ -441,7 +488,15 @@ func buildAndMinimize(sp *bm.Spec, inputs []string, arcs []arcInfo, values []map
 		NextState:   make([]logic.Cover, nExtra),
 		Transitions: map[string][]hfmin.Transition{},
 	}
-	for pos := 0; pos < nOut+nExtra; pos++ {
+	// Minimize every function: independently specified single-output
+	// problems, so they can run concurrently. Fan-out preserves
+	// function order and each minimization is deterministic, making
+	// the aggregate byte-identical to the sequential loop.
+	type fnOut struct {
+		trs []hfmin.Transition
+		res *hfmin.Result
+	}
+	minimizeOne := func(pos int) (fnOut, error) {
 		name := fnName(pos)
 		specs := fns[name]
 		trs := make([]hfmin.Transition, len(specs))
@@ -451,13 +506,39 @@ func buildAndMinimize(sp *bm.Spec, inputs []string, arcs []arcInfo, values []map
 		prob := &hfmin.Problem{Vars: len(vars), Names: vars, Transitions: trs}
 		res, err := prob.Minimize()
 		if err != nil {
-			return nil, nil, fmt.Errorf("minimalist: %s/%s: %w", sp.Name, name, err)
+			return fnOut{}, fmt.Errorf("minimalist: %s/%s: %w", sp.Name, name, err)
 		}
-		ctrl.Transitions[name] = trs
+		return fnOut{trs: trs, res: res}, nil
+	}
+	var outs []fnOut
+	if opt.Pool != nil {
+		ctx := opt.Ctx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		var err error
+		outs, err = parallel.MapCtx(ctx, opt.Pool, nOut+nExtra, minimizeOne)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		outs = make([]fnOut, nOut+nExtra)
+		for pos := range outs {
+			o, err := minimizeOne(pos)
+			if err != nil {
+				return nil, nil, err
+			}
+			outs[pos] = o
+		}
+	}
+	for pos, o := range outs {
+		name := fnName(pos)
+		ctrl.Transitions[name] = o.trs
+		ctrl.Stats.observe(o.res)
 		if pos < nOut {
-			ctrl.Outputs[name] = res.Cover
+			ctrl.Outputs[name] = o.res.Cover
 		} else {
-			ctrl.NextState[pos-nOut] = res.Cover
+			ctrl.NextState[pos-nOut] = o.res.Cover
 		}
 	}
 	return ctrl, nil, nil

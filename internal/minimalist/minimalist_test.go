@@ -8,6 +8,7 @@ import (
 	"balsabm/internal/bm"
 	"balsabm/internal/ch"
 	"balsabm/internal/chtobm"
+	"balsabm/internal/parallel"
 )
 
 func specOf(t *testing.T, name, src string) *bm.Spec {
@@ -259,6 +260,36 @@ func TestSolReport(t *testing.T) {
 	}
 	if c.Products() <= 0 || c.Literals() <= 0 {
 		t.Fatal("stats empty")
+	}
+}
+
+// Parallel per-function minimization must be byte-identical to the
+// sequential path, and the work counters must aggregate identically.
+func TestParallelMinimizeEquivalence(t *testing.T) {
+	sp := specOf(t, "sequencer", `(rep (enc-early (p-to-p passive P)
+	   (seq (p-to-p active A1) (p-to-p active A2))))`)
+	seq, err := SynthesizeOpt(sp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SynthesizeOpt(sp, Options{Pool: parallel.NewPool(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := par.Sol(), seq.Sol(); got != want {
+		t.Fatalf("parallel solution differs from sequential:\n--- parallel\n%s\n--- sequential\n%s", got, want)
+	}
+	if par.Stats != seq.Stats {
+		t.Fatalf("stats differ: parallel %+v, sequential %+v", par.Stats, seq.Stats)
+	}
+	if seq.Stats.Functions == 0 {
+		t.Fatal("no functions counted")
+	}
+	if !seq.Stats.Exact() {
+		t.Fatalf("sequencer fell back to greedy: %+v", seq.Stats)
+	}
+	if seq.Stats.EnumNodes == 0 {
+		t.Fatal("zero enumeration nodes counted")
 	}
 }
 

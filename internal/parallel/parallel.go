@@ -149,6 +149,58 @@ func MapCtx[T any](ctx context.Context, p *Pool, n int, f func(int) (T, error)) 
 	return out, nil
 }
 
+// MapAllCtx runs f(0..n-1) concurrently WITHOUT pool admission — the
+// items are composite tasks whose leaves are pool-gated — returning
+// results in input order. Error semantics match MapCtx: the returned
+// error is the one from the lowest failing index, and items observing
+// an already-failed lower index may be skipped. Use it to fan out
+// work that itself acquires pool slots (a controller synthesis whose
+// per-function minimizations are the leaves); running such composites
+// under Map would hold a slot while waiting for another and could
+// deadlock the pool.
+func MapAllCtx[T any](ctx context.Context, n int, f func(int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	var minErr atomic.Int64
+	minErr.Store(int64(n))
+	fail := func(i int, err error) {
+		errs[i] = err
+		for {
+			cur := minErr.Load()
+			if int64(i) >= cur || minErr.CompareAndSwap(cur, int64(i)) {
+				break
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if int64(i) > minErr.Load() {
+				return // a lower index already failed; this result cannot matter
+			}
+			if err := ctx.Err(); err != nil {
+				fail(i, err)
+				return
+			}
+			v, err := f(i)
+			if err != nil {
+				fail(i, err)
+				return
+			}
+			out[i] = v
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
 // All runs the thunks concurrently WITHOUT pool admission — they are
 // composite tasks whose leaves are pool-gated — and returns the first
 // error by index (same deterministic semantics as Map).

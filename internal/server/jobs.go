@@ -140,6 +140,10 @@ type Manager struct {
 	dedupMisses parallel.Counter
 	flowHits    parallel.Counter
 	flowMisses  parallel.Counter
+	minExact    parallel.Counter
+	minGreedy   parallel.Counter
+	enumNodes   parallel.Counter
+	branchNodes parallel.Counter
 	aggTimings  parallel.Timings
 }
 
@@ -299,6 +303,10 @@ func (m *Manager) run(j *Job) {
 		m.dedupMisses.Add(1)
 		m.flowHits.Add(j.met.CacheHits.Load())
 		m.flowMisses.Add(j.met.CacheMisses.Load())
+		m.minExact.Add(j.met.MinimizeExact.Load())
+		m.minGreedy.Add(j.met.MinimizeGreedy.Load())
+		m.enumNodes.Add(j.met.EnumNodes.Load())
+		m.branchNodes.Add(j.met.BranchNodes.Load())
 	}
 	switch {
 	case err == nil:
@@ -353,6 +361,10 @@ func (m *Manager) Metrics() *api.MetricsJSON {
 		DedupMisses:     m.dedupMisses.Load(),
 		FlowCacheHits:   m.flowHits.Load(),
 		FlowCacheMisses: m.flowMisses.Load(),
+		MinimizeExact:   m.minExact.Load(),
+		MinimizeGreedy:  m.minGreedy.Load(),
+		EnumNodes:       m.enumNodes.Load(),
+		BranchNodes:     m.branchNodes.Load(),
 		Stages:          map[string]api.StageJSON{},
 	}
 	for _, j := range m.List() {

@@ -45,6 +45,18 @@ func PrometheusText(m *api.MetricsJSON) string {
 	line("# TYPE balsabmd_flow_cache_misses_total counter")
 	line("balsabmd_flow_cache_misses_total %d", m.FlowCacheMisses)
 
+	line("# HELP balsabmd_minimize_functions_total Functions minimized, by solver path.")
+	line("# TYPE balsabmd_minimize_functions_total counter")
+	line("balsabmd_minimize_functions_total{path=%q} %d", "exact", m.MinimizeExact)
+	line("balsabmd_minimize_functions_total{path=%q} %d", "greedy", m.MinimizeGreedy)
+
+	line("# HELP balsabmd_minimize_enum_nodes_total Prime-enumeration nodes visited by the minimizer.")
+	line("# TYPE balsabmd_minimize_enum_nodes_total counter")
+	line("balsabmd_minimize_enum_nodes_total %d", m.EnumNodes)
+	line("# HELP balsabmd_minimize_branch_nodes_total Covering branch-and-bound nodes visited by the minimizer.")
+	line("# TYPE balsabmd_minimize_branch_nodes_total counter")
+	line("balsabmd_minimize_branch_nodes_total %d", m.BranchNodes)
+
 	line("# HELP balsabmd_stage_runs_total Completed pipeline-stage units.")
 	line("# TYPE balsabmd_stage_runs_total counter")
 	stages := make([]string, 0, len(m.Stages))

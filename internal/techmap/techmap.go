@@ -438,6 +438,18 @@ func CheckMapped(ctrl *minimalist.Controller, nl *gates.Netlist, lib *cell.Libra
 	if exhaustive {
 		total = 1 << len(vars)
 	}
+	// Pack every reference cover once; each sampled point then
+	// evaluates word-parallel instead of per-literal per cube.
+	space := logic.NewSpace(len(vars))
+	packedOut := make(map[string][]logic.PackedCube, len(ctrl.Outputs))
+	for z, cv := range ctrl.Outputs {
+		packedOut[z] = space.PackCover(cv)
+	}
+	packedNext := make([][]logic.PackedCube, len(ctrl.NextState))
+	for i, cv := range ctrl.NextState {
+		packedNext[i] = space.PackCover(cv)
+	}
+	point := make([]bool, len(vars))
 	rng := uint64(0x9e3779b97f4a7c15)
 	for p := 0; p < total; p++ {
 		sample := uint64(p)
@@ -445,26 +457,26 @@ func CheckMapped(ctrl *minimalist.Controller, nl *gates.Netlist, lib *cell.Libra
 			rng = rng*6364136223846793005 + 1442695040888963407
 			sample = rng >> 16
 		}
-		point := make([]bool, len(vars))
 		assign := map[string]bool{}
 		for i, v := range vars {
 			point[i] = sample&(1<<uint(i)) != 0
 			assign[v] = point[i]
 		}
+		pw := space.PointWords(point)
 		vals, err := settleForced(nl, lib, assign, forced)
 		if err != nil {
 			return err
 		}
-		for z, cv := range ctrl.Outputs {
+		for z := range ctrl.Outputs {
 			got, err := evalDriver(nl, lib, vals, z)
 			if err != nil {
 				return err
 			}
-			if got != cv.Eval(point) {
+			if got != logic.EvalPointWords(packedOut[z], pw) {
 				return fmt.Errorf("techmap: %s: output %s differs from cover at %v", nl.Name, z, assign)
 			}
 		}
-		for i, cv := range ctrl.NextState {
+		for i := range ctrl.NextState {
 			name := fmt.Sprintf("y%d", i)
 			// The excitation net is forced in the audit; recompute the
 			// driving instance's output explicitly.
@@ -472,7 +484,7 @@ func CheckMapped(ctrl *minimalist.Controller, nl *gates.Netlist, lib *cell.Libra
 			if err != nil {
 				return err
 			}
-			if got != cv.Eval(point) {
+			if got != logic.EvalPointWords(packedNext[i], pw) {
 				return fmt.Errorf("techmap: %s: state bit %s differs from cover at %v", nl.Name, name, assign)
 			}
 		}

@@ -6,6 +6,11 @@
 #   scripts/bench.sh                          # every benchmark, 1 iteration
 #   scripts/bench.sh 'BenchmarkTable3' 5x     # Table 3 rows, 5 iterations
 #
+# BENCH_PKG selects the package(s) to benchmark (default: the root
+# package). The kernel micro-benchmarks live under internal/:
+#
+#   BENCH_PKG='./internal/logic ./internal/hfmin' scripts/bench.sh 'Bench' 1x
+#
 # Each benchmark becomes one JSON object with its iteration count and
 # every reported metric (ns/op, B/op, allocs/op, plus custom metrics
 # like speedup%/overhead%).
@@ -14,8 +19,10 @@ cd "$(dirname "$0")/.."
 
 pattern="${1:-.}"
 benchtime="${2:-1x}"
+pkg="${BENCH_PKG:-.}"
 
-raw=$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem .)
+# shellcheck disable=SC2086 # BENCH_PKG is a deliberate word list
+raw=$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem $pkg)
 
 printf '{\n  "go": "%s",\n  "benchtime": "%s",\n  "benchmarks": [\n' \
   "$(go env GOVERSION)" "$benchtime"

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Compares two scripts/bench.sh JSON outputs and prints per-benchmark
+# deltas for ns/op and allocs/op.
+#
+# Usage: scripts/benchdiff.sh BEFORE.json AFTER.json
+#
+#   scripts/bench.sh 'BenchmarkTable3' 2x > before.json
+#   ... apply the change ...
+#   scripts/bench.sh 'BenchmarkTable3' 2x > after.json
+#   scripts/benchdiff.sh before.json after.json
+#
+# A positive "x faster" column means AFTER is faster / allocates less.
+# Benchmarks present in only one file are listed but not compared.
+set -euo pipefail
+
+if [ "$#" -ne 2 ]; then
+  echo "usage: $0 BEFORE.json AFTER.json" >&2
+  exit 2
+fi
+
+# bench.sh emits one benchmark object per line:
+#   {"name":"BenchmarkFoo-8","iterations":2,"metrics":{"ns/op":123,...}}
+# so a line-oriented awk extraction is enough; no jq required.
+awk '
+  function metric(line, key,    re, s) {
+    re = "\"" key "\":[0-9.eE+-]+"
+    if (match(line, re)) {
+      s = substr(line, RSTART, RLENGTH)
+      sub(/^[^:]*:/, "", s)
+      return s + 0
+    }
+    return -1
+  }
+  /"name":/ {
+    name = $0
+    sub(/.*"name":"/, "", name)
+    sub(/".*/, "", name)
+    # Strip the -GOMAXPROCS suffix so runs from differently sized
+    # machines still pair up.
+    sub(/-[0-9]+$/, "", name)
+    if (FNR == NR || FILENAME == ARGV[1]) {
+      bns[name] = metric($0, "ns\\/op")
+      bal[name] = metric($0, "allocs\\/op")
+      border[++bn] = name
+    } else {
+      ans[name] = metric($0, "ns\\/op")
+      aal[name] = metric($0, "allocs\\/op")
+      if (!(name in bns)) aonly[++an] = name
+    }
+  }
+  function human(ns) {
+    if (ns < 0) return "-"
+    if (ns >= 1e9) return sprintf("%.2fs", ns / 1e9)
+    if (ns >= 1e6) return sprintf("%.1fms", ns / 1e6)
+    if (ns >= 1e3) return sprintf("%.1fus", ns / 1e3)
+    return sprintf("%.0fns", ns)
+  }
+  function ratio(before, after) {
+    if (before < 0 || after <= 0) return "-"
+    return sprintf("%.2fx", before / after)
+  }
+  END {
+    printf "%-44s %10s %10s %8s %12s %12s %8s\n", \
+      "benchmark", "ns/op old", "ns/op new", "faster", \
+      "allocs old", "allocs new", "fewer"
+    for (i = 1; i <= bn; i++) {
+      name = border[i]
+      if (!(name in ans)) {
+        printf "%-44s %10s  (only in BEFORE)\n", name, human(bns[name])
+        continue
+      }
+      printf "%-44s %10s %10s %8s %12d %12d %8s\n", name, \
+        human(bns[name]), human(ans[name]), ratio(bns[name], ans[name]), \
+        bal[name], aal[name], ratio(bal[name], aal[name])
+    }
+    for (i = 1; i <= an; i++) {
+      name = aonly[i]
+      printf "%-44s %10s %10s  (only in AFTER)\n", name, "-", human(ans[name])
+    }
+  }
+' "$1" "$2"
