@@ -16,6 +16,19 @@
 //	                          (no files: lint every built-in design);
 //	                          -lint is an equivalent flag spelling.
 //	                          Exit status 1 when errors are reported.
+//	balsabm netlint [file...] synthesize CH control netlists (optimized
+//	                          arm, no simulation) and run the netlint
+//	                          structural audit on every mapped controller
+//	                          plus the merged circuit; no files: audit
+//	                          every built-in design, both arms. -netlint
+//	                          is an equivalent flag spelling. Exit
+//	                          status 1 on NL-errors.
+//	balsabm audit [design...] run the full static audit stack (chlint,
+//	                          Burst-Mode spec checks, hazard-free cover
+//	                          re-verification, mapped-logic audit,
+//	                          netlint) on built-in designs; one summary
+//	                          line per design. -audit is an equivalent
+//	                          flag spelling. Exit status 1 on failures.
 //	balsabm artifacts <design> <dir>
 //	                          write the Fig 1 file pipeline (.bms, .sol,
 //	                          .v per controller, both arms) into dir
@@ -77,6 +90,8 @@ var (
 	jsonFlag    = flag.Bool("json", false, "emit JSON results (table3, flow, lint)")
 	serverFlag  = flag.String("server", "", "run table3/flow/lint on a balsabmd daemon at this URL")
 	lintFlag    = flag.Bool("lint", false, "lint CH source files (same as the lint subcommand)")
+	netlintFlag = flag.Bool("netlint", false, "structurally audit synthesized netlists (same as the netlint subcommand)")
+	auditFlag   = flag.Bool("audit", false, "run the full static audit stack (same as the audit subcommand)")
 	cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile  = flag.String("memprofile", "", "write an allocation profile (taken at exit) to this file")
 )
@@ -132,7 +147,7 @@ func printStats(met *flow.Metrics) {
 func main() {
 	flag.Usage = usage
 	flag.Parse()
-	if flag.NArg() < 1 && !*lintFlag {
+	if flag.NArg() < 1 && !*lintFlag && !*netlintFlag && !*auditFlag {
 		usage()
 		os.Exit(2)
 	}
@@ -143,8 +158,13 @@ func main() {
 	defer stop()
 	cmd := flag.Arg(0)
 	args := flag.Args()[1:]
-	if *lintFlag {
+	switch {
+	case *lintFlag:
 		cmd, args = "lint", flag.Args()
+	case *netlintFlag:
+		cmd, args = "netlint", flag.Args()
+	case *auditFlag:
+		cmd, args = "audit", flag.Args()
 	}
 	var err error
 	switch cmd {
@@ -166,6 +186,10 @@ func main() {
 		err = verify()
 	case "lint":
 		err = lintCmd(ctx, args)
+	case "netlint":
+		err = netlintCmd(ctx, args)
+	case "audit":
+		err = auditCmd(ctx, args)
 	case "flow":
 		err = flowReport(ctx, args)
 	case "artifacts":
@@ -192,7 +216,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: balsabm [-j N] [-stats] [-json] [-server URL] [-cpuprofile FILE] [-memprofile FILE] <table1|table2|table3|fig2|fig3|fig4|fig5|verify|flow|lint|artifacts|designs> [args]`)
+	fmt.Fprintln(os.Stderr, `usage: balsabm [-j N] [-stats] [-json] [-server URL] [-cpuprofile FILE] [-memprofile FILE] <table1|table2|table3|fig2|fig3|fig4|fig5|verify|flow|lint|netlint|audit|artifacts|designs> [args]`)
 	flag.PrintDefaults()
 }
 
@@ -277,6 +301,176 @@ func renderDiagJSON(file string, d api.DiagJSON) string {
 		sb.WriteString(n)
 	}
 	return sb.String()
+}
+
+// netlintCmd synthesizes designs (no simulation) and runs the netlint
+// structural audit. With file arguments each file is a CH control
+// netlist, synthesized through the optimized arm (clustering +
+// speed-split mapping, matching the POST /api/v1/netlint default) —
+// locally via the same server.RunNetlint the daemon uses, or remotely
+// with -server, so -json output is byte-identical either way. With no
+// arguments it audits every built-in design, both arms. Exit status is
+// 1 when any error-severity NLxxx finding is reported.
+func netlintCmd(ctx context.Context, args []string) error {
+	if len(args) == 0 {
+		return netlintDesigns(ctx)
+	}
+	var results []*api.NetlintResultJSON
+	for _, file := range args {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		name := strings.TrimSuffix(filepath.Base(file), filepath.Ext(file))
+		req := api.NetlintRequest{
+			Source: string(data), Name: name,
+			Config: api.FlowConfig{Workers: *workersFlag},
+		}
+		var res *api.NetlintResultJSON
+		if *serverFlag != "" {
+			res, err = server.NewClient(*serverFlag).Netlint(ctx, req)
+		} else {
+			res, err = server.RunNetlint(ctx, req)
+		}
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	}
+	return emitNetlint(results)
+}
+
+// netlintDesigns audits the built-in designs, both arms, locally.
+func netlintDesigns(ctx context.Context) error {
+	opt, met := flowOptions()
+	defer printStats(met)
+	var results []*api.NetlintResultJSON
+	for _, d := range designs.All() {
+		for _, arm := range []string{"unopt", "opt"} {
+			n := d.Control()
+			mode := techmap.AreaShared
+			if arm == "opt" {
+				var err error
+				n, _, err = core.OptimizeOpt(n, core.Options{Workers: *workersFlag, Ctx: ctx})
+				if err != nil {
+					return err
+				}
+				mode = techmap.SpeedSplit
+			}
+			ctrls, merged, err := flow.NetlintNetlist(ctx, d.Name, arm, n, mode, opt)
+			if err != nil {
+				return err
+			}
+			results = append(results, api.NetlintResult(arm, ctrls, merged))
+		}
+	}
+	return emitNetlint(results)
+}
+
+// emitNetlint prints netlint results (-json: the wire form; otherwise
+// vet-style diagnostics) and returns errLintFindings on NL-errors.
+func emitNetlint(results []*api.NetlintResultJSON) error {
+	failed := false
+	for _, res := range results {
+		reports := append(append([]api.NetlintReportJSON{}, res.Controllers...), res.Merged)
+		for _, rep := range reports {
+			if rep.Errors > 0 {
+				failed = true
+			}
+		}
+	}
+	if *jsonFlag {
+		if len(results) == 1 {
+			if err := emitJSON(results[0]); err != nil {
+				return err
+			}
+		} else if err := emitJSON(results); err != nil {
+			return err
+		}
+	} else {
+		for _, res := range results {
+			for _, rep := range append(append([]api.NetlintReportJSON{}, res.Controllers...), res.Merged) {
+				for _, d := range rep.Diags {
+					fmt.Println(renderNetlintDiagJSON(rep.Circuit, d))
+				}
+			}
+		}
+	}
+	if failed {
+		return errLintFindings
+	}
+	return nil
+}
+
+// renderNetlintDiagJSON renders a wire-form netlist diagnostic in
+// netlint's vet-style text form (remote results arrive as JSON, so the
+// text renderer on netlint.Diag is out of reach).
+func renderNetlintDiagJSON(circuit string, d api.NetlintDiagJSON) string {
+	var sb strings.Builder
+	if circuit != "" {
+		sb.WriteString(circuit)
+		sb.WriteString(":")
+	}
+	var loc []string
+	if d.Inst >= 0 {
+		loc = append(loc, fmt.Sprintf("g%d(%s)", d.Inst, d.Cell))
+	}
+	if d.Net >= 0 {
+		loc = append(loc, fmt.Sprintf("net %q", d.Name))
+	}
+	if len(loc) > 0 {
+		if sb.Len() > 0 {
+			sb.WriteString(" ")
+		}
+		sb.WriteString(strings.Join(loc, " "))
+		sb.WriteString(":")
+	}
+	if sb.Len() > 0 {
+		sb.WriteString(" ")
+	}
+	fmt.Fprintf(&sb, "%s: %s: %s", d.Severity, d.Code, d.Message)
+	for _, n := range d.Notes {
+		sb.WriteString("\n\t")
+		sb.WriteString(n)
+	}
+	return sb.String()
+}
+
+// auditCmd runs the unified static audit stack on built-in designs
+// (all of them, or the named ones): chlint, Burst-Mode spec checks,
+// hazard-free cover re-verification, the speed-split mapped-logic
+// audit, and netlint on every controller and merged circuit. One
+// summary line per design; failing designs additionally print their
+// error and warning findings.
+func auditCmd(ctx context.Context, args []string) error {
+	all := args
+	if len(all) == 0 {
+		for _, d := range designs.All() {
+			all = append(all, d.Name)
+		}
+	}
+	opt, met := flowOptions()
+	defer printStats(met)
+	failed := false
+	for _, name := range all {
+		d, err := designs.ByName(name)
+		if err != nil {
+			return err
+		}
+		a, err := flow.AuditDesignCtx(ctx, d, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(a.Summary())
+		if !a.OK() {
+			failed = true
+			fmt.Print(a.Details())
+		}
+	}
+	if failed {
+		return errLintFindings
+	}
+	return nil
 }
 
 func table1() error {

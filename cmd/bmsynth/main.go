@@ -20,6 +20,7 @@ import (
 	"balsabm/internal/bm"
 	"balsabm/internal/cell"
 	"balsabm/internal/minimalist"
+	"balsabm/internal/netlint"
 	"balsabm/internal/techmap"
 )
 
@@ -65,6 +66,21 @@ func main() {
 		}
 		fmt.Println("; hazard audit: mapped logic matches the hazard-free covers")
 	}
+	// Structural audit of the mapped netlist: NL-errors are fatal (a
+	// miswired single controller must not ship as Verilog), warnings
+	// print as comments, and the NL200 static report becomes the
+	// summary's static line.
+	res := netlint.Audit(nl, lib)
+	for _, d := range res.Diags {
+		if d.Severity == netlint.SevInfo {
+			continue
+		}
+		fmt.Printf("; netlint: %s\n", d.String())
+	}
+	if netlint.HasErrors(res.Diags) {
+		fail(fmt.Errorf("netlint: mapped netlist has structural errors"))
+	}
+	fmt.Printf("; netlint static: %s\n", res.Stats)
 	fmt.Printf("; %s\n", techmap.Summarize(nl, m, lib))
 	counts := nl.CellCounts()
 	cellNames := make([]string, 0, len(counts))

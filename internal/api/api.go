@@ -16,6 +16,7 @@ import (
 	"balsabm/internal/analysis"
 	"balsabm/internal/core"
 	"balsabm/internal/flow"
+	"balsabm/internal/netlint"
 )
 
 // FlowConfig is the serializable subset of the flow's tuning knobs —
@@ -138,6 +139,18 @@ type ControllerJSON struct {
 	Exact bool `json:"exact"`
 }
 
+// StaticJSON mirrors netlint.Stats: the static report for a merged
+// gate-level circuit.
+type StaticJSON struct {
+	Cells       int     `json:"cells"`
+	Nets        int     `json:"nets"`
+	Literals    int     `json:"literals"`
+	Transistors int     `json:"transistors"`
+	Area        float64 `json:"area"`
+	Depth       int     `json:"depth"`
+	Critical    float64 `json:"critical"`
+}
+
 // ArmJSON mirrors flow.ArmResult.
 type ArmJSON struct {
 	Controllers  []ControllerJSON `json:"controllers"`
@@ -146,6 +159,9 @@ type ArmJSON struct {
 	BenchTime    float64          `json:"benchTime"`
 	Events       int64            `json:"events"`
 	TotalArea    float64          `json:"totalArea"`
+	// Static is the netlint static report for the arm's merged control
+	// circuit.
+	Static StaticJSON `json:"static"`
 }
 
 // MergeJSON mirrors core.Merge.
@@ -189,6 +205,9 @@ type SynthResultJSON struct {
 	Mode        string                `json:"mode"`
 	Controllers []SynthControllerJSON `json:"controllers"`
 	Report      *ReportJSON           `json:"report,omitempty"`
+	// Netlint is the structural audit of the merged circuit of all
+	// synthesized controllers (gates.Merge wiring).
+	Netlint *NetlintReportJSON `json:"netlint,omitempty"`
 }
 
 // JobResult is the body of GET /api/v1/jobs/{id}/result; exactly one
@@ -217,6 +236,10 @@ type Event struct {
 	// Lint carries one analyzer finding for "lint" events: the
 	// non-error diagnostics the pre-synthesis gate surfaced.
 	Lint *DiagJSON `json:"lint,omitempty"`
+	// Netlint carries one netlist finding for "lint" events: the
+	// non-error diagnostics the post-merge netlint gate surfaced. Its
+	// Circuit field names the audited circuit (e.g. "stack.opt").
+	Netlint *NetlintDiagJSON `json:"netlint,omitempty"`
 }
 
 // StageJSON is one pipeline stage's cumulative counters.
@@ -244,6 +267,10 @@ type MetricsJSON struct {
 	EnumNodes      int64                `json:"enumNodes"`
 	BranchNodes    int64                `json:"branchNodes"`
 	Stages         map[string]StageJSON `json:"stages"`
+	// NetlintDiags counts netlist diagnostics by NLxxx code across
+	// every flow the daemon ran (also exported as
+	// balsabmd_netlint_diags_total{code=...}).
+	NetlintDiags map[string]int64 `json:"netlintDiags,omitempty"`
 }
 
 // FromControllerResult converts one controller summary.
@@ -263,6 +290,7 @@ func FromArmResult(a flow.ArmResult) ArmJSON {
 		BenchTime:    a.BenchTime,
 		Events:       a.Events,
 		TotalArea:    a.TotalArea(),
+		Static:       FromStats(a.Static),
 		Controllers:  make([]ControllerJSON, 0, len(a.Controllers)),
 	}
 	for _, c := range a.Controllers {
@@ -323,6 +351,7 @@ func (d *DesignResultJSON) ToFlow() *flow.DesignResult {
 			DatapathArea: a.DatapathArea,
 			BenchTime:    a.BenchTime,
 			Events:       a.Events,
+			Static:       a.Static.ToStats(),
 			Controllers:  make([]flow.ControllerResult, 0, len(a.Controllers)),
 		}
 		for _, c := range a.Controllers {
@@ -393,6 +422,116 @@ func LintResult(file string, ds []analysis.Diag) *LintResultJSON {
 		out.Diags = append(out.Diags, FromDiag(d))
 	}
 	out.Errors, out.Warnings, out.Infos = analysis.Count(ds)
+	return out
+}
+
+// NetlintRequest is the body of POST /api/v1/netlint: design source to
+// synthesize (without simulation) and structurally audit. Fields match
+// the KindSynth job request: Source in the given Format ("ch" default,
+// "balsa"), Mode selecting the arm ("opt" default, "unopt"), and the
+// flow config.
+type NetlintRequest struct {
+	Source string     `json:"source"`
+	Format string     `json:"format,omitempty"`
+	Name   string     `json:"name,omitempty"`
+	Mode   string     `json:"mode,omitempty"`
+	Config FlowConfig `json:"config"`
+}
+
+// NetlintDiagJSON mirrors netlint.Diag. Inst and Net are -1 for
+// circuit-level findings, matching netlint.NoLoc.
+type NetlintDiagJSON struct {
+	// Circuit names the audited circuit on event streams (e.g.
+	// "stack.opt"); omitted inside NetlintReportJSON, whose Circuit
+	// field carries it once.
+	Circuit  string   `json:"circuit,omitempty"`
+	Inst     int      `json:"inst"`
+	Cell     string   `json:"cell,omitempty"`
+	Net      int      `json:"net"`
+	Name     string   `json:"name,omitempty"`
+	Severity string   `json:"severity"`
+	Code     string   `json:"code"`
+	Message  string   `json:"message"`
+	Notes    []string `json:"notes,omitempty"`
+}
+
+// NetlintReportJSON is the audit of one circuit: its diagnostics and
+// static report, with severity tallies.
+type NetlintReportJSON struct {
+	Circuit  string            `json:"circuit"`
+	Static   StaticJSON        `json:"static"`
+	Diags    []NetlintDiagJSON `json:"diags"`
+	Errors   int               `json:"errors"`
+	Warnings int               `json:"warnings"`
+	Infos    int               `json:"infos"`
+}
+
+// NetlintResultJSON is the body answered by POST /api/v1/netlint and
+// emitted by `balsabm netlint -json`: per-controller audits plus the
+// merged-circuit audit.
+type NetlintResultJSON struct {
+	Mode        string              `json:"mode"`
+	Controllers []NetlintReportJSON `json:"controllers"`
+	Merged      NetlintReportJSON   `json:"merged"`
+}
+
+// FromStats converts a static report.
+func FromStats(s netlint.Stats) StaticJSON {
+	return StaticJSON{
+		Cells: s.Cells, Nets: s.Nets, Literals: s.Literals,
+		Transistors: s.Transistors, Area: s.Area, Depth: s.Depth, Critical: s.Critical,
+	}
+}
+
+// ToStats converts a wire-form static report back.
+func (s StaticJSON) ToStats() netlint.Stats {
+	return netlint.Stats{
+		Cells: s.Cells, Nets: s.Nets, Literals: s.Literals,
+		Transistors: s.Transistors, Area: s.Area, Depth: s.Depth, Critical: s.Critical,
+	}
+}
+
+// FromNetlintDiag converts one netlist finding.
+func FromNetlintDiag(d netlint.Diag) NetlintDiagJSON {
+	return NetlintDiagJSON{
+		Inst:     d.Loc.Inst,
+		Cell:     d.Loc.Cell,
+		Net:      d.Loc.Net,
+		Name:     d.Loc.Name,
+		Severity: d.Severity.String(),
+		Code:     d.Code,
+		Message:  d.Message,
+		Notes:    d.Notes,
+	}
+}
+
+// NetlintReport packages one audit result for the wire. Diags is
+// always non-nil so a clean audit encodes as [] rather than null.
+func NetlintReport(res netlint.Result) NetlintReportJSON {
+	out := NetlintReportJSON{
+		Circuit: res.Name,
+		Static:  FromStats(res.Stats),
+		Diags:   make([]NetlintDiagJSON, 0, len(res.Diags)),
+	}
+	for _, d := range res.Diags {
+		out.Diags = append(out.Diags, FromNetlintDiag(d))
+	}
+	out.Errors, out.Warnings, out.Infos = netlint.Count(res.Diags)
+	return out
+}
+
+// NetlintResult packages a synthesize-and-audit run (per-controller
+// audits plus the merged circuit) for the wire. Controllers is always
+// non-nil so an empty netlist encodes as [] rather than null.
+func NetlintResult(mode string, ctrls []netlint.Result, merged netlint.Result) *NetlintResultJSON {
+	out := &NetlintResultJSON{
+		Mode:        mode,
+		Controllers: make([]NetlintReportJSON, 0, len(ctrls)),
+		Merged:      NetlintReport(merged),
+	}
+	for _, c := range ctrls {
+		out.Controllers = append(out.Controllers, NetlintReport(c))
+	}
 	return out
 }
 

@@ -34,6 +34,7 @@ import (
 	"balsabm/internal/gates"
 	"balsabm/internal/hclib"
 	"balsabm/internal/minimalist"
+	"balsabm/internal/netlint"
 	"balsabm/internal/parallel"
 	"balsabm/internal/sim"
 	"balsabm/internal/techmap"
@@ -62,6 +63,10 @@ type ArmResult struct {
 	DatapathArea float64
 	BenchTime    float64
 	Events       int64
+	// Static is the netlint static report for the arm's merged control
+	// circuit: literal/transistor-weighted area and topological depth,
+	// the structural complement of the measured BenchTime/area numbers.
+	Static netlint.Stats
 }
 
 // TotalArea is control plus datapath area (µm²).
@@ -103,6 +108,7 @@ func (r *DesignResult) DebugString() string {
 	arm := func(label string, a ArmResult) {
 		fmt.Fprintf(&sb, "%s: control=%.6f datapath=%.6f time=%.6f events=%d\n",
 			label, a.ControlArea, a.DatapathArea, a.BenchTime, a.Events)
+		fmt.Fprintf(&sb, "  static: %s\n", a.Static)
 		for _, c := range a.Controllers {
 			fmt.Fprintf(&sb, "  %s states=%d bits=%d products=%d cells=%d area=%.6f critical=%.6f exact=%t\n",
 				c.Name, c.States, c.StateBits, c.Products, c.Cells, c.Area, c.Critical, c.Exact)
@@ -150,6 +156,10 @@ type Metrics struct {
 	lintMu     sync.Mutex
 	lint       []LintFinding
 	lintNotify func(LintFinding)
+
+	netlintMu     sync.Mutex
+	netlint       []NetlintFinding
+	netlintNotify func(NetlintFinding)
 }
 
 // NotifyLint registers a callback invoked (synchronously, in gate
@@ -182,6 +192,36 @@ func (m *Metrics) recordLint(f LintFinding) {
 	}
 }
 
+// NotifyNetlint registers a callback invoked (synchronously) for every
+// non-error finding the post-merge netlint gate records — the hook the
+// daemon uses to stream netlist findings over SSE. Call before the run
+// starts.
+func (m *Metrics) NotifyNetlint(fn func(NetlintFinding)) {
+	m.netlintMu.Lock()
+	defer m.netlintMu.Unlock()
+	m.netlintNotify = fn
+}
+
+// NetlintFindings returns the non-error netlist findings recorded so
+// far, in gate order.
+func (m *Metrics) NetlintFindings() []NetlintFinding {
+	m.netlintMu.Lock()
+	defer m.netlintMu.Unlock()
+	out := make([]NetlintFinding, len(m.netlint))
+	copy(out, m.netlint)
+	return out
+}
+
+func (m *Metrics) recordNetlint(f NetlintFinding) {
+	m.netlintMu.Lock()
+	m.netlint = append(m.netlint, f)
+	fn := m.netlintNotify
+	m.netlintMu.Unlock()
+	if fn != nil {
+		fn(f)
+	}
+}
+
 // String renders the metrics for human consumption.
 func (m *Metrics) String() string {
 	if m == nil {
@@ -198,6 +238,9 @@ func (m *Metrics) String() string {
 	}
 	for _, f := range m.LintFindings() {
 		s += fmt.Sprintf("lint: %s: %s\n", f.Design, f.Diag)
+	}
+	for _, f := range m.NetlintFindings() {
+		s += fmt.Sprintf("netlint: %s: %s\n", f.Circuit(), f.Diag)
 	}
 	return s
 }
@@ -514,6 +557,10 @@ func (r *runner) runDesign(d *designs.Design) (*DesignResult, error) {
 		for _, c := range ctrls {
 			res.Unopt.ControlArea += c.Area
 		}
+		res.Unopt.Static, err = r.netlintGate(d.Name, "unopt", mapped)
+		if err != nil {
+			return fmt.Errorf("unoptimized arm: %w", err)
+		}
 		t, dpArea, events, benchDesc, err := r.simulate(d, mapped)
 		if err != nil {
 			return fmt.Errorf("unoptimized arm: %w", err)
@@ -543,6 +590,10 @@ func (r *runner) runDesign(d *designs.Design) (*DesignResult, error) {
 		res.Opt.Controllers = ctrls
 		for _, c := range ctrls {
 			res.Opt.ControlArea += c.Area
+		}
+		res.Opt.Static, err = r.netlintGate(d.Name, "opt", mapped)
+		if err != nil {
+			return fmt.Errorf("optimized arm: %w", err)
 		}
 		t, dpArea, events, _, err := r.simulate(d, mapped)
 		if err != nil {

@@ -1,0 +1,85 @@
+package gates
+
+import "fmt"
+
+// Merge wires a set of mapped netlists (the controllers of one design
+// arm) into a single circuit, with the same connection semantics as
+// the event simulator (sim.Simulator.AddNetlist): primary input and
+// output nets keep their names and unify across parts — a channel wire
+// driven by one controller and read by another becomes one net — while
+// internal nets are namespaced "part.net" to stay private (two
+// controllers both using y0 or t$5 must not short). Tied-low nets
+// unify onto the merged circuit's own Const0.
+//
+// The merged primary outputs are every part's outputs in part order
+// (they drive the datapath and environment even when also consumed by
+// a sibling controller); the merged primary inputs are the part inputs
+// no part drives — the environment's side of the handshake. Duplicate
+// part names are disambiguated with a ".2", ".3", ... suffix so the
+// namespacing stays injective.
+//
+// Parts must be structurally well-formed (net ids in range); run
+// netlint on the parts first when in doubt.
+func Merge(name string, parts []*Netlist) *Netlist {
+	out := New(name)
+	seen := map[string]int{}
+	remaps := make([][]int, len(parts))
+	for pi, p := range parts {
+		partName := p.Name
+		seen[partName]++
+		if n := seen[partName]; n > 1 {
+			partName = fmt.Sprintf("%s.%d", partName, n)
+		}
+		boundary := make([]bool, len(p.NetNames))
+		for _, id := range p.Inputs {
+			boundary[id] = true
+		}
+		for _, id := range p.Outputs {
+			boundary[id] = true
+		}
+		remap := make([]int, len(p.NetNames))
+		for id, netName := range p.NetNames {
+			switch {
+			case id == p.Const0:
+				remap[id] = out.ConstZero()
+			case boundary[id]:
+				remap[id] = out.Net(netName)
+			default:
+				remap[id] = out.Net(partName + "." + netName)
+			}
+		}
+		remaps[pi] = remap
+		for _, inst := range p.Instances {
+			ins := make([]int, len(inst.Inputs))
+			for i, in := range inst.Inputs {
+				ins[i] = remap[in]
+			}
+			out.AddInstance(inst.Cell, ins, remap[inst.Output], inst.Module)
+		}
+	}
+	driven := make(map[int]bool, len(out.Instances))
+	for _, inst := range out.Instances {
+		driven[inst.Output] = true
+	}
+	inPorts := map[int]bool{}
+	outPorts := map[int]bool{}
+	for pi, p := range parts {
+		for _, id := range p.Outputs {
+			m := remaps[pi][id]
+			if !outPorts[m] {
+				outPorts[m] = true
+				out.Outputs = append(out.Outputs, m)
+			}
+		}
+	}
+	for pi, p := range parts {
+		for _, id := range p.Inputs {
+			m := remaps[pi][id]
+			if !driven[m] && !inPorts[m] && !outPorts[m] {
+				inPorts[m] = true
+				out.Inputs = append(out.Inputs, m)
+			}
+		}
+	}
+	return out
+}

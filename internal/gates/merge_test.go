@@ -1,0 +1,105 @@
+package gates
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMerge(t *testing.T) {
+	// a: env-driven input "req"; output "mid" = INV(req); internal "t$1".
+	a := New("a")
+	req := a.Net("req")
+	t1 := a.Net("t$1")
+	mid := a.Net("mid")
+	a.Inputs = []int{req}
+	a.Outputs = []int{mid}
+	a.AddInstance("INV", []int{req}, t1, 1)
+	a.AddInstance("INV", []int{t1}, mid, 2)
+
+	// b: consumes "mid", drives "ack"; internal "t$1" (must not short
+	// with a's), and a tied-low net.
+	b := New("b")
+	bmid := b.Net("mid")
+	bt1 := b.Net("t$1")
+	ack := b.Net("ack")
+	b.Inputs = []int{bmid}
+	b.Outputs = []int{ack}
+	b.AddInstance("AND2", []int{bmid, b.ConstZero()}, bt1, 1)
+	b.AddInstance("INV", []int{bt1}, ack, 2)
+
+	m := Merge("top", []*Netlist{a, b})
+
+	if m.Name != "top" {
+		t.Fatalf("Name = %q", m.Name)
+	}
+	// "mid" unified: exactly one net of that name, driven by a's g1 and
+	// consumed by b's AND2.
+	if !m.HasNet("mid") || m.HasNet("a.mid") || m.HasNet("b.mid") {
+		t.Fatalf("port net not unified by name: %v", m.NetNames)
+	}
+	// Internal nets namespaced per part.
+	if !m.HasNet("a.t$1") || !m.HasNet("b.t$1") || m.HasNet("t$1") {
+		t.Fatalf("internal nets not namespaced: %v", m.NetNames)
+	}
+	// Const0 unified onto the merged netlist's own tie-low net.
+	if m.Const0 < 0 {
+		t.Fatal("merged Const0 missing")
+	}
+	// Inputs: only env-driven part inputs ("req"; "mid" is driven by a).
+	wantIn := []string{"req"}
+	var gotIn []string
+	for _, id := range m.Inputs {
+		gotIn = append(gotIn, m.NetNames[id])
+	}
+	if !reflect.DeepEqual(gotIn, wantIn) {
+		t.Fatalf("Inputs = %v, want %v", gotIn, wantIn)
+	}
+	// Outputs: every part output, part order.
+	wantOut := []string{"mid", "ack"}
+	var gotOut []string
+	for _, id := range m.Outputs {
+		gotOut = append(gotOut, m.NetNames[id])
+	}
+	if !reflect.DeepEqual(gotOut, wantOut) {
+		t.Fatalf("Outputs = %v, want %v", gotOut, wantOut)
+	}
+	if len(m.Instances) != 4 {
+		t.Fatalf("instance count = %d, want 4", len(m.Instances))
+	}
+}
+
+func TestMergeDuplicatePartNames(t *testing.T) {
+	mk := func(in, out string) *Netlist {
+		nl := New("seq")
+		i := nl.Net(in)
+		o := nl.Net(out)
+		s := nl.Net("scratch")
+		nl.Inputs = []int{i}
+		nl.Outputs = []int{o}
+		nl.AddInstance("INV", []int{i}, s, 0)
+		nl.AddInstance("INV", []int{s}, o, 0)
+		return nl
+	}
+	m := Merge("top", []*Netlist{mk("x", "y"), mk("y", "z")})
+	if !m.HasNet("seq.scratch") || !m.HasNet("seq.2.scratch") {
+		t.Fatalf("duplicate part names not disambiguated: %v", m.NetNames)
+	}
+}
+
+func TestMergeDeterministic(t *testing.T) {
+	mk := func() []*Netlist {
+		a := New("a")
+		x := a.Net("x")
+		y := a.Net("y")
+		a.Inputs = []int{x}
+		a.Outputs = []int{y}
+		a.AddInstance("INV", []int{x}, y, 0)
+		return []*Netlist{a}
+	}
+	first := Merge("top", mk()).Verilog(nil)
+	for i := 0; i < 5; i++ {
+		if got := Merge("top", mk()).Verilog(nil); got != first {
+			t.Fatalf("Merge not deterministic:\n%s\nvs\n%s", first, got)
+		}
+	}
+}

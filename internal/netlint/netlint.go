@@ -1,0 +1,332 @@
+// Package netlint implements a pass-based static analyzer for mapped
+// gate-level netlists — the structural counterpart of chlint
+// (internal/analysis) one representation further down the flow.
+//
+// The paper's correctness argument for the back-end stops at
+// per-controller checks: hazard-free covers (hfmin.CheckCover) and the
+// hazard-non-increasing mapping audit (techmap.CheckMapped). The
+// merged final circuit — every mapped controller of a design wired
+// together over its channel nets — is only ever exercised dynamically,
+// by simulation. netlint closes that gap structurally: it audits a
+// whole gates.Netlist against its cell.Library for the defects a
+// correct merge can never contain (multiple drivers, floating nets,
+// combinational feedback outside latching cells, unknown cells, arity
+// mismatches, name collisions that would corrupt the synthesis cache
+// key) and reports advisory findings (unconsumed nets, dead gates)
+// that flag wasted area.
+//
+// It also carries a static reporting pass: literal- and
+// transistor-weighted area plus the longest topological gate depth of
+// the circuit, surfaced as an info diagnostic and as a Stats value —
+// the static complement of the dynamically measured Table 3 numbers.
+//
+// Every finding is a Diag: a gate/net-precise location, a severity, a
+// stable NLxxx code, a message and optional notes — the same
+// compiler-diagnostic shape as chlint, following the pass/diagnostic
+// conventions of go/analysis.
+//
+// Entry points: Analyze (diagnostics only), Audit (diagnostics plus
+// static stats), and Passes (the registry).
+package netlint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"balsabm/internal/cell"
+	"balsabm/internal/gates"
+)
+
+// Severity classifies a diagnostic, mirroring internal/analysis.
+type Severity int
+
+const (
+	// SevError marks structural defects: the circuit is miswired (or
+	// would corrupt downstream tooling) and must not ship. Errors
+	// abort the flow's post-merge gate.
+	SevError Severity = iota
+	// SevWarning marks suspicious-but-functional structure, e.g.
+	// driven nets nothing consumes.
+	SevWarning
+	// SevInfo marks advisory findings, e.g. the static report.
+	SevInfo
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	case SevInfo:
+		return "info"
+	}
+	return fmt.Sprintf("Severity(%d)", int(s))
+}
+
+// Loc pins a diagnostic to a place in the netlist: an instance (gate),
+// a net, both, or neither (circuit-level findings). Instances are
+// identified the way the Verilog writer names them (g<index>), so a
+// finding can be located in the emitted structural Verilog directly.
+type Loc struct {
+	Inst int    // instance index, -1 when not gate-specific
+	Cell string // cell name when Inst >= 0
+	Net  int    // net id, -1 when not net-specific
+	Name string // net name when Net >= 0
+}
+
+// NoLoc is the circuit-level location.
+var NoLoc = Loc{Inst: -1, Net: -1}
+
+// InstLoc locates a finding at instance i of nl.
+func InstLoc(nl *gates.Netlist, i int) Loc {
+	return Loc{Inst: i, Cell: nl.Instances[i].Cell, Net: -1}
+}
+
+// NetLoc locates a finding at net id of nl.
+func NetLoc(nl *gates.Netlist, id int) Loc {
+	name := ""
+	if id >= 0 && id < len(nl.NetNames) {
+		name = nl.NetNames[id]
+	}
+	return Loc{Inst: -1, Net: id, Name: name}
+}
+
+// InstNetLoc locates a finding at instance i touching net id.
+func InstNetLoc(nl *gates.Netlist, i, id int) Loc {
+	l := InstLoc(nl, i)
+	l.Net = id
+	if id >= 0 && id < len(nl.NetNames) {
+		l.Name = nl.NetNames[id]
+	}
+	return l
+}
+
+// String renders the location: `g12(NAND2)`, `net "a_r"`, or
+// `g12(NAND2) net "a_r"`. Circuit-level locations render empty.
+func (l Loc) String() string {
+	var parts []string
+	if l.Inst >= 0 {
+		parts = append(parts, fmt.Sprintf("g%d(%s)", l.Inst, l.Cell))
+	}
+	if l.Net >= 0 {
+		parts = append(parts, fmt.Sprintf("net %q", l.Name))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Diag is one diagnostic: where, how bad, which rule, and why.
+type Diag struct {
+	Loc      Loc
+	Severity Severity
+	Code     string // stable "NLxxx" code, see Codes
+	Message  string
+	Notes    []string // secondary lines: cycle paths, colliding names
+}
+
+// String renders the diagnostic without a circuit name.
+func (d Diag) String() string { return d.Render("") }
+
+// Render renders the diagnostic vet-style, prefixed with the circuit
+// name when non-empty:
+//
+//	stack.opt: g12(NAND2): error: NL004: ...
+func (d Diag) Render(circuit string) string {
+	var sb strings.Builder
+	if circuit != "" {
+		sb.WriteString(circuit)
+		sb.WriteString(":")
+	}
+	if loc := d.Loc.String(); loc != "" {
+		if sb.Len() > 0 {
+			sb.WriteString(" ")
+		}
+		sb.WriteString(loc)
+		sb.WriteString(":")
+	}
+	if sb.Len() > 0 {
+		sb.WriteString(" ")
+	}
+	fmt.Fprintf(&sb, "%s: %s: %s", d.Severity, d.Code, d.Message)
+	for _, n := range d.Notes {
+		sb.WriteString("\n\t")
+		sb.WriteString(n)
+	}
+	return sb.String()
+}
+
+// Codes maps every stable diagnostic code to its one-line meaning.
+// Codes are append-only: a released code never changes meaning, so
+// suppressions, CI greps and the /metrics code labels stay valid.
+var Codes = map[string]string{
+	"NL000": "netlist is structurally malformed (net id out of range)",
+	"NL001": "net driven by more than one instance",
+	"NL002": "floating net: consumed but never driven",
+	"NL003": "instance references a cell the library does not define",
+	"NL004": "instance pin count differs from the library cell",
+	"NL005": "combinational cycle outside sequential cells and fundamental-mode feedback",
+	"NL006": "two net ids share one name (cache-key/rename hazard)",
+	"NL007": "net names collide after Verilog sanitization",
+	"NL008": "primary input driven by an instance",
+	"NL009": "tied-low net driven by an instance",
+	"NL010": "net listed more than once among primary ports",
+	"NL100": "driven net is never consumed",
+	"NL101": "dead gate: no path to any primary output",
+	"NL200": "static area/depth report",
+}
+
+// Reporter collects diagnostics during a pass run.
+type Reporter struct {
+	diags []Diag
+}
+
+// Report appends one diagnostic.
+func (r *Reporter) Report(d Diag) { r.diags = append(r.diags, d) }
+
+// Errorf reports an error-severity diagnostic at loc.
+func (r *Reporter) Errorf(loc Loc, code, format string, args ...any) {
+	r.Report(Diag{Loc: loc, Severity: SevError, Code: code, Message: fmt.Sprintf(format, args...)})
+}
+
+// Warnf reports a warning-severity diagnostic at loc.
+func (r *Reporter) Warnf(loc Loc, code, format string, args ...any) {
+	r.Report(Diag{Loc: loc, Severity: SevWarning, Code: code, Message: fmt.Sprintf(format, args...)})
+}
+
+// Infof reports an info-severity diagnostic at loc.
+func (r *Reporter) Infof(loc Loc, code, format string, args ...any) {
+	r.Report(Diag{Loc: loc, Severity: SevInfo, Code: code, Message: fmt.Sprintf(format, args...)})
+}
+
+// note attaches a note to the most recently reported diagnostic.
+func (r *Reporter) note(format string, args ...any) {
+	if len(r.diags) == 0 {
+		return
+	}
+	d := &r.diags[len(r.diags)-1]
+	d.Notes = append(d.Notes, fmt.Sprintf(format, args...))
+}
+
+// Pass is one analyzer pass: a name, a one-line doc string and a run
+// function receiving the netlist under analysis and its library.
+type Pass struct {
+	Name string
+	Doc  string
+	Run  func(nl *gates.Netlist, lib *cell.Library, r *Reporter)
+}
+
+// Passes returns the full pass registry in its fixed run order. The
+// structure pass runs first: the graph passes assume in-range net ids,
+// so a malformed netlist reports NL000 alone rather than a cascade.
+func Passes() []*Pass {
+	return []*Pass{
+		StructPass,
+		CellsPass,
+		DriversPass,
+		CyclesPass,
+		DeadPass,
+		ReportPass,
+	}
+}
+
+// Run executes the given passes over a netlist and returns the merged
+// diagnostics in a stable order. If the structure pass reports errors,
+// later passes are skipped (their graph walks would index out of
+// range).
+func Run(nl *gates.Netlist, lib *cell.Library, passes []*Pass) []Diag {
+	r := &Reporter{}
+	for _, p := range passes {
+		p.Run(nl, lib, r)
+		if p == StructPass && hasCode(r.diags, "NL000") {
+			break
+		}
+	}
+	sortDiags(r.diags)
+	return r.diags
+}
+
+func hasCode(ds []Diag, code string) bool {
+	for _, d := range ds {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyze runs every registered pass over a netlist.
+func Analyze(nl *gates.Netlist, lib *cell.Library) []Diag {
+	return Run(nl, lib, Passes())
+}
+
+// Result is one full audit: the circuit's name, its diagnostics, and
+// the static report.
+type Result struct {
+	Name  string
+	Diags []Diag
+	Stats Stats
+}
+
+// Audit runs every pass and computes the static report. Stats are
+// computed even when diagnostics are present (a broken netlist still
+// has a meaningful gate count), except for NL000-malformed netlists,
+// which return zero Stats.
+func Audit(nl *gates.Netlist, lib *cell.Library) Result {
+	ds := Analyze(nl, lib)
+	res := Result{Name: nl.Name, Diags: ds}
+	if !hasCode(ds, "NL000") {
+		res.Stats = ComputeStats(nl, lib)
+	}
+	return res
+}
+
+// sortDiags orders diagnostics by location (instance, then net), then
+// code, then message — byte-deterministic at any pass count.
+func sortDiags(ds []Diag) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Loc.Inst != b.Loc.Inst {
+			return a.Loc.Inst < b.Loc.Inst
+		}
+		if a.Loc.Net != b.Loc.Net {
+			return a.Loc.Net < b.Loc.Net
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Count tallies diagnostics by severity.
+func Count(ds []Diag) (errors, warnings, infos int) {
+	for _, d := range ds {
+		switch d.Severity {
+		case SevError:
+			errors++
+		case SevWarning:
+			warnings++
+		default:
+			infos++
+		}
+	}
+	return
+}
+
+// HasErrors reports whether any diagnostic is error-severity.
+func HasErrors(ds []Diag) bool {
+	e, _, _ := Count(ds)
+	return e > 0
+}
+
+// Format renders diagnostics vet-style, one per line (plus note
+// lines), prefixed with the circuit name when non-empty.
+func Format(ds []Diag, circuit string) string {
+	var sb strings.Builder
+	for _, d := range ds {
+		sb.WriteString(d.Render(circuit))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

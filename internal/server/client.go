@@ -44,6 +44,16 @@ func (c *Client) Lint(ctx context.Context, req api.LintRequest) (*api.LintResult
 	return &out, nil
 }
 
+// Netlint synthesizes a design on the daemon (no simulation) and
+// returns its structural audit (POST /api/v1/netlint).
+func (c *Client) Netlint(ctx context.Context, req api.NetlintRequest) (*api.NetlintResultJSON, error) {
+	var out api.NetlintResultJSON
+	if err := c.do(ctx, http.MethodPost, "/api/v1/netlint", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // do issues one request and decodes the JSON response into out
 // (skipped when out is nil). Non-2xx responses decode the server's
 // error body into the returned error.

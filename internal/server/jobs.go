@@ -135,6 +135,11 @@ type Manager struct {
 	jobs   map[string]*Job
 	order  []string
 	nextID int64
+	// netlintDiags counts netlist diagnostics by NLxxx code across
+	// every executed job: the findings its netlint gates recorded plus
+	// the error findings of gates that failed the job. Exported as
+	// balsabmd_netlint_diags_total{code=...}.
+	netlintDiags map[string]int64
 
 	dedupHits   parallel.Counter
 	dedupMisses parallel.Counter
@@ -152,11 +157,12 @@ func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:    cfg,
-		ctx:    ctx,
-		cancel: cancel,
-		queue:  make(chan *Job, cfg.QueueDepth),
-		jobs:   map[string]*Job{},
+		cfg:          cfg,
+		ctx:          ctx,
+		cancel:       cancel,
+		queue:        make(chan *Job, cfg.QueueDepth),
+		jobs:         map[string]*Job{},
+		netlintDiags: map[string]int64{},
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
@@ -207,6 +213,12 @@ func (m *Manager) Submit(req api.JobRequest) (*Job, error) {
 	j.met.NotifyLint(func(f flow.LintFinding) {
 		d := api.FromDiag(f.Diag)
 		j.events.publish(api.Event{Type: "lint", Lint: &d})
+	})
+	// And the netlint gate's, tagged with the audited circuit.
+	j.met.NotifyNetlint(func(f flow.NetlintFinding) {
+		d := api.FromNetlintDiag(f.Diag)
+		d.Circuit = f.Circuit()
+		j.events.publish(api.Event{Type: "lint", Netlint: &d})
 	})
 
 	m.mu.Lock()
@@ -307,6 +319,7 @@ func (m *Manager) run(j *Job) {
 		m.minGreedy.Add(j.met.MinimizeGreedy.Load())
 		m.enumNodes.Add(j.met.EnumNodes.Load())
 		m.branchNodes.Add(j.met.BranchNodes.Load())
+		m.countNetlint(j.met.NetlintFindings(), err)
 	}
 	switch {
 	case err == nil:
@@ -349,6 +362,27 @@ func (m *Manager) finish(j *Job, state string, res *api.JobResult, err error) {
 	j.cancel()
 }
 
+// countNetlint folds one executed job's netlist diagnostics into the
+// daemon-wide per-code counters: the non-error findings its netlint
+// gates recorded, plus the error findings when the gate failed the
+// job.
+func (m *Manager) countNetlint(fs []flow.NetlintFinding, err error) {
+	var ne *flow.NetlintError
+	if len(fs) == 0 && !errors.As(err, &ne) {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range fs {
+		m.netlintDiags[f.Diag.Code]++
+	}
+	if ne != nil {
+		for _, d := range ne.Diags {
+			m.netlintDiags[d.Code]++
+		}
+	}
+}
+
 // Metrics snapshots the daemon-wide counters.
 func (m *Manager) Metrics() *api.MetricsJSON {
 	out := &api.MetricsJSON{
@@ -375,6 +409,14 @@ func (m *Manager) Metrics() *api.MetricsJSON {
 	for name, s := range m.aggTimings.Snapshot() {
 		out.Stages[name] = api.StageJSON{Count: s.Count, TotalMicros: s.Total.Microseconds()}
 	}
+	m.mu.Lock()
+	if len(m.netlintDiags) > 0 {
+		out.NetlintDiags = make(map[string]int64, len(m.netlintDiags))
+		for code, n := range m.netlintDiags {
+			out.NetlintDiags[code] = n
+		}
+	}
+	m.mu.Unlock()
 	return out
 }
 
@@ -512,6 +554,17 @@ func runSynth(ctx context.Context, n *core.Netlist, mode string, cfg api.FlowCon
 	if lib == nil {
 		lib = cell.AMS035()
 	}
+	// Post-merge netlint gate, mirroring the flow's runDesign: error
+	// findings fail the job before any Verilog ships; warnings stream
+	// to subscribers and count toward the daemon's per-code totals; the
+	// merged-circuit report (static area/depth included) rides on the
+	// result.
+	nlres, err := flow.NetlintGate("synth", mode, mapped, lib, met)
+	if err != nil {
+		return nil, err
+	}
+	rep := api.NetlintReport(nlres)
+	out.Netlint = &rep
 	for i, nl := range mapped {
 		out.Controllers = append(out.Controllers, api.SynthControllerJSON{
 			Controller: api.FromControllerResult(ctrls[i]),
@@ -519,4 +572,41 @@ func runSynth(ctx context.Context, n *core.Netlist, mode string, cfg api.FlowCon
 		})
 	}
 	return &api.JobResult{Kind: api.KindSynth, Synth: out}, nil
+}
+
+// RunNetlint synthesizes a submitted
+// design without simulation and audit every mapped controller plus the
+// merged circuit. Unlike the job-queue gate, error findings do not
+// fail the request — the report is the product.
+func RunNetlint(ctx context.Context, req api.NetlintRequest) (*api.NetlintResultJSON, error) {
+	n, err := parseSource(api.JobRequest{Source: req.Source, Format: req.Format, Name: req.Name})
+	if err != nil {
+		return nil, err
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = api.ModeOpt
+	}
+	if mode != api.ModeOpt && mode != api.ModeUnopt {
+		return nil, fmt.Errorf("server: unknown mode %q", req.Mode)
+	}
+	name := req.Name
+	if name == "" {
+		name = "design"
+	}
+	tmMode := techmap.AreaShared
+	if mode == api.ModeOpt {
+		tmMode = techmap.SpeedSplit
+		n, _, err = core.OptimizeOpt(n, core.Options{
+			MaxStates: req.Config.MaxStates, Workers: req.Config.Workers, Ctx: ctx,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	ctrls, merged, err := flow.NetlintNetlist(ctx, name, mode, n, tmMode, req.Config.Options(nil))
+	if err != nil {
+		return nil, err
+	}
+	return api.NetlintResult(mode, ctrls, merged), nil
 }

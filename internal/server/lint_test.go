@@ -154,6 +154,7 @@ func TestLintWarningsStreamAsEvents(t *testing.T) {
 		t.Fatal(err)
 	}
 	var lints []api.DiagJSON
+	var netlints []api.NetlintDiagJSON
 	for _, line := range strings.Split(string(body), "\n") {
 		if !strings.HasPrefix(line, "data: ") {
 			continue
@@ -163,10 +164,14 @@ func TestLintWarningsStreamAsEvents(t *testing.T) {
 			t.Fatalf("bad event %q: %v", line, err)
 		}
 		if ev.Type == "lint" {
-			if ev.Lint == nil {
+			switch {
+			case ev.Lint != nil:
+				lints = append(lints, *ev.Lint)
+			case ev.Netlint != nil:
+				netlints = append(netlints, *ev.Netlint)
+			default:
 				t.Fatalf("lint event without payload: %+v", ev)
 			}
-			lints = append(lints, *ev.Lint)
 		}
 	}
 	if len(lints) != 2 {
@@ -176,5 +181,17 @@ func TestLintWarningsStreamAsEvents(t *testing.T) {
 		if d.Code != "CH013" || d.Severity != "warning" {
 			t.Errorf("unexpected lint event %+v", d)
 		}
+	}
+	// The post-merge netlint gate streams its findings on the same
+	// event type; at minimum the NL200 static report of the merged
+	// circuit must have arrived, tagged with the audited circuit.
+	found := false
+	for _, d := range netlints {
+		if d.Code == "NL200" && d.Circuit == "synth.unopt" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing NL200 netlint event for synth.unopt: %+v", netlints)
 	}
 }

@@ -57,6 +57,17 @@ func PrometheusText(m *api.MetricsJSON) string {
 	line("# TYPE balsabmd_minimize_branch_nodes_total counter")
 	line("balsabmd_minimize_branch_nodes_total %d", m.BranchNodes)
 
+	line("# HELP balsabmd_netlint_diags_total Netlist diagnostics surfaced by the netlint gates, by code.")
+	line("# TYPE balsabmd_netlint_diags_total counter")
+	codes := make([]string, 0, len(m.NetlintDiags))
+	for c := range m.NetlintDiags {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	for _, c := range codes {
+		line("balsabmd_netlint_diags_total{code=%q} %d", c, m.NetlintDiags[c])
+	}
+
 	line("# HELP balsabmd_stage_runs_total Completed pipeline-stage units.")
 	line("# TYPE balsabmd_stage_runs_total counter")
 	stages := make([]string, 0, len(m.Stages))

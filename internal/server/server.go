@@ -17,6 +17,10 @@
 //	GET    /api/v1/jobs/{id}/events live progress stream (SSE)
 //	POST   /api/v1/lint             run the chlint analyzer on CH source,
 //	                                synchronously; body is a LintRequest
+//	POST   /api/v1/netlint          synthesize a design (no simulation) and
+//	                                run the netlint structural audit on every
+//	                                mapped controller plus the merged
+//	                                circuit; body is a NetlintRequest
 //	GET    /api/v1/designs          built-in benchmark design names
 //	GET    /api/v1/metrics          daemon counters as JSON
 //	GET    /metrics                 same counters, Prometheus text format
@@ -51,6 +55,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("POST /api/v1/lint", s.handleLint)
+	s.mux.HandleFunc("POST /api/v1/netlint", s.handleNetlint)
 	s.mux.HandleFunc("GET /api/v1/designs", s.handleDesigns)
 	s.mux.HandleFunc("GET /api/v1/metrics", s.handleMetricsJSON)
 	s.mux.HandleFunc("GET /metrics", s.handleMetricsText)
@@ -247,6 +252,28 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, api.LintResult(req.File, analysis.LintSource(req.Source)))
+}
+
+// handleNetlint synthesizes a submitted design synchronously (no
+// simulation, no job queue) and answers its netlint audit. The body is
+// api.Encode(api.NetlintResult(...)), the same struct and encoder
+// `balsabm netlint -json` prints, so the two surfaces answer
+// byte-identical reports for the same source. Error-severity findings
+// are reported, not failed: this endpoint exists to look at them.
+func (s *Server) handleNetlint(w http.ResponseWriter, r *http.Request) {
+	var req api.NetlintRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	res, err := RunNetlint(r.Context(), req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) handleDesigns(w http.ResponseWriter, r *http.Request) {

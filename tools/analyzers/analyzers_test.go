@@ -136,6 +136,31 @@ func TestGostmtExemptsParallel(t *testing.T) {
 	}
 }
 
+func TestTimenowFires(t *testing.T) {
+	// Under a deterministic package path every clock read must fire
+	// (three want comments), nothing else may, and the _test.go file's
+	// reads are exempt.
+	got, wants, fset := runOnTestdata(t, "timenow", "balsabm/internal/hfmin", timenowAnalyzer)
+	if len(got) != 3 {
+		t.Fatalf("timenow produced %d findings on its testdata, want 3", len(got))
+	}
+	checkWants(t, got, wants, fset)
+	for _, d := range got {
+		if strings.HasSuffix(fset.Position(d.pos).Filename, "_test.go") {
+			t.Errorf("timenow flagged a test file: %s", fset.Position(d.pos))
+		}
+	}
+}
+
+func TestTimenowExemptsNonDeterministicPackages(t *testing.T) {
+	// The same sources under a path outside the deterministic list —
+	// e.g. internal/flow, which owns the stopwatches — must stay silent.
+	got, _, fset := runOnTestdata(t, "timenow", "balsabm/internal/flow", timenowAnalyzer)
+	for _, d := range got {
+		t.Errorf("timenow fired outside the deterministic packages: %s: %s", fset.Position(d.pos), d.message)
+	}
+}
+
 func TestMapiterIgnoresGoroutineFreeLoops(t *testing.T) {
 	// The testdata file's "fine" loops must stay silent: every finding
 	// must sit on a line that carries a want comment.

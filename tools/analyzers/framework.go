@@ -1,5 +1,5 @@
 // Command analyzers is the repo's vet tool: custom static checks for
-// the two invariants the paper's flow depends on and ordinary review
+// the invariants the paper's flow depends on and ordinary review
 // keeps missing.
 //
 //   - mapiter: no iteration over a map while producing output. Every
@@ -10,6 +10,11 @@
 //     production goroutines go through the pool/fan-out helpers (or the
 //     blessed parallel.Go escape hatch) so concurrency stays bounded,
 //     error-propagating and greppable.
+//   - timenow: no wall-clock reads (time.Now/Since/Until) in the
+//     deterministic synthesis packages (internal/{ch,chtobm,hfmin,
+//     logic,minimalist,techmap,gates,netlint}). Their outputs key the
+//     dedup cache and the golden files; a clock read is a hidden input.
+//     Stage timing lives in internal/flow, which is exempt.
 //
 // It speaks the `go vet -vettool` protocol (the cmd/go side of
 // golang.org/x/tools' unitchecker) using only the standard library, so
@@ -34,7 +39,7 @@ type Analyzer struct {
 }
 
 // analyzers is the registry, in run order.
-var analyzers = []*Analyzer{mapiterAnalyzer, gostmtAnalyzer}
+var analyzers = []*Analyzer{mapiterAnalyzer, gostmtAnalyzer, timenowAnalyzer}
 
 // Pass hands one type-checked package to an analyzer.
 type Pass struct {

@@ -1,0 +1,38 @@
+// Package timenowtest exercises the timenow analyzer. The test runs it
+// under a deterministic package path (balsabm/internal/hfmin) where the
+// clock reads must fire, and under a neutral path where they must not.
+package timenowtest
+
+import (
+	"time"
+)
+
+func stampStart() time.Time {
+	return time.Now() // want `time.Now in deterministic package`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in deterministic package`
+}
+
+func remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want `time.Until in deterministic package`
+}
+
+func pureUses() time.Duration {
+	d := 3 * time.Millisecond // constants and arithmetic: fine
+	t := time.Unix(0, 0)      // fixed instants: fine
+	_ = t.Add(d)
+	return d
+}
+
+// shadowed has a local identifier named time; its Now is not the
+// standard library's clock and must not fire.
+func shadowed() {
+	var time fakeClock
+	_ = time.Now()
+}
+
+type fakeClock struct{}
+
+func (fakeClock) Now() int { return 0 }

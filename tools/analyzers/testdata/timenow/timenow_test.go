@@ -1,0 +1,8 @@
+package timenowtest
+
+import "time"
+
+func benchClock() time.Duration {
+	start := time.Now() // test files are exempt: fine
+	return time.Since(start)
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// timenowAnalyzer flags wall-clock reads (time.Now, time.Since,
+// time.Until) inside the deterministic synthesis packages. Those
+// packages promise that equal inputs produce byte-identical outputs —
+// the property the dedup cache, the golden files, and Table 3 all rest
+// on — and a clock read is a hidden input that silently breaks it.
+// Timing belongs to the callers (internal/flow stamps its own stage
+// metrics); the core packages compute, they do not observe. Test files
+// are exempt.
+var timenowAnalyzer = &Analyzer{
+	Name: "timenow",
+	Doc:  "flag wall-clock reads (time.Now/Since/Until) in deterministic synthesis packages",
+	Run:  runTimenow,
+}
+
+// deterministicPkgs are the package-path suffixes whose results must be
+// pure functions of their inputs. internal/flow, the daemon, and the
+// CLIs are deliberately absent: they own the stopwatches.
+var deterministicPkgs = []string{
+	"internal/ch",
+	"internal/chtobm",
+	"internal/hfmin",
+	"internal/logic",
+	"internal/minimalist",
+	"internal/techmap",
+	"internal/gates",
+	"internal/netlint",
+}
+
+var clockReadNames = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+}
+
+func runTimenow(pass *Pass) {
+	deterministic := false
+	for _, suffix := range deterministicPkgs {
+		if strings.HasSuffix(pass.PkgPath, suffix) {
+			deterministic = true
+			break
+		}
+	}
+	if !deterministic {
+		return
+	}
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !clockReadNames[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s in deterministic package; clock reads make equal inputs produce unequal outputs — time the call from internal/flow instead",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}
