@@ -8,7 +8,10 @@
 // handshake-component baseline circuits and the datapath.
 package cell
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Kind is the logical function of a cell.
 type Kind int
@@ -56,6 +59,9 @@ type Cell struct {
 	Inputs int
 	Area   float64 // µm²
 	Delay  float64 // ns
+
+	lutOnce sync.Once
+	lut     [2]uint64
 }
 
 // Eval computes the cell's output from its inputs; for stateful cells
@@ -123,6 +129,33 @@ func (c *Cell) Eval(ins []bool, prev bool) bool {
 		return prev
 	}
 	return false
+}
+
+// TruthTable returns the cell's function as two 64-bit truth tables
+// indexed by the previous output value: bit i of tab[prev] is the
+// output for input combination i, where bit j of i is input j. For
+// combinational cells tab[0] == tab[1]. The table is computed once per
+// cell (from Eval, so the two can never disagree) and cached; ok is
+// false for cells wider than 6 inputs, which do not fit a 64-bit
+// plane — callers must fall back to Eval.
+func (c *Cell) TruthTable() (tab [2]uint64, ok bool) {
+	if c.Inputs > 6 {
+		return [2]uint64{}, false
+	}
+	c.lutOnce.Do(func() {
+		ins := make([]bool, c.Inputs)
+		for idx := 0; idx < 1<<uint(c.Inputs); idx++ {
+			for j := range ins {
+				ins[j] = idx>>uint(j)&1 != 0
+			}
+			for prev := 0; prev < 2; prev++ {
+				if c.Eval(ins, prev == 1) {
+					c.lut[prev] |= 1 << uint(idx)
+				}
+			}
+		}
+	})
+	return c.lut, true
 }
 
 // Library is a named set of cells.

@@ -1,6 +1,7 @@
 package cell
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -75,6 +76,51 @@ func TestLatchSemantics(t *testing.T) {
 	}
 	if l.Eval([]bool{false, true}, false) != false {
 		t.Fatal("latch must hold when disabled")
+	}
+}
+
+// The cached truth table must agree with Eval for every library cell,
+// over every input combination and both previous-output values — the
+// LUT is what the compiled evaluator and the simulator's fast path
+// trust in place of Eval.
+func TestTruthTableAgreesWithEval(t *testing.T) {
+	lib := AMS035()
+	names := make([]string, 0, len(lib.Cells))
+	for name := range lib.Cells {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := lib.Cells[name]
+		tab, ok := c.TruthTable()
+		if !ok {
+			t.Fatalf("%s: no truth table for a %d-input cell", name, c.Inputs)
+		}
+		ins := make([]bool, c.Inputs)
+		for idx := 0; idx < 1<<uint(c.Inputs); idx++ {
+			for j := range ins {
+				ins[j] = idx>>uint(j)&1 != 0
+			}
+			for prev := 0; prev < 2; prev++ {
+				want := c.Eval(ins, prev == 1)
+				got := tab[prev]>>uint(idx)&1 != 0
+				if got != want {
+					t.Errorf("%s: tab[%d] bit %d = %v, Eval = %v", name, prev, idx, got, want)
+				}
+			}
+		}
+		if c.Kind != C && c.Kind != Latch && tab[0] != tab[1] {
+			t.Errorf("%s: combinational cell with state-dependent table", name)
+		}
+	}
+}
+
+// Cells wider than 64 table entries must decline a truth table rather
+// than return a truncated one.
+func TestTruthTableWideCell(t *testing.T) {
+	wide := &Cell{Name: "NAND7", Kind: Nand, Inputs: 7}
+	if _, ok := wide.TruthTable(); ok {
+		t.Fatal("7-input cell must not fit a 64-bit truth table")
 	}
 }
 

@@ -241,7 +241,7 @@ func (r *runner) auditComponent(a *AuditResult, comp *ch.Program, mode techmap.M
 			a.fail("%s: map: %v", comp.Name, err)
 			return nil
 		}
-		if err := techmap.CheckMapped(ctrl, nl, r.opt.Lib); err != nil {
+		if err := techmap.CheckMappedOpt(ctrl, nl, r.opt.Lib, techmap.CheckOptions{Pool: r.pool, Ctx: r.ctx}); err != nil {
 			a.fail("%s: mapped-logic audit: %v", comp.Name, err)
 		} else {
 			a.MappedChecked++

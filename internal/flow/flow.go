@@ -384,18 +384,22 @@ func (r *runner) synthesize(comp *ch.Program, mode techmap.Mode) (*gates.Netlist
 		if err != nil {
 			return fmt.Errorf("flow: %s: %w", comp.Name, err)
 		}
-		if mode == techmap.SpeedSplit && !r.opt.SkipAudit {
-			start = time.Now()
-			err := techmap.CheckMapped(ctrl, nl, r.opt.Lib)
-			tm.Observe("audit", time.Since(start))
-			if err != nil {
-				return fmt.Errorf("flow: hazard audit: %w", err)
-			}
-		}
 		return nil
 	})
 	if err != nil {
 		return nil, ControllerResult{}, err
+	}
+	if mode == techmap.SpeedSplit && !r.opt.SkipAudit {
+		// The audit is a composite: its compiled point batches are the
+		// pool-admitted leaves, so it must run outside the mapping's
+		// pool slot (a leaf waiting on nested leaves could deadlock
+		// the pool).
+		start := time.Now()
+		err := techmap.CheckMappedOpt(ctrl, nl, r.opt.Lib, techmap.CheckOptions{Pool: r.pool, Ctx: r.ctx})
+		tm.Observe("audit", time.Since(start))
+		if err != nil {
+			return nil, ControllerResult{}, fmt.Errorf("flow: hazard audit: %w", err)
+		}
 	}
 	return nl, ControllerResult{
 		Name:      comp.Name,

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"balsabm/internal/cell"
 )
@@ -30,6 +31,13 @@ type Netlist struct {
 	Outputs   []int // primary outputs
 	Instances []Instance
 	Const0    int // net tied low (-1 if absent)
+
+	// drv is the lazily-built net→driving-instance index (see
+	// DriverIndex); drvOK marks it valid. Guarded by drvMu so
+	// concurrent audits of a shared netlist stay race-free.
+	drvMu sync.Mutex
+	drv   []int
+	drvOK bool
 }
 
 // New creates an empty netlist.
@@ -64,6 +72,9 @@ func (n *Netlist) AddInstance(cellName string, inputs []int, output int, module 
 	n.Instances = append(n.Instances, Instance{
 		Cell: cellName, Inputs: append([]int(nil), inputs...), Output: output, Module: module,
 	})
+	n.drvMu.Lock()
+	n.drv, n.drvOK = nil, false
+	n.drvMu.Unlock()
 }
 
 // ConstZero returns the tied-low net, creating it on first use.
@@ -74,14 +85,40 @@ func (n *Netlist) ConstZero() int {
 	return n.Const0
 }
 
+// DriverIndex returns the net→driving-instance index (-1 for undriven
+// nets), built lazily and invalidated by AddInstance; Rename and Merge
+// return fresh netlists that build their own. For a net with several
+// drivers (an NL001 error netlint reports) the lowest instance index
+// wins, matching what Driver's original linear scan returned.
+// Instances whose output id is out of range are skipped (netlint
+// audits such malformed netlists; NL000 flags them). The returned
+// slice is shared — callers must not modify it.
+func (n *Netlist) DriverIndex() []int {
+	n.drvMu.Lock()
+	defer n.drvMu.Unlock()
+	if !n.drvOK || len(n.drv) != len(n.NetNames) {
+		drv := make([]int, len(n.NetNames))
+		for i := range drv {
+			drv[i] = -1
+		}
+		for i := range n.Instances {
+			out := n.Instances[i].Output
+			if out >= 0 && out < len(drv) && drv[out] < 0 {
+				drv[out] = i
+			}
+		}
+		n.drv, n.drvOK = drv, true
+	}
+	return n.drv
+}
+
 // Driver returns the instance index driving the net, or -1.
 func (n *Netlist) Driver(net int) int {
-	for i, inst := range n.Instances {
-		if inst.Output == net {
-			return i
-		}
+	drv := n.DriverIndex()
+	if net < 0 || net >= len(drv) {
+		return -1
 	}
-	return -1
+	return drv[net]
 }
 
 // Rename returns a deep copy of the netlist under a new name with net
@@ -130,13 +167,7 @@ func (n *Netlist) Area(lib *cell.Library) float64 {
 // CriticalDelay returns the longest register-free path delay through
 // the netlist (cycles, e.g. state feedback, are cut at re-entry).
 func (n *Netlist) CriticalDelay(lib *cell.Library) float64 {
-	drivers := make([]int, len(n.NetNames))
-	for i := range drivers {
-		drivers[i] = -1
-	}
-	for i, inst := range n.Instances {
-		drivers[inst.Output] = i
-	}
+	drivers := n.DriverIndex()
 	memo := make([]float64, len(n.NetNames))
 	state := make([]int, len(n.NetNames)) // 0 new, 1 visiting, 2 done
 	var arrive func(net int) float64

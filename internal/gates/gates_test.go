@@ -119,6 +119,60 @@ func TestDriverAndCounts(t *testing.T) {
 	}
 }
 
+// The lazy driver index must reflect structural edits: AddInstance
+// invalidates it, interning new nets extends it, and netlists produced
+// by Rename and Merge build their own.
+func TestDriverIndexInvalidation(t *testing.T) {
+	nl := buildHalfAdder()
+	if d := nl.Driver(nl.Net("sum")); d != 0 {
+		t.Fatalf("driver of sum = %d, want 0", d)
+	}
+	// The index is now built; placing a new instance must invalidate it.
+	c := nl.Net("c")
+	maj := nl.Net("maj")
+	nl.AddInstance("AND2", []int{nl.Net("a"), c}, maj, 0)
+	if d := nl.Driver(maj); d != 2 {
+		t.Fatalf("driver of maj = %d after AddInstance, want 2", d)
+	}
+	// A net interned after the index was built is undriven, not
+	// out-of-range.
+	late := nl.Net("late")
+	if d := nl.Driver(late); d != -1 {
+		t.Fatalf("late net has driver %d", d)
+	}
+	// First driver wins for (invalid, NL001-flagged) multi-driven nets,
+	// matching the original linear scan.
+	nl.AddInstance("OR2", []int{nl.Net("a"), c}, nl.Net("sum"), 0)
+	if d := nl.Driver(nl.Net("sum")); d != 0 {
+		t.Fatalf("multi-driven sum resolves to %d, want first driver 0", d)
+	}
+	if d := nl.Driver(-1); d != -1 {
+		t.Fatal("negative net must have no driver")
+	}
+
+	// Rename deep-copies; its index is fresh and edits to the copy must
+	// not leak back.
+	orig := buildHalfAdder()
+	_ = orig.Driver(orig.Net("sum")) // build the original's index
+	cp := orig.Rename("copy", map[string]string{"sum": "total"})
+	if d := cp.Driver(cp.Net("total")); d != 0 {
+		t.Fatalf("renamed copy: driver of total = %d", d)
+	}
+	cp.AddInstance("INV", []int{cp.Net("a")}, cp.Fresh("t"), 0)
+	if len(orig.Instances) != 2 || orig.Driver(orig.Net("sum")) != 0 {
+		t.Fatal("editing the copy disturbed the original")
+	}
+
+	// Merge builds a new netlist through AddInstance; its index must
+	// resolve instances from both parts.
+	m := Merge("both", []*Netlist{buildHalfAdder(), buildHalfAdder()})
+	for _, net := range []string{"sum", "carry"} {
+		if d := m.Driver(m.Net(net)); d < 0 {
+			t.Fatalf("merged netlist: %s undriven", net)
+		}
+	}
+}
+
 func TestVerilogOutput(t *testing.T) {
 	lib := cell.AMS035()
 	nl := buildHalfAdder()

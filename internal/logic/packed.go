@@ -379,3 +379,37 @@ func EvalPointWords(cover []PackedCube, point []uint64) bool {
 	}
 	return false
 }
+
+// EvalCoverLanes evaluates a packed cover on 64 sample points at
+// once: varLanes[v] carries the 64 values of variable v (bit l = the
+// variable's value at point l), and bit l of the result is the
+// cover's value at point l. This is the reference side of the
+// compiled netlist audit: one call replaces 64 EvalPointWords walks.
+func EvalCoverLanes(cover []PackedCube, varLanes []uint64) uint64 {
+	var out uint64
+	for i := range cover {
+		c := &cover[i]
+		acc := ^uint64(0)
+		for w, plane := range c.Ones {
+			for b := plane; b != 0; b &= b - 1 {
+				acc &= varLanes[w<<6|bits.TrailingZeros64(b)]
+				if acc == 0 {
+					break
+				}
+			}
+		}
+		for w, plane := range c.Zeros {
+			for b := plane; b != 0; b &= b - 1 {
+				acc &^= varLanes[w<<6|bits.TrailingZeros64(b)]
+				if acc == 0 {
+					break
+				}
+			}
+		}
+		out |= acc
+		if out == ^uint64(0) {
+			return out
+		}
+	}
+	return out
+}

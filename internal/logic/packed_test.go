@@ -177,6 +177,42 @@ func TestPackedCoverHelpers(t *testing.T) {
 	}
 }
 
+// EvalCoverLanes evaluates 64 points per call; every lane must agree
+// with the per-point EvalPointWords walk, including spaces wider than
+// one word (cube planes span words, the lane result must not).
+func TestEvalCoverLanesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 3, 9, 14, 70} {
+		sp := NewSpace(n)
+		for trial := 0; trial < 20; trial++ {
+			cv := make(Cover, rng.Intn(6))
+			for i := range cv {
+				cv[i] = randCube(rng, n)
+			}
+			pcv := sp.PackCover(cv)
+			// 64 random points, packed both ways.
+			varLanes := make([]uint64, n)
+			points := make([][]bool, 64)
+			for l := range points {
+				points[l] = make([]bool, n)
+				for v := 0; v < n; v++ {
+					if rng.Intn(2) == 1 {
+						points[l][v] = true
+						varLanes[v] |= 1 << uint(l)
+					}
+				}
+			}
+			got := EvalCoverLanes(pcv, varLanes)
+			for l, pt := range points {
+				want := EvalPointWords(pcv, sp.PointWords(pt))
+				if got>>uint(l)&1 != 0 != want {
+					t.Fatalf("n=%d trial=%d lane=%d: got %v want %v", n, trial, l, !want, want)
+				}
+			}
+		}
+	}
+}
+
 func mustParse(t *testing.T, s string) Cube {
 	t.Helper()
 	c, err := ParseCube(s)

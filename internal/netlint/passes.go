@@ -227,17 +227,10 @@ func stateNet(name string) bool {
 }
 
 func runCycles(nl *gates.Netlist, lib *cell.Library, r *Reporter) {
-	// driver[net] = the instance driving it (-1 none). NL001 already
-	// flags multi-driver nets; the walk takes the first driver.
-	driver := make([]int, len(nl.NetNames))
-	for i := range driver {
-		driver[i] = -1
-	}
-	for i, inst := range nl.Instances {
-		if driver[inst.Output] < 0 {
-			driver[inst.Output] = i
-		}
-	}
+	// driver[net] = the instance driving it (-1 none), from the
+	// netlist's cached index. NL001 already flags multi-driver nets;
+	// the walk takes the first driver, as the index records.
+	driver := nl.DriverIndex()
 	cut := make([]bool, len(nl.NetNames))
 	for _, id := range nl.Outputs {
 		cut[id] = true
@@ -303,15 +296,10 @@ func reportCycle(nl *gates.Netlist, r *Reporter, reported map[string]bool, path 
 	// The DFS walks driver edges backwards (output to input), so the
 	// recorded path lists the loop against signal flow; reverse it for
 	// the note, which then reads source → sink.
+	drivers := nl.DriverIndex()
 	for i := len(cycle) - 1; i >= 0; i-- {
 		net := cycle[i]
-		d := -1
-		for j, inst := range nl.Instances {
-			if inst.Output == net {
-				d = j
-				break
-			}
-		}
+		d := drivers[net]
 		if d >= 0 {
 			r.note("net %q driven by g%d(%s)", nl.NetNames[net], d, nl.Instances[d].Cell)
 		} else {

@@ -92,15 +92,10 @@ func criticalSafe(nl *gates.Netlist, lib *cell.Library) float64 {
 
 // depth computes the longest register-free path length in gates, with
 // the same traversal as CriticalDelay (drivers walked backwards from
-// every net, feedback cut at re-entry).
+// every net via the netlist's cached driver index, feedback cut at
+// re-entry).
 func depth(nl *gates.Netlist) int {
-	drivers := make([]int, len(nl.NetNames))
-	for i := range drivers {
-		drivers[i] = -1
-	}
-	for i, inst := range nl.Instances {
-		drivers[inst.Output] = i
-	}
+	drivers := nl.DriverIndex()
 	memo := make([]int, len(nl.NetNames))
 	state := make([]int, len(nl.NetNames)) // 0 new, 1 visiting, 2 done
 	var arrive func(net int) int

@@ -46,9 +46,37 @@ type gateInst struct {
 	ins        []int
 	out        int
 	delay      float64 // cell delay plus fanout loading (set by Init)
+	tab        [2]uint64
+	lutOK      bool // tab is valid: ≤6 inputs, pin count matches
 	hasPending bool
 	pendingVal bool
 	pendingSeq int64
+}
+
+// eval recomputes the gate's output from the current net values. The
+// hot path indexes the cell's cached truth table (cell.TruthTable, so
+// it can never disagree with cell.Eval) instead of allocating an
+// input slice per evaluation; cells the LUT cannot represent fall
+// back to Eval.
+func (g *gateInst) eval(values []bool) bool {
+	if g.lutOK {
+		idx := 0
+		for j, in := range g.ins {
+			if values[in] {
+				idx |= 1 << uint(j)
+			}
+		}
+		prev := 0
+		if values[g.out] {
+			prev = 1
+		}
+		return g.tab[prev]>>uint(idx)&1 != 0
+	}
+	ins := make([]bool, len(g.ins))
+	for i, in := range g.ins {
+		ins[i] = values[in]
+	}
+	return g.cell.Eval(ins, values[g.out])
 }
 
 // FanoutPenalty is the extra delay per additional fanout load on a
@@ -111,6 +139,9 @@ func (s *Simulator) ValueOf(net int) bool { return s.values[net] }
 // AddGate places a library cell instance on global nets.
 func (s *Simulator) AddGate(cellName string, ins []int, out int) {
 	g := gateInst{cell: s.lib.Get(cellName), ins: append([]int(nil), ins...), out: out}
+	if tab, ok := g.cell.TruthTable(); ok && len(g.ins) == g.cell.Inputs {
+		g.tab, g.lutOK = tab, true
+	}
 	idx := len(s.gates)
 	s.gates = append(s.gates, g)
 	for _, in := range g.ins {
@@ -168,11 +199,7 @@ func (s *Simulator) ScheduleNet(net int, val bool, delay float64) {
 // evalGate recomputes a gate and manages its pending output event.
 func (s *Simulator) evalGate(gi int) {
 	g := &s.gates[gi]
-	ins := make([]bool, len(g.ins))
-	for i, in := range g.ins {
-		ins[i] = s.values[in]
-	}
-	out := g.cell.Eval(ins, s.values[g.out])
+	out := g.eval(s.values)
 	switch {
 	case g.hasPending:
 		if out == g.pendingVal {
@@ -230,12 +257,9 @@ func (s *Simulator) Init() error {
 	}
 	for iter := 0; iter < 4*len(s.gates)+16; iter++ {
 		changed := false
-		for _, g := range s.gates {
-			ins := make([]bool, len(g.ins))
-			for i, in := range g.ins {
-				ins[i] = s.values[in]
-			}
-			out := g.cell.Eval(ins, s.values[g.out])
+		for i := range s.gates {
+			g := &s.gates[i]
+			out := g.eval(s.values)
 			if out != s.values[g.out] {
 				s.values[g.out] = out
 				changed = true

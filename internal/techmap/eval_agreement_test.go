@@ -1,0 +1,248 @@
+package techmap
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"balsabm/internal/cell"
+	"balsabm/internal/gates"
+	"balsabm/internal/parallel"
+)
+
+// fuzzNetlist grows a random acyclic netlist from fuzz bytes: a few
+// primary inputs, then gates whose inputs are drawn from earlier nets
+// only. Gates driving forced nets may be stateful (the audit's cut);
+// everything else is combinational, so the interpreted fixpoint is
+// unique and the compiled single pass must land on it exactly.
+func fuzzNetlist(data []byte) (*gates.Netlist, map[int]bool, map[string]bool, bool) {
+	if len(data) < 4 {
+		return nil, nil, nil, false
+	}
+	next := func() byte {
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	nIn := int(next())%4 + 1
+	nGates := int(next())%12 + 1
+	if len(data) < 5*nGates+nIn { // sel + up to 3 pins + forced flag per gate
+		return nil, nil, nil, false
+	}
+	cells := []string{"INV", "BUF", "NAND2", "NAND3", "AND2", "OR2", "NOR2", "XOR2", "C2"}
+	arity := []int{1, 1, 2, 3, 2, 2, 2, 2, 2}
+	nl := gates.New("fuzz")
+	var nets []int
+	for i := 0; i < nIn; i++ {
+		n := nl.Fresh("in")
+		nl.Inputs = append(nl.Inputs, n)
+		nets = append(nets, n)
+	}
+	forced := map[int]bool{}
+	for g := 0; g < nGates; g++ {
+		sel := int(next()) % len(cells)
+		out := nl.Fresh("g")
+		ins := make([]int, arity[sel])
+		for i := range ins {
+			ins[i] = nets[int(next())%len(nets)]
+		}
+		wantForced := next()%4 == 0
+		if cells[sel] == "C2" {
+			wantForced = true // stateful cells must sit on the cut
+		}
+		if wantForced {
+			forced[out] = true
+		}
+		nl.AddInstance(cells[sel], ins, out, 0)
+		nets = append(nets, out)
+	}
+	inputs := map[string]bool{}
+	for _, n := range nl.Inputs {
+		inputs[nl.NetNames[n]] = next()%2 == 1
+	}
+	for f := range forced {
+		// Deterministic forced values derived from the net id, so map
+		// iteration order cannot matter.
+		inputs[nl.NetNames[f]] = f%2 == 1
+	}
+	return nl, forced, inputs, true
+}
+
+// FuzzCompiledEvalAgreement pits the compiled lane engine against the
+// interpreted settle oracle on random netlists: lane 0 of every net
+// must match the fixpoint, and every forced net's probe must match the
+// interpreted driver re-evaluation.
+func FuzzCompiledEvalAgreement(f *testing.F) {
+	f.Add([]byte{2, 3, 0, 0, 1, 2, 1, 0, 1, 8, 0, 1, 1, 1, 0, 1, 0, 1})
+	f.Add([]byte{4, 12, 3, 4, 5, 6, 7, 8, 0, 1, 2, 3, 4, 5, 6, 7, 8, 0,
+		1, 2, 3, 4, 5, 6, 7, 8, 0, 1, 2, 3, 4, 5, 6, 7, 8, 0, 1, 2,
+		3, 4, 5, 6, 7, 8, 0, 1, 2, 3, 4, 5, 6, 7})
+	lib := cell.AMS035()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nl, forced, inputs, ok := fuzzNetlist(data)
+		if !ok {
+			return
+		}
+		want, err := settleForced(nl, lib, inputs, forced)
+		if err != nil {
+			t.Fatalf("oracle did not settle an acyclic netlist: %v", err)
+		}
+		prog, err := gates.Compile(nl, lib, forced)
+		if err != nil {
+			t.Fatalf("acyclic netlist with stateful cells on the cut must compile: %v", err)
+		}
+		ev := prog.NewEval()
+		ev.Reset()
+		for name, v := range inputs {
+			var w uint64
+			if v {
+				w = ^uint64(0)
+			}
+			ev.Set(nl.Net(name), w)
+		}
+		ev.Run()
+		for net, name := range nl.NetNames {
+			got := ev.Word(net)&1 != 0
+			if got != want[net] {
+				t.Errorf("net %s: compiled %v, interpreted %v", name, got, want[net])
+			}
+		}
+		// Probes: the compiled Driver must match re-evaluating the
+		// driving instance against the settled values, prev = forced.
+		drv := nl.DriverIndex()
+		for f := range forced {
+			w, ok := ev.Driver(f)
+			if !ok {
+				if drv[f] >= 0 {
+					t.Errorf("forced net %s lost its probe", nl.NetNames[f])
+				}
+				continue
+			}
+			inst := nl.Instances[drv[f]]
+			ins := make([]bool, len(inst.Inputs))
+			for i, in := range inst.Inputs {
+				ins[i] = want[in]
+			}
+			if got, ref := w&1 != 0, lib.Get(inst.Cell).Eval(ins, want[f]); got != ref {
+				t.Errorf("probe %s: compiled %v, interpreted %v", nl.NetNames[f], got, ref)
+			}
+		}
+	})
+}
+
+// A combinational cycle outside the forced cut must reject compilation
+// and fall back to the interpreted loop — with the same verdict.
+func TestCheckMappedFallsBackOnCycle(t *testing.T) {
+	lib := cell.AMS035()
+	ctrl := controller(t, "sequencer", sequencerSrc)
+	nl, err := MapController(ctrl, SpeedSplit, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bolt a self-loop onto a fresh net: x = OR2(x, in0). It settles
+	// (x follows in0) but a single topological pass cannot order it.
+	x := nl.Fresh("loop")
+	nl.AddInstance("OR2", []int{x, nl.Inputs[0]}, x, 0)
+	forced := map[int]bool{}
+	for _, z := range ctrl.Spec.Outputs {
+		forced[nl.Net(z)] = true
+	}
+	for i := 0; i < ctrl.StateBits; i++ {
+		forced[nl.Net(fmt.Sprintf("y%d", i))] = true
+	}
+	if _, err := gates.Compile(nl, lib, forced); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("compile of cyclic netlist: err = %v", err)
+	}
+	if err := CheckMapped(ctrl, nl, lib); err != nil {
+		t.Fatalf("interpreted fallback rejected a correct netlist: %v", err)
+	}
+}
+
+// tamper flips the cell driving the first primary output so the
+// netlist's function differs from the cover everywhere: INV<->BUF for
+// single-product roots, NANDk->ANDk otherwise.
+func tamper(t *testing.T, nl *gates.Netlist) {
+	t.Helper()
+	d := nl.Driver(nl.Outputs[0])
+	if d < 0 {
+		t.Fatal("output has no driver")
+	}
+	inst := &nl.Instances[d]
+	switch {
+	case inst.Cell == "INV":
+		inst.Cell = "BUF"
+	case inst.Cell == "BUF":
+		inst.Cell = "INV"
+	case strings.HasPrefix(inst.Cell, "NAND"):
+		inst.Cell = "AND" + inst.Cell[len("NAND"):]
+	default:
+		t.Fatalf("unexpected root cell %s", inst.Cell)
+	}
+}
+
+// Both evaluation paths must detect a functional mismatch, with the
+// same error wording.
+func TestCheckMappedDetectsTamper(t *testing.T) {
+	lib := cell.AMS035()
+	ctrl := controller(t, "sequencer", sequencerSrc)
+
+	// Compiled path.
+	nl, err := MapController(ctrl, SpeedSplit, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tamper(t, nl)
+	errCompiled := CheckMapped(ctrl, nl, lib)
+	if errCompiled == nil || !strings.Contains(errCompiled.Error(), "differs from cover") {
+		t.Fatalf("compiled path missed the tamper: %v", errCompiled)
+	}
+
+	// Interpreted path: same tamper plus an uncompilable self-loop.
+	nl2, err := MapController(ctrl, SpeedSplit, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tamper(t, nl2)
+	x := nl2.Fresh("loop")
+	nl2.AddInstance("OR2", []int{x, nl2.Inputs[0]}, x, 0)
+	errInterp := CheckMapped(ctrl, nl2, lib)
+	if errInterp == nil || !strings.Contains(errInterp.Error(), "differs from cover") {
+		t.Fatalf("interpreted path missed the tamper: %v", errInterp)
+	}
+	if errCompiled.Error() != errInterp.Error() {
+		t.Fatalf("paths disagree on the first failing point:\n  compiled:    %v\n  interpreted: %v", errCompiled, errInterp)
+	}
+}
+
+// The verdict — including which sample point an error reports — must
+// not depend on the worker count.
+func TestCheckMappedOptDeterministicAcrossWorkers(t *testing.T) {
+	lib := cell.AMS035()
+	ctrl := controller(t, "call", callSrc)
+	good, err := MapController(ctrl, SpeedSplit, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := MapController(ctrl, SpeedSplit, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tamper(t, bad)
+	var msgs []string
+	for _, workers := range []int{1, 2, 8} {
+		pool := parallel.NewPool(workers)
+		if err := CheckMappedOpt(ctrl, good, lib, CheckOptions{Pool: pool}); err != nil {
+			t.Fatalf("workers=%d: good netlist rejected: %v", workers, err)
+		}
+		err := CheckMappedOpt(ctrl, bad, lib, CheckOptions{Pool: pool})
+		if err == nil {
+			t.Fatalf("workers=%d: tampered netlist passed", workers)
+		}
+		msgs = append(msgs, err.Error())
+	}
+	for _, m := range msgs[1:] {
+		if m != msgs[0] {
+			t.Fatalf("error depends on worker count:\n  %s\n  %s", msgs[0], m)
+		}
+	}
+}

@@ -23,7 +23,9 @@
 package techmap
 
 import (
+	"context"
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -31,6 +33,7 @@ import (
 	"balsabm/internal/gates"
 	"balsabm/internal/logic"
 	"balsabm/internal/minimalist"
+	"balsabm/internal/parallel"
 )
 
 // Mode selects the mapping style.
@@ -420,36 +423,104 @@ func (r Report) String() string {
 // peephole folds outputs into feedback state); they are validated
 // dynamically by driving them through the specification (package sim).
 func CheckMapped(ctrl *minimalist.Controller, nl *gates.Netlist, lib *cell.Library) error {
+	return CheckMappedOpt(ctrl, nl, lib, CheckOptions{})
+}
+
+// CheckOptions tunes CheckMapped's execution. The verdict is
+// identical for every option combination.
+type CheckOptions struct {
+	// Pool admits the sample-point batches as leaf work units; nil
+	// uses the process-wide default pool. CheckMappedOpt fans out
+	// composite batches itself, so it must not be called while the
+	// caller already holds a slot of the same pool.
+	Pool *parallel.Pool
+	// Ctx cancels the audit between batches; nil means background.
+	Ctx context.Context
+}
+
+// mappedCheck is one audited function: a named output or state bit,
+// its net, and its packed reference cover.
+type mappedCheck struct {
+	kind  string // "output" or "state bit"
+	name  string
+	net   int
+	cover []logic.PackedCube
+}
+
+// CheckMappedOpt is CheckMapped with explicit pool/context. The fast
+// path compiles the netlist once (gates.Compile with the forced nets
+// as cut points) and sweeps the sample space 64 points per pass, each
+// pass checked word-parallel against the packed reference covers
+// (logic.EvalCoverLanes); point batches fan out deterministically
+// over the worker pool. When the netlist does not compile — a
+// combinational cycle the forced cut misses, a stateful cell outside
+// the cut — it falls back to the interpreted per-point reference
+// loop.
+func CheckMappedOpt(ctrl *minimalist.Controller, nl *gates.Netlist, lib *cell.Library, opt CheckOptions) error {
 	vars := ctrl.Vars
-	// Forced evaluation: state nets are inputs for the audit, so
-	// instances driving them must be ignored. Build a sub-netlist view
-	// by renaming: easier to settle with forcing below.
-	// Outputs are fed back as state variables, so the audit forces them
-	// too and evaluates every function through its driving instance.
-	forced := map[int]bool{}
+	// Forced evaluation: outputs are fed back as state variables and
+	// y* nets hold the excitation state, so the audit forces both and
+	// evaluates every function through its driving instance. State-bit
+	// names are computed once, not per sample point.
+	yNames := make([]string, ctrl.StateBits)
+	for i := range yNames {
+		yNames[i] = fmt.Sprintf("y%d", i)
+	}
+	forced := make(map[int]bool, len(ctrl.Spec.Outputs)+len(yNames))
 	for _, z := range ctrl.Spec.Outputs {
 		forced[nl.Net(z)] = true
 	}
-	for i := 0; i < ctrl.StateBits; i++ {
-		forced[nl.Net(fmt.Sprintf("y%d", i))] = true
+	for _, y := range yNames {
+		forced[nl.Net(y)] = true
 	}
 	exhaustive := len(vars) <= 14
 	total := 1 << 14
 	if exhaustive {
 		total = 1 << len(vars)
 	}
-	// Pack every reference cover once; each sampled point then
-	// evaluates word-parallel instead of per-literal per cube.
+	// Pack every reference cover once; sampled points then evaluate
+	// word-parallel instead of per-literal per cube. Outputs are
+	// checked in specification order, then the extra state bits.
 	space := logic.NewSpace(len(vars))
-	packedOut := make(map[string][]logic.PackedCube, len(ctrl.Outputs))
-	for z, cv := range ctrl.Outputs {
-		packedOut[z] = space.PackCover(cv)
+	checks := make([]mappedCheck, 0, len(ctrl.Spec.Outputs)+len(ctrl.NextState))
+	for _, z := range ctrl.Spec.Outputs {
+		checks = append(checks, mappedCheck{kind: "output", name: z, net: nl.Net(z), cover: space.PackCover(ctrl.Outputs[z])})
 	}
-	packedNext := make([][]logic.PackedCube, len(ctrl.NextState))
 	for i, cv := range ctrl.NextState {
-		packedNext[i] = space.PackCover(cv)
+		checks = append(checks, mappedCheck{kind: "state bit", name: yNames[i], net: nl.Net(yNames[i]), cover: space.PackCover(cv)})
 	}
-	point := make([]bool, len(vars))
+	// Every checked net must have a driving instance to recompute.
+	drv := nl.DriverIndex()
+	for _, ck := range checks {
+		if drv[ck.net] < 0 {
+			return fmt.Errorf("techmap: %s: net %s has no driver", nl.Name, ck.name)
+		}
+	}
+	varNets := make([]int, len(vars))
+	for i, v := range vars {
+		varNets[i] = -1
+		if nl.HasNet(v) {
+			varNets[i] = nl.Net(v)
+		}
+	}
+	if prog, err := gates.Compile(nl, lib, forced); err == nil {
+		return checkMappedCompiled(nl, prog, vars, varNets, checks, total, exhaustive, opt)
+	}
+	return checkMappedInterpreted(nl, lib, space, vars, varNets, forced, checks, total, exhaustive)
+}
+
+// sampleLanes generates the audit's sample points packed 64 to a
+// block: block b, variable i holds points 64b..64b+63 of the sweep —
+// the full 2^n space when exhaustive, the pseudo-random stream
+// otherwise (the same LCG stream, in the same order, as the
+// interpreted loop draws).
+func sampleLanes(nVars, total int, exhaustive bool) [][]uint64 {
+	blocks := (total + 63) / 64
+	words := make([][]uint64, blocks)
+	flat := make([]uint64, blocks*nVars)
+	for b := range words {
+		words[b] = flat[b*nVars : (b+1)*nVars : (b+1)*nVars]
+	}
 	rng := uint64(0x9e3779b97f4a7c15)
 	for p := 0; p < total; p++ {
 		sample := uint64(p)
@@ -457,43 +528,140 @@ func CheckMapped(ctrl *minimalist.Controller, nl *gates.Netlist, lib *cell.Libra
 			rng = rng*6364136223846793005 + 1442695040888963407
 			sample = rng >> 16
 		}
-		assign := map[string]bool{}
-		for i, v := range vars {
-			point[i] = sample&(1<<uint(i)) != 0
-			assign[v] = point[i]
+		w := words[p>>6]
+		bit := uint64(1) << uint(p&63)
+		for i := 0; i < nVars; i++ {
+			if sample&(1<<uint(i)) != 0 {
+				w[i] |= bit
+			}
 		}
-		pw := space.PointWords(point)
-		vals, err := settleForced(nl, lib, assign, forced)
-		if err != nil {
+	}
+	return words
+}
+
+// assignAt rebuilds the variable assignment of one lane for an error
+// message.
+func assignAt(vars []string, words []uint64, lane int) map[string]bool {
+	assign := make(map[string]bool, len(vars))
+	for i, v := range vars {
+		assign[v] = words[i]>>uint(lane)&1 != 0
+	}
+	return assign
+}
+
+// blocksPerBatch is the number of 64-point blocks one pool leaf
+// settles: 16K points make 256 blocks, so batches of 32 give the pool
+// eight leaves per audited controller without per-block scheduling
+// overhead.
+const blocksPerBatch = 32
+
+func checkMappedCompiled(nl *gates.Netlist, prog *gates.Program, vars []string, varNets []int, checks []mappedCheck, total int, exhaustive bool, opt CheckOptions) error {
+	words := sampleLanes(len(vars), total, exhaustive)
+	batches := (len(words) + blocksPerBatch - 1) / blocksPerBatch
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// parallel.MapCtx keeps error selection deterministic (lowest
+	// failing batch wins) and each batch scans its blocks in order, so
+	// the reported mismatch is the lowest failing sample point at any
+	// worker count.
+	_, err := parallel.MapCtx(ctx, opt.Pool, batches, func(bi int) (struct{}, error) {
+		ev := prog.NewEval()
+		lo := bi * blocksPerBatch
+		hi := min(lo+blocksPerBatch, len(words))
+		for b := lo; b < hi; b++ {
+			w := words[b]
+			ev.Reset()
+			for i, net := range varNets {
+				if net >= 0 {
+					ev.Set(net, w[i])
+				}
+			}
+			ev.Run()
+			valid := ^uint64(0)
+			if rem := total - b*64; rem < 64 {
+				valid = 1<<uint(rem) - 1
+			}
+			for _, ck := range checks {
+				got, _ := ev.Driver(ck.net)
+				want := logic.EvalCoverLanes(ck.cover, w)
+				if diff := (got ^ want) & valid; diff != 0 {
+					lane := bits.TrailingZeros64(diff)
+					return struct{}{}, fmt.Errorf("techmap: %s: %s %s differs from cover at %v",
+						nl.Name, ck.kind, ck.name, assignAt(vars, w, lane))
+				}
+			}
+		}
+		return struct{}{}, nil
+	})
+	return err
+}
+
+// checkMappedInterpreted is the reference path: the interpreted
+// settle loop per sample point, with the per-point garbage hoisted —
+// value, point and scratch buffers are reused across the sweep and
+// driver lookups go through the netlist's driver index.
+func checkMappedInterpreted(nl *gates.Netlist, lib *cell.Library, space *logic.Space, vars []string, varNets []int, forced map[int]bool, checks []mappedCheck, total int, exhaustive bool) error {
+	drv := nl.DriverIndex()
+	maxIns := 0
+	for i := range nl.Instances {
+		if n := len(nl.Instances[i].Inputs); n > maxIns {
+			maxIns = n
+		}
+	}
+	ins := make([]bool, maxIns)
+	vals := make([]bool, len(nl.NetNames))
+	point := make([]bool, len(vars))
+	pw := make([]uint64, space.Words())
+	rng := uint64(0x9e3779b97f4a7c15)
+	for p := 0; p < total; p++ {
+		sample := uint64(p)
+		if !exhaustive {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			sample = rng >> 16
+		}
+		for i := range vals {
+			vals[i] = false
+		}
+		for i := range pw {
+			pw[i] = 0
+		}
+		for i := range vars {
+			point[i] = sample&(1<<uint(i)) != 0
+			if point[i] {
+				pw[i>>6] |= 1 << uint(i&63)
+			}
+			if net := varNets[i]; net >= 0 {
+				vals[net] = point[i]
+			}
+		}
+		if err := settleForcedVals(nl, lib, vals, forced, ins); err != nil {
 			return err
 		}
-		for z := range ctrl.Outputs {
-			got, err := evalDriver(nl, lib, vals, z)
-			if err != nil {
-				return err
+		for _, ck := range checks {
+			inst := &nl.Instances[drv[ck.net]]
+			c := lib.Get(inst.Cell)
+			scratch := ins[:len(inst.Inputs)]
+			for i, in := range inst.Inputs {
+				scratch[i] = vals[in]
 			}
-			if got != logic.EvalPointWords(packedOut[z], pw) {
-				return fmt.Errorf("techmap: %s: output %s differs from cover at %v", nl.Name, z, assign)
-			}
-		}
-		for i := range ctrl.NextState {
-			name := fmt.Sprintf("y%d", i)
-			// The excitation net is forced in the audit; recompute the
-			// driving instance's output explicitly.
-			got, err := evalDriver(nl, lib, vals, name)
-			if err != nil {
-				return err
-			}
-			if got != logic.EvalPointWords(packedNext[i], pw) {
-				return fmt.Errorf("techmap: %s: state bit %s differs from cover at %v", nl.Name, name, assign)
+			got := c.Eval(scratch, vals[ck.net])
+			if got != logic.EvalPointWords(ck.cover, pw) {
+				assign := make(map[string]bool, len(vars))
+				for i, v := range vars {
+					assign[v] = point[i]
+				}
+				return fmt.Errorf("techmap: %s: %s %s differs from cover at %v", nl.Name, ck.kind, ck.name, assign)
 			}
 		}
 	}
 	return nil
 }
 
-// settleForced evaluates combinational logic with certain nets held at
-// externally-assigned values.
+// settleForced evaluates combinational logic with certain nets held
+// at externally-assigned values. It is the interpreted reference the
+// compiled engine is fuzz-tested against (FuzzCompiledEvalAgreement).
 func settleForced(nl *gates.Netlist, lib *cell.Library, inputs map[string]bool, forced map[int]bool) ([]bool, error) {
 	vals := make([]bool, len(nl.NetNames))
 	for name, v := range inputs {
@@ -502,6 +670,22 @@ func settleForced(nl *gates.Netlist, lib *cell.Library, inputs map[string]bool, 
 		}
 		vals[nl.Net(name)] = v
 	}
+	maxIns := 0
+	for i := range nl.Instances {
+		if n := len(nl.Instances[i].Inputs); n > maxIns {
+			maxIns = n
+		}
+	}
+	if err := settleForcedVals(nl, lib, vals, forced, make([]bool, maxIns)); err != nil {
+		return nil, err
+	}
+	return vals, nil
+}
+
+// settleForcedVals is settleForced's core loop over a caller-owned
+// value vector (already holding the external assignments) and input
+// scratch, so the audit's fallback path allocates nothing per point.
+func settleForcedVals(nl *gates.Netlist, lib *cell.Library, vals []bool, forced map[int]bool, ins []bool) error {
 	for iter := 0; iter < 4*len(nl.Instances)+16; iter++ {
 		changed := false
 		for _, inst := range nl.Instances {
@@ -509,38 +693,21 @@ func settleForced(nl *gates.Netlist, lib *cell.Library, inputs map[string]bool, 
 				continue
 			}
 			c := lib.Get(inst.Cell)
-			ins := make([]bool, len(inst.Inputs))
+			scratch := ins[:len(inst.Inputs)]
 			for i, in := range inst.Inputs {
-				ins[i] = vals[in]
+				scratch[i] = vals[in]
 			}
-			out := c.Eval(ins, vals[inst.Output])
+			out := c.Eval(scratch, vals[inst.Output])
 			if out != vals[inst.Output] {
 				vals[inst.Output] = out
 				changed = true
 			}
 		}
 		if !changed {
-			return vals, nil
+			return nil
 		}
 	}
-	return nil, fmt.Errorf("techmap: %s: audit evaluation did not settle", nl.Name)
-}
-
-// evalDriver evaluates the instance driving the named net under the
-// settled values (used for forced feedback nets).
-func evalDriver(nl *gates.Netlist, lib *cell.Library, vals []bool, name string) (bool, error) {
-	net := nl.Net(name)
-	d := nl.Driver(net)
-	if d < 0 {
-		return false, fmt.Errorf("techmap: %s: net %s has no driver", nl.Name, name)
-	}
-	inst := nl.Instances[d]
-	c := lib.Get(inst.Cell)
-	ins := make([]bool, len(inst.Inputs))
-	for i, in := range inst.Inputs {
-		ins[i] = vals[in]
-	}
-	return c.Eval(ins, vals[net]), nil
+	return fmt.Errorf("techmap: %s: audit evaluation did not settle", nl.Name)
 }
 
 // ModuleAreas returns per-module area (the paper's three-module split:

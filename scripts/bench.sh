@@ -5,6 +5,7 @@
 #
 #   scripts/bench.sh                          # every benchmark, 1 iteration
 #   scripts/bench.sh 'BenchmarkTable3' 5x     # Table 3 rows, 5 iterations
+#   scripts/bench.sh 'BenchmarkCheckMapped'   # the mapped-logic audit kernel
 #
 # BENCH_PKG selects the package(s) to benchmark (default: the root
 # package). The kernel micro-benchmarks live under internal/:
