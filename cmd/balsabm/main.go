@@ -32,6 +32,14 @@
 //	balsabm artifacts <design> <dir>
 //	                          write the Fig 1 file pipeline (.bms, .sol,
 //	                          .v per controller, both arms) into dir
+//	balsabm cache <stats|gc|verify> <data-dir> [max-bytes]
+//	                          inspect or maintain a balsabmd data
+//	                          directory offline: stats summarizes
+//	                          artifacts/refs/journal/checkpoints, gc
+//	                          evicts oldest blobs past max-bytes and
+//	                          sweeps dangling refs, verify re-hashes
+//	                          every artifact (exit 1 on corruption).
+//	                          -json emits the wire structs.
 //	balsabm designs           list benchmark designs
 //
 // Flags (before the subcommand):
@@ -68,6 +76,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"syscall"
 
@@ -81,6 +90,7 @@ import (
 	"balsabm/internal/flow"
 	"balsabm/internal/minimalist"
 	"balsabm/internal/server"
+	"balsabm/internal/store"
 	"balsabm/internal/techmap"
 )
 
@@ -194,6 +204,8 @@ func main() {
 		err = flowReport(ctx, args)
 	case "artifacts":
 		err = artifacts(args)
+	case "cache":
+		err = cacheCmd(args)
 	case "designs":
 		for _, d := range designs.All() {
 			fmt.Println(d.Name)
@@ -216,8 +228,88 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: balsabm [-j N] [-stats] [-json] [-server URL] [-cpuprofile FILE] [-memprofile FILE] <table1|table2|table3|fig2|fig3|fig4|fig5|verify|flow|lint|netlint|audit|artifacts|designs> [args]`)
+	fmt.Fprintln(os.Stderr, `usage: balsabm [-j N] [-stats] [-json] [-server URL] [-cpuprofile FILE] [-memprofile FILE] <table1|table2|table3|fig2|fig3|fig4|fig5|verify|flow|lint|netlint|audit|artifacts|cache|designs> [args]`)
 	flag.PrintDefaults()
+}
+
+// cacheCmd inspects or maintains a balsabmd data directory without the
+// daemon: stats, gc (optionally bounded), and a full artifact
+// re-hashing pass. Opening the store also replays + compacts the
+// journal and sweeps stray temp files, so even `cache stats` leaves
+// the directory tidier than it found it.
+func cacheCmd(args []string) error {
+	if len(args) < 2 || len(args) > 3 {
+		return fmt.Errorf("usage: balsabm cache <stats|gc|verify> <data-dir> [max-bytes]")
+	}
+	op, dir := args[0], args[1]
+	if dir == "" {
+		return fmt.Errorf("cache: empty data-dir")
+	}
+	var maxBytes int64
+	if len(args) == 3 {
+		var err error
+		maxBytes, err = strconv.ParseInt(args[2], 10, 64)
+		if err != nil || maxBytes < 0 {
+			return fmt.Errorf("cache: bad max-bytes %q", args[2])
+		}
+		if op != "gc" {
+			return fmt.Errorf("cache: max-bytes only applies to gc")
+		}
+	}
+	// Open without a bound so inspection never evicts; gc applies the
+	// bound explicitly below.
+	s, err := store.Open(dir, 0)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	switch op {
+	case "stats":
+		st, err := s.Stats()
+		if err != nil {
+			return err
+		}
+		if *jsonFlag {
+			return emitJSON(st)
+		}
+		fmt.Printf("artifacts:   %d (%d bytes)\n", st.Artifacts, st.ArtifactBytes)
+		fmt.Printf("refs:        %d\n", st.Refs)
+		fmt.Printf("jobs:        %d journaled, %d resumable\n", st.Jobs, st.Interrupted)
+		fmt.Printf("checkpoints: %d stage payloads\n", st.Checkpoints)
+		return nil
+	case "gc":
+		s.SetMaxBytes(maxBytes)
+		res, err := s.GC()
+		if err != nil {
+			return err
+		}
+		if *jsonFlag {
+			return emitJSON(res)
+		}
+		fmt.Printf("evicted %d blobs (%d bytes), dropped %d dangling refs; %d blobs (%d bytes) live\n",
+			res.Evicted, res.FreedBytes, res.DanglingRefs, res.LiveBlobs, res.LiveBytes)
+		return nil
+	case "verify":
+		res, err := s.Verify()
+		if err != nil {
+			return err
+		}
+		if *jsonFlag {
+			if err := emitJSON(res); err != nil {
+				return err
+			}
+		} else {
+			fmt.Printf("checked %d artifacts, %d corrupt\n", res.Checked, len(res.Corrupt))
+			for _, h := range res.Corrupt {
+				fmt.Printf("  corrupt: %s\n", h)
+			}
+		}
+		if len(res.Corrupt) > 0 {
+			return fmt.Errorf("cache: %d corrupt artifacts", len(res.Corrupt))
+		}
+		return nil
+	}
+	return fmt.Errorf("cache: unknown operation %q", op)
 }
 
 // errLintFindings reports that lint printed error diagnostics; main

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	balsabmd [-addr :8337] [-jobs N] [-queue N]
+//	balsabmd [-addr :8337] [-jobs N] [-queue N] [-data-dir DIR]
 //
 // Flags:
 //
@@ -14,12 +14,25 @@
 //	        additionally fans leaf work across its own flow pool
 //	-queue  queued-job bound; submissions beyond it get HTTP 503
 //	        (default 64)
+//	-data-dir DIR
+//	        persist state under DIR (see internal/store): completed
+//	        results survive restarts in a content-addressed artifact
+//	        cache, every job is journaled, and in-flight jobs
+//	        checkpoint each completed pipeline stage. On boot the
+//	        journal replays — finished jobs reappear with their
+//	        results, interrupted ones re-enqueue and resume from
+//	        their last checkpoint. Empty (the default) keeps
+//	        everything in memory.
+//	-cache-max-bytes N
+//	        artifact-cache size bound; oldest blobs are evicted past
+//	        it (0 = unbounded; only meaningful with -data-dir)
 //	-pprof  serve net/http/pprof on this extra address (e.g.
 //	        localhost:6060); off by default so profiling endpoints
 //	        are never exposed on the service port
 //
-// See package balsabm/internal/server for the API, and `balsabm
-// -server URL ...` for the thin client.
+// See package balsabm/internal/server for the API, `balsabm -server
+// URL ...` for the thin client, and `balsabm cache` for offline
+// data-dir inspection.
 package main
 
 import (
@@ -36,17 +49,38 @@ import (
 
 	"balsabm/internal/parallel"
 	"balsabm/internal/server"
+	"balsabm/internal/store"
 )
 
 func main() {
 	addr := flag.String("addr", ":8337", "listen address")
 	jobs := flag.Int("jobs", 2, "jobs executing concurrently")
 	queue := flag.Int("queue", 64, "maximum queued jobs")
+	dataDir := flag.String("data-dir", "", "persist results, journal and checkpoints under this directory (empty = in-memory only)")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "artifact-cache size bound for eviction (0 = unbounded; requires -data-dir)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
 
-	srv := server.New(server.Config{Workers: *jobs, QueueDepth: *queue})
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		st, err = store.Open(*dataDir, *cacheMax)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "balsabmd:", err)
+			os.Exit(1)
+		}
+	} else if *cacheMax != 0 {
+		fmt.Fprintln(os.Stderr, "balsabmd: -cache-max-bytes requires -data-dir")
+		os.Exit(1)
+	}
+
+	srv := server.New(server.Config{Workers: *jobs, QueueDepth: *queue, Store: st})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	if st != nil {
+		m := srv.Manager().Metrics()
+		fmt.Fprintf(os.Stderr, "balsabmd: data dir %s (%d artifacts on disk, %d jobs resumed)\n",
+			*dataDir, m.Store.Artifacts, m.JobsResumed)
+	}
 
 	if *pprofAddr != "" {
 		// A dedicated mux on a dedicated listener: the profiling
@@ -68,13 +102,20 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	shutdownDone := make(chan struct{})
 	parallel.Go(func() {
+		defer close(shutdownDone)
 		<-ctx.Done()
 		fmt.Fprintln(os.Stderr, "balsabmd: shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		httpSrv.Shutdown(shutdownCtx)
 		srv.Close() // cancels in-flight jobs at their next leaf boundary
+		if st != nil {
+			// Interrupted jobs carry no terminal journal record, so the
+			// next boot re-enqueues them; their checkpoints stay put.
+			st.Close()
+		}
 	})
 
 	fmt.Fprintf(os.Stderr, "balsabmd: listening on %s (%d executors, queue %d)\n",
@@ -83,4 +124,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, "balsabmd:", err)
 		os.Exit(1)
 	}
+	<-shutdownDone // journal is synced before the process exits
 }

@@ -118,11 +118,19 @@ type JobStatus struct {
 	// or in flight, so this job did not re-run the flow.
 	Dedup bool `json:"dedup,omitempty"`
 	// Key is the job's canonical dedup key digest.
-	Key      string `json:"key,omitempty"`
-	Error    string `json:"error,omitempty"`
-	Created  string `json:"created,omitempty"`
-	Started  string `json:"started,omitempty"`
-	Finished string `json:"finished,omitempty"`
+	Key string `json:"key,omitempty"`
+	// Disk reports that the job's result came from the on-disk artifact
+	// cache — a prior daemon run (or an earlier job this run) already
+	// synthesized the identical design and its blob survived restart.
+	Disk bool `json:"disk,omitempty"`
+	// ResumedFrom names the last pipeline stage checkpointed before the
+	// daemon was interrupted, for jobs re-enqueued from the journal at
+	// boot; completed stages restore from disk instead of recomputing.
+	ResumedFrom string `json:"resumedFrom,omitempty"`
+	Error       string `json:"error,omitempty"`
+	Created     string `json:"created,omitempty"`
+	Started     string `json:"started,omitempty"`
+	Finished    string `json:"finished,omitempty"`
 }
 
 // ControllerJSON mirrors flow.ControllerResult.
@@ -222,13 +230,18 @@ type JobResult struct {
 // Event is one element of a job's progress stream.
 type Event struct {
 	Seq  int64  `json:"seq"`
-	Type string `json:"type"` // "state", "stage", "lint", "error"
+	Type string `json:"type"` // "state", "stage", "checkpoint", "lint", "error"
 	// State carries the new job state for "state" events.
 	State string `json:"state,omitempty"`
 	// Dedup marks the terminal "state" event of a dedup-served job.
 	Dedup bool `json:"dedup,omitempty"`
-	// Stage fields carry cumulative per-stage counters for "stage"
-	// events (see parallel.Timings).
+	// Disk marks the terminal "state" event of a job served from the
+	// on-disk artifact cache.
+	Disk bool `json:"disk,omitempty"`
+	// Stage carries the persisted stage name for "checkpoint" events
+	// (emitted when a pipeline stage's payload lands in the durable
+	// store), and cumulative per-stage counters for "stage" events (see
+	// parallel.Timings).
 	Stage       string `json:"stage,omitempty"`
 	Count       int64  `json:"count,omitempty"`
 	TotalMicros int64  `json:"totalMicros,omitempty"`
@@ -267,10 +280,40 @@ type MetricsJSON struct {
 	EnumNodes      int64                `json:"enumNodes"`
 	BranchNodes    int64                `json:"branchNodes"`
 	Stages         map[string]StageJSON `json:"stages"`
+	// Result-cache tiers: a submitted job is answered from the on-disk
+	// artifact store (StoreDiskHits), the in-memory single-flight memo
+	// (StoreMemHits), or executes the flow afresh (StoreMisses).
+	StoreDiskHits int64 `json:"storeDiskHits"`
+	StoreMemHits  int64 `json:"storeMemHits"`
+	StoreMisses   int64 `json:"storeMisses"`
+	// JobsResumed counts jobs re-enqueued from the journal at boot —
+	// submissions that never reached a terminal state before the
+	// previous daemon process stopped.
+	JobsResumed int64 `json:"jobsResumed"`
+	// Checkpoint traffic across every executed job: stages persisted to
+	// the durable store and stages restored from it.
+	CheckpointsSaved    int64 `json:"checkpointsSaved"`
+	CheckpointsRestored int64 `json:"checkpointsRestored"`
+	// Store summarizes the artifact cache on disk; present only when the
+	// daemon runs with a data directory.
+	Store *StoreStatsJSON `json:"store,omitempty"`
 	// NetlintDiags counts netlist diagnostics by NLxxx code across
 	// every flow the daemon ran (also exported as
 	// balsabmd_netlint_diags_total{code=...}).
 	NetlintDiags map[string]int64 `json:"netlintDiags,omitempty"`
+}
+
+// StoreStatsJSON summarizes the daemon's on-disk artifact store
+// (mirrors store.Stats; present in MetricsJSON only when the daemon
+// runs with a data directory).
+type StoreStatsJSON struct {
+	Artifacts     int   `json:"artifacts"`
+	ArtifactBytes int64 `json:"artifactBytes"`
+	Refs          int   `json:"refs"`
+	Checkpoints   int   `json:"checkpoints"`
+	// Corrupt counts artifacts that failed read-back verification this
+	// daemon session (each was removed and recomputed).
+	Corrupt int64 `json:"corrupt"`
 }
 
 // FromControllerResult converts one controller summary.

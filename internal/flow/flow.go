@@ -153,6 +153,12 @@ type Metrics struct {
 	EnumNodes      parallel.Counter
 	BranchNodes    parallel.Counter
 
+	// Checkpoint traffic: stages persisted to the run's CheckpointSink
+	// and stages restored from it (restored stages skip computation —
+	// nonzero loads mean the run resumed earlier work).
+	CheckpointSaves parallel.Counter
+	CheckpointLoads parallel.Counter
+
 	lintMu     sync.Mutex
 	lint       []LintFinding
 	lintNotify func(LintFinding)
@@ -233,6 +239,10 @@ func (m *Metrics) String() string {
 		s += fmt.Sprintf("hfmin: %d/%d functions exact, %d enum nodes, %d branch nodes\n",
 			m.MinimizeExact.Load(), n, m.EnumNodes.Load(), m.BranchNodes.Load())
 	}
+	if n := m.CheckpointSaves.Load() + m.CheckpointLoads.Load(); n > 0 {
+		s += fmt.Sprintf("checkpoints: %d saved, %d restored\n",
+			m.CheckpointSaves.Load(), m.CheckpointLoads.Load())
+	}
 	if t := m.Timings.String(); t != "" {
 		s += t
 	}
@@ -266,6 +276,12 @@ type Options struct {
 	// Metrics, when non-nil, receives cache and timing counters for
 	// the run.
 	Metrics *Metrics
+	// Checkpoint, when non-nil, persists each completed per-design
+	// pipeline stage (clustering, each finished arm) and is consulted
+	// before computing one — the hook behind the daemon's
+	// checkpoint/resume. Payloads are deterministic, so resuming from a
+	// sink produces byte-identical results to an uninterrupted run.
+	Checkpoint CheckpointSink
 }
 
 // withDefaults returns a copy of the options with defaults filled in.
@@ -549,10 +565,16 @@ func (r *runner) runDesign(d *designs.Design) (*DesignResult, error) {
 		return nil, err
 	}
 	res := &DesignResult{Design: d.Name}
+	ck := r.ckpt(d.Name)
 
 	// Unoptimized arm: the original component netlist with the
 	// baseline (hand-library-quality) mapping.
 	unopt := func() error {
+		var cp armCheckpoint
+		if ck.load(StageUnopt, &cp) {
+			res.Unopt, res.Bench = cp.Arm, cp.Bench
+			return nil
+		}
 		mapped, ctrls, err := r.synthesizeNetlist(d.Control(), techmap.AreaShared)
 		if err != nil {
 			return fmt.Errorf("unoptimized arm: %w", err)
@@ -571,20 +593,31 @@ func (r *runner) runDesign(d *designs.Design) (*DesignResult, error) {
 		}
 		res.Unopt.BenchTime, res.Unopt.DatapathArea, res.Unopt.Events = t, dpArea, events
 		res.Bench = benchDesc
+		ck.save(StageUnopt, armCheckpoint{Arm: res.Unopt, Bench: res.Bench})
 		return nil
 	}
 
 	// Optimized arm: clustering, then speed-mode split-mapped
 	// synthesis (the paper's new back-end).
 	opt := func() error {
-		clOpt := r.opt.Cluster
-		clOpt.Pool = r.pool // clustering probes draw from the same budget
-		clOpt.Ctx = r.ctx   // and cancel with the same run
-		start := time.Now()
-		optNetlist, report, err := core.OptimizeOpt(d.Control(), clOpt)
-		r.met.Timings.Observe("cluster", time.Since(start))
-		if err != nil {
-			return fmt.Errorf("clustering: %w", err)
+		var cp armCheckpoint
+		if ck.load(StageOpt, &cp) {
+			res.Opt, res.Report = cp.Arm, cp.Report
+			return nil
+		}
+		optNetlist, report, ok := ck.loadCluster()
+		if !ok {
+			clOpt := r.opt.Cluster
+			clOpt.Pool = r.pool // clustering probes draw from the same budget
+			clOpt.Ctx = r.ctx   // and cancel with the same run
+			start := time.Now()
+			var err error
+			optNetlist, report, err = core.OptimizeOpt(d.Control(), clOpt)
+			r.met.Timings.Observe("cluster", time.Since(start))
+			if err != nil {
+				return fmt.Errorf("clustering: %w", err)
+			}
+			ck.saveCluster(optNetlist, report)
 		}
 		res.Report = report
 		mapped, ctrls, err := r.synthesizeNetlist(optNetlist, techmap.SpeedSplit)
@@ -604,6 +637,7 @@ func (r *runner) runDesign(d *designs.Design) (*DesignResult, error) {
 			return fmt.Errorf("optimized arm: %w", err)
 		}
 		res.Opt.BenchTime, res.Opt.DatapathArea, res.Opt.Events = t, dpArea, events
+		ck.save(StageOpt, armCheckpoint{Arm: res.Opt, Report: res.Report})
 		return nil
 	}
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"strings"
@@ -18,6 +19,7 @@ import (
 	"balsabm/internal/designs"
 	"balsabm/internal/flow"
 	"balsabm/internal/parallel"
+	"balsabm/internal/store"
 	"balsabm/internal/techmap"
 )
 
@@ -37,6 +39,14 @@ type Config struct {
 	// Clock supplies timestamps for job statuses; nil means time.Now.
 	// Tests inject a fixed clock.
 	Clock func() time.Time
+	// Store, when non-nil, makes the manager durable: completed results
+	// land in the content-addressed artifact cache (consulted before the
+	// in-memory memo on every run), job history is journaled, in-flight
+	// jobs checkpoint each completed pipeline stage, and NewManager
+	// replays the journal — re-enqueueing jobs the previous process
+	// never finished. The caller owns the store and closes it after
+	// Manager.Close.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -69,13 +79,21 @@ type Job struct {
 	cancel context.CancelFunc
 	events *broker
 	met    *flow.Metrics
-	exec   func(ctx context.Context, met *flow.Metrics) (*api.JobResult, error)
+	exec   func(ctx context.Context, met *flow.Metrics, ck flow.CheckpointSink) (*api.JobResult, error)
 
-	mu       sync.Mutex
-	state    string
-	dedup    bool
-	err      string
-	result   *api.JobResult
+	mu    sync.Mutex
+	state string
+	dedup bool
+	// disk marks a result served from the on-disk artifact cache.
+	disk bool
+	// resumedFrom names the last checkpointed stage of a job re-enqueued
+	// from the journal at boot ("" when it restarts from scratch).
+	resumedFrom string
+	err         string
+	result      *api.JobResult
+	// load lazily fetches the result of a journal-replayed done job from
+	// the artifact store (nil for jobs that completed in this process).
+	load     func() *api.JobResult
 	created  time.Time
 	started  time.Time
 	finished time.Time
@@ -87,13 +105,15 @@ func (j *Job) Status() api.JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := api.JobStatus{
-		ID:      j.ID,
-		Kind:    j.Req.Kind,
-		State:   j.state,
-		Dedup:   j.dedup,
-		Key:     j.Key,
-		Error:   j.err,
-		Created: j.created.UTC().Format(time.RFC3339Nano),
+		ID:          j.ID,
+		Kind:        j.Req.Kind,
+		State:       j.state,
+		Dedup:       j.dedup,
+		Disk:        j.disk,
+		ResumedFrom: j.resumedFrom,
+		Key:         j.Key,
+		Error:       j.err,
+		Created:     j.created.UTC().Format(time.RFC3339Nano),
 	}
 	if !j.started.IsZero() {
 		st.Started = j.started.UTC().Format(time.RFC3339Nano)
@@ -104,10 +124,16 @@ func (j *Job) Status() api.JobStatus {
 	return st
 }
 
-// Result returns the job's result once done (nil otherwise).
+// Result returns the job's result once done (nil otherwise). For jobs
+// replayed done from the journal, the blob loads from the artifact
+// store on first access; a blob since evicted by GC yields nil (the
+// job's status stays done — resubmitting the request recomputes it).
 func (j *Job) Result() *api.JobResult {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.result == nil && j.load != nil {
+		j.result = j.load()
+	}
 	return j.result
 }
 
@@ -130,6 +156,7 @@ type Manager struct {
 	wg     sync.WaitGroup
 	queue  chan *Job
 	memo   parallel.Memo[*api.JobResult]
+	store  *store.Store // nil = in-memory only
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -150,9 +177,23 @@ type Manager struct {
 	enumNodes   parallel.Counter
 	branchNodes parallel.Counter
 	aggTimings  parallel.Timings
+
+	// Result-cache tiers (run's lookup order: disk, then memo, then
+	// fresh execution) and durability traffic.
+	storeDiskHits parallel.Counter
+	storeMemHits  parallel.Counter
+	storeMisses   parallel.Counter
+	jobsResumed   parallel.Counter
+	ckptSaves     parallel.Counter
+	ckptLoads     parallel.Counter
 }
 
 // NewManager starts a manager with cfg.Workers executor goroutines.
+// With a configured store, the journal replays first: finished jobs
+// reappear with their terminal states (results load lazily from the
+// artifact cache), and jobs the previous process never finished are
+// re-enqueued ahead of new submissions, resuming from their last
+// checkpointed stage.
 func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
@@ -160,9 +201,19 @@ func NewManager(cfg Config) *Manager {
 		cfg:          cfg,
 		ctx:          ctx,
 		cancel:       cancel,
-		queue:        make(chan *Job, cfg.QueueDepth),
+		store:        cfg.Store,
 		jobs:         map[string]*Job{},
 		netlintDiags: map[string]int64{},
+	}
+	var resumable []*Job
+	if m.store != nil {
+		resumable = m.replayJournal()
+	}
+	// The queue grows by the resumed backlog so replay can never
+	// overflow it; new submissions still see cfg.QueueDepth slots.
+	m.queue = make(chan *Job, cfg.QueueDepth+len(resumable))
+	for _, j := range resumable {
+		m.queue <- j
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
@@ -197,9 +248,38 @@ func (m *Manager) Submit(req api.JobRequest) (*Job, error) {
 		state:  api.StateQueued,
 		done:   make(chan struct{}),
 	}
-	// Forward the job's stage completions to its progress stream and
-	// fold them into the daemon-wide stage totals.
 	j.events.publish(api.Event{Type: "state", State: api.StateQueued})
+	m.hookJob(j)
+
+	m.mu.Lock()
+	m.nextID++
+	j.ID = fmt.Sprintf("j%05d", m.nextID)
+	j.created = m.cfg.Clock()
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Unlock()
+		cancel()
+		return nil, ErrQueueFull
+	}
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	// Journal the accepted submission inside the lock, so the journal's
+	// record order matches ID order and a replayed List comes back in
+	// the same sequence clients saw before the restart.
+	if m.store != nil {
+		if body, err := json.Marshal(req); err == nil {
+			m.store.AppendSubmit(j.ID, j.Key, req.Kind, body, m.stamp(j.created))
+		}
+	}
+	m.mu.Unlock()
+	return j, nil
+}
+
+// hookJob forwards a job's stage completions to its progress stream
+// (folding them into the daemon-wide stage totals) and streams its
+// lint-gate findings. Shared by Submit and the boot-time replay.
+func (m *Manager) hookJob(j *Job) {
 	j.met.Timings.Notify(func(stage string, d time.Duration, s parallel.Stage) {
 		m.aggTimings.Observe(stage, d)
 		j.events.publish(api.Event{
@@ -220,22 +300,12 @@ func (m *Manager) Submit(req api.JobRequest) (*Job, error) {
 		d.Circuit = f.Circuit()
 		j.events.publish(api.Event{Type: "lint", Netlint: &d})
 	})
+}
 
-	m.mu.Lock()
-	m.nextID++
-	j.ID = fmt.Sprintf("j%05d", m.nextID)
-	j.created = m.cfg.Clock()
-	select {
-	case m.queue <- j:
-	default:
-		m.mu.Unlock()
-		cancel()
-		return nil, ErrQueueFull
-	}
-	m.jobs[j.ID] = j
-	m.order = append(m.order, j.ID)
-	m.mu.Unlock()
-	return j, nil
+// stamp formats a journal timestamp (UTC RFC3339Nano, matching the
+// wire form of job statuses).
+func (m *Manager) stamp(t time.Time) string {
+	return t.UTC().Format(time.RFC3339Nano)
 }
 
 // Get returns a job by ID.
@@ -269,6 +339,13 @@ func (m *Manager) Cancel(id string) bool {
 	j.mu.Lock()
 	if j.state == api.StateQueued {
 		j.mu.Unlock()
+		// A user cancellation is final: journal it so the job does not
+		// come back after a restart. (Jobs cancelled by daemon shutdown
+		// never get a cancel record — they stay non-terminal in the
+		// journal and resume on the next boot.)
+		if m.store != nil && m.ctx.Err() == nil {
+			m.store.AppendCancel(j.ID, m.stamp(m.cfg.Clock()))
+		}
 		m.finish(j, api.StateCanceled, nil, context.Canceled)
 	} else {
 		j.mu.Unlock()
@@ -291,7 +368,11 @@ func (m *Manager) worker() {
 	}
 }
 
-// run executes one dequeued job through the dedup memo.
+// run executes one dequeued job: the on-disk artifact cache answers
+// first (tier "disk"), then the in-process single-flight memo (tier
+// "memory"), and only a miss on both executes the flow — with each
+// completed pipeline stage checkpointed to the store so a crashed
+// daemon resumes instead of restarting.
 func (m *Manager) run(j *Job) {
 	j.mu.Lock()
 	if terminal(j.state) { // canceled while queued
@@ -300,29 +381,48 @@ func (m *Manager) run(j *Job) {
 	}
 	j.state = api.StateRunning
 	j.started = m.cfg.Clock()
+	started := j.started
 	j.mu.Unlock()
+	if m.store != nil {
+		m.store.AppendStart(j.ID, m.stamp(started))
+	}
 	j.events.publish(api.Event{Type: "state", State: api.StateRunning})
 
+	if res := m.diskLookup(j); res != nil {
+		m.storeDiskHits.Add(1)
+		j.mu.Lock()
+		j.disk = true
+		j.mu.Unlock()
+		m.journalDone(j, res)
+		m.finish(j, api.StateDone, res, nil)
+		return
+	}
+
 	res, hit, err := m.memo.Do(j.Key, func() (*api.JobResult, error) {
-		return j.exec(j.ctx, j.met)
+		return j.exec(j.ctx, j.met, m.sink(j))
 	})
 	if hit {
 		m.dedupHits.Add(1)
+		m.storeMemHits.Add(1)
 		j.mu.Lock()
 		j.dedup = true
 		j.mu.Unlock()
 	} else {
 		m.dedupMisses.Add(1)
+		m.storeMisses.Add(1)
 		m.flowHits.Add(j.met.CacheHits.Load())
 		m.flowMisses.Add(j.met.CacheMisses.Load())
 		m.minExact.Add(j.met.MinimizeExact.Load())
 		m.minGreedy.Add(j.met.MinimizeGreedy.Load())
 		m.enumNodes.Add(j.met.EnumNodes.Load())
 		m.branchNodes.Add(j.met.BranchNodes.Load())
+		m.ckptSaves.Add(j.met.CheckpointSaves.Load())
+		m.ckptLoads.Add(j.met.CheckpointLoads.Load())
 		m.countNetlint(j.met.NetlintFindings(), err)
 	}
 	switch {
 	case err == nil:
+		m.journalDone(j, res)
 		m.finish(j, api.StateDone, res, nil)
 	case j.ctx.Err() != nil || errors.Is(err, context.Canceled):
 		// A cancelled run is not a property of the design; un-memoize
@@ -330,8 +430,16 @@ func (m *Manager) run(j *Job) {
 		if !hit {
 			m.memo.Forget(j.Key)
 		}
+		// Only user cancellations are journaled as final (see Cancel);
+		// a shutdown-cancelled job resumes on the next boot.
+		if m.store != nil && m.ctx.Err() == nil {
+			m.store.AppendCancel(j.ID, m.stamp(m.cfg.Clock()))
+		}
 		m.finish(j, api.StateCanceled, nil, err)
 	default:
+		if m.store != nil {
+			m.store.AppendFail(j.ID, err.Error(), m.stamp(m.cfg.Clock()))
+		}
 		m.finish(j, api.StateFailed, nil, err)
 	}
 }
@@ -350,9 +458,9 @@ func (m *Manager) finish(j *Job, state string, res *api.JobResult, err error) {
 	if err != nil {
 		j.err = err.Error()
 	}
-	dedup := j.dedup
+	dedup, disk := j.dedup, j.disk
 	j.mu.Unlock()
-	ev := api.Event{Type: "state", State: state, Dedup: dedup}
+	ev := api.Event{Type: "state", State: state, Dedup: dedup, Disk: disk}
 	if err != nil {
 		ev.Error = err.Error()
 	}
@@ -400,6 +508,24 @@ func (m *Manager) Metrics() *api.MetricsJSON {
 		EnumNodes:       m.enumNodes.Load(),
 		BranchNodes:     m.branchNodes.Load(),
 		Stages:          map[string]api.StageJSON{},
+
+		StoreDiskHits:       m.storeDiskHits.Load(),
+		StoreMemHits:        m.storeMemHits.Load(),
+		StoreMisses:         m.storeMisses.Load(),
+		JobsResumed:         m.jobsResumed.Load(),
+		CheckpointsSaved:    m.ckptSaves.Load(),
+		CheckpointsRestored: m.ckptLoads.Load(),
+	}
+	if m.store != nil {
+		if st, err := m.store.Stats(); err == nil {
+			out.Store = &api.StoreStatsJSON{
+				Artifacts:     st.Artifacts,
+				ArtifactBytes: st.ArtifactBytes,
+				Refs:          st.Refs,
+				Checkpoints:   st.Checkpoints,
+				Corrupt:       st.Corrupt,
+			}
+		}
 	}
 	for _, j := range m.List() {
 		j.mu.Lock()
@@ -446,8 +572,11 @@ func netlistKey(n *core.Netlist) string {
 
 // prepare validates a request and returns its executor closure and
 // dedup key. All parsing happens here, at submission time, so a
-// malformed request fails synchronously with a 400-class error.
-func prepare(req api.JobRequest) (func(context.Context, *flow.Metrics) (*api.JobResult, error), string, error) {
+// malformed request fails synchronously with a 400-class error. The
+// executor receives the job's checkpoint sink (nil without a store)
+// and threads it into the flow, so long runs persist each completed
+// stage.
+func prepare(req api.JobRequest) (func(context.Context, *flow.Metrics, flow.CheckpointSink) (*api.JobResult, error), string, error) {
 	cfgKey := req.Config.Key()
 	switch req.Kind {
 	case api.KindDesign:
@@ -456,8 +585,10 @@ func prepare(req api.JobRequest) (func(context.Context, *flow.Metrics) (*api.Job
 			return nil, "", err
 		}
 		key := fmt.Sprintf("design|%s|%s|%s", req.Design, cfgKey, netlistKey(d.Control()))
-		exec := func(ctx context.Context, met *flow.Metrics) (*api.JobResult, error) {
-			r, err := flow.RunDesignCtx(ctx, d, req.Config.Options(met))
+		exec := func(ctx context.Context, met *flow.Metrics, ck flow.CheckpointSink) (*api.JobResult, error) {
+			opt := req.Config.Options(met)
+			opt.Checkpoint = ck
+			r, err := flow.RunDesignCtx(ctx, d, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -467,8 +598,10 @@ func prepare(req api.JobRequest) (func(context.Context, *flow.Metrics) (*api.Job
 
 	case api.KindTable3:
 		key := fmt.Sprintf("table3|%s", cfgKey)
-		exec := func(ctx context.Context, met *flow.Metrics) (*api.JobResult, error) {
-			rs, err := flow.RunAllCtx(ctx, req.Config.Options(met))
+		exec := func(ctx context.Context, met *flow.Metrics, ck flow.CheckpointSink) (*api.JobResult, error) {
+			opt := req.Config.Options(met)
+			opt.Checkpoint = ck
+			rs, err := flow.RunAllCtx(ctx, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -489,8 +622,8 @@ func prepare(req api.JobRequest) (func(context.Context, *flow.Metrics) (*api.Job
 			return nil, "", fmt.Errorf("server: unknown mode %q", req.Mode)
 		}
 		key := fmt.Sprintf("synth|%s|%s|%s", mode, cfgKey, netlistKey(n))
-		exec := func(ctx context.Context, met *flow.Metrics) (*api.JobResult, error) {
-			return runSynth(ctx, n, mode, req.Config, met)
+		exec := func(ctx context.Context, met *flow.Metrics, ck flow.CheckpointSink) (*api.JobResult, error) {
+			return runSynth(ctx, n, mode, req.Config, met, ck)
 		}
 		return exec, key, nil
 	}
@@ -519,10 +652,20 @@ func parseSource(req api.JobRequest) (*core.Netlist, error) {
 	return nil, fmt.Errorf("server: unknown source format %q", req.Format)
 }
 
+// synthClusterCheckpoint is the payload of a KindSynth job's completed
+// clustering stage: the clustered netlist round-trips as CH text, the
+// report in its wire form.
+type synthClusterCheckpoint struct {
+	Netlist string          `json:"netlist"`
+	Report  *api.ReportJSON `json:"report"`
+}
+
 // runSynth is the executor for submitted designs: optional clustering,
 // then synthesis and mapping of every controller, returning summary
-// numbers and structural Verilog per controller.
-func runSynth(ctx context.Context, n *core.Netlist, mode string, cfg api.FlowConfig, met *flow.Metrics) (*api.JobResult, error) {
+// numbers and structural Verilog per controller. The clustering stage
+// checkpoints to ck (when durable), so a daemon interrupted mid-job
+// resumes with the clustered netlist instead of re-deriving it.
+func runSynth(ctx context.Context, n *core.Netlist, mode string, cfg api.FlowConfig, met *flow.Metrics, ck flow.CheckpointSink) (*api.JobResult, error) {
 	// Pre-synthesis lint gate, mirroring the flow's runDesign: error
 	// findings fail the job before clustering or synthesis start;
 	// warnings stream to subscribers via the metrics lint hook.
@@ -533,17 +676,26 @@ func runSynth(ctx context.Context, n *core.Netlist, mode string, cfg api.FlowCon
 	tmMode := techmap.AreaShared
 	if mode == api.ModeOpt {
 		tmMode = techmap.SpeedSplit
-		var rep *core.Report
-		var err error
-		start := time.Now()
-		n, rep, err = core.OptimizeOpt(n, core.Options{
-			MaxStates: cfg.MaxStates, Workers: cfg.Workers, Ctx: ctx,
-		})
-		met.Timings.Observe("cluster", time.Since(start))
-		if err != nil {
-			return nil, err
+		if clustered, rep, ok := loadSynthCluster(ck); ok {
+			n, out.Report = clustered, rep
+			met.CheckpointLoads.Add(1)
+		} else {
+			var rep *core.Report
+			var err error
+			start := time.Now()
+			n, rep, err = core.OptimizeOpt(n, core.Options{
+				MaxStates: cfg.MaxStates, Workers: cfg.Workers, Ctx: ctx,
+			})
+			met.Timings.Observe("cluster", time.Since(start))
+			if err != nil {
+				return nil, err
+			}
+			out.Report = api.FromReport(rep)
+			saveSynthCluster(ck, n, out.Report)
+			if ck != nil {
+				met.CheckpointSaves.Add(1)
+			}
 		}
-		out.Report = api.FromReport(rep)
 	}
 	opts := cfg.Options(met)
 	mapped, ctrls, err := flow.SynthesizeNetlistCtx(ctx, n, tmMode, opts)

@@ -45,6 +45,34 @@ func PrometheusText(m *api.MetricsJSON) string {
 	line("# TYPE balsabmd_flow_cache_misses_total counter")
 	line("balsabmd_flow_cache_misses_total %d", m.FlowCacheMisses)
 
+	line("# HELP balsabmd_store_hits_total Results served from the result cache, by tier (disk = on-disk artifact store, memory = in-process memo).")
+	line("# TYPE balsabmd_store_hits_total counter")
+	line("balsabmd_store_hits_total{tier=%q} %d", "disk", m.StoreDiskHits)
+	line("balsabmd_store_hits_total{tier=%q} %d", "memory", m.StoreMemHits)
+	line("# HELP balsabmd_store_misses_total Jobs that missed every result-cache tier and executed the flow.")
+	line("# TYPE balsabmd_store_misses_total counter")
+	line("balsabmd_store_misses_total %d", m.StoreMisses)
+
+	line("# HELP balsabmd_jobs_resumed_total Jobs re-enqueued from the journal at boot.")
+	line("# TYPE balsabmd_jobs_resumed_total counter")
+	line("balsabmd_jobs_resumed_total %d", m.JobsResumed)
+	line("# HELP balsabmd_checkpoints_total Pipeline-stage checkpoints, by direction.")
+	line("# TYPE balsabmd_checkpoints_total counter")
+	line("balsabmd_checkpoints_total{op=%q} %d", "restored", m.CheckpointsRestored)
+	line("balsabmd_checkpoints_total{op=%q} %d", "saved", m.CheckpointsSaved)
+
+	if m.Store != nil {
+		line("# HELP balsabmd_store_artifacts Result blobs in the artifact cache.")
+		line("# TYPE balsabmd_store_artifacts gauge")
+		line("balsabmd_store_artifacts %d", m.Store.Artifacts)
+		line("# HELP balsabmd_store_artifact_bytes Bytes held by the artifact cache.")
+		line("# TYPE balsabmd_store_artifact_bytes gauge")
+		line("balsabmd_store_artifact_bytes %d", m.Store.ArtifactBytes)
+		line("# HELP balsabmd_store_corrupt_total Artifacts that failed read-back verification this session.")
+		line("# TYPE balsabmd_store_corrupt_total counter")
+		line("balsabmd_store_corrupt_total %d", m.Store.Corrupt)
+	}
+
 	line("# HELP balsabmd_minimize_functions_total Functions minimized, by solver path.")
 	line("# TYPE balsabmd_minimize_functions_total counter")
 	line("balsabmd_minimize_functions_total{path=%q} %d", "exact", m.MinimizeExact)

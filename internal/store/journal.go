@@ -1,0 +1,262 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Journal record operations. One JSON record per line; the file is
+// append-only and fsync'd per append, so the log survives crashes (a
+// torn final line — a crash mid-append — is detected and dropped on
+// replay).
+const (
+	opSubmit     = "submit"     // job accepted: id, key, kind, request body, created
+	opStart      = "start"      // job picked by an executor: id, started
+	opCheckpoint = "checkpoint" // pipeline stage persisted: id, key, stage
+	opDone       = "done"       // job finished: id, artifact content hash, finished
+	opFail       = "fail"       // job failed: id, error, finished
+	opCancel     = "cancel"     // job cancelled by a user: id, finished
+)
+
+// record is one journal line.
+type record struct {
+	Op    string          `json:"op"`
+	ID    string          `json:"id,omitempty"`
+	Key   string          `json:"key,omitempty"`
+	Kind  string          `json:"kind,omitempty"`
+	Req   json.RawMessage `json:"req,omitempty"`
+	Stage string          `json:"stage,omitempty"`
+	Blob  string          `json:"blob,omitempty"`
+	Err   string          `json:"err,omitempty"`
+	Time  string          `json:"time,omitempty"` // RFC3339Nano, stamped by the manager's clock
+}
+
+// JobRecord is one job's aggregated journal state after replay.
+type JobRecord struct {
+	ID      string
+	Key     string
+	Kind    string
+	Request []byte // the api.JobRequest JSON recorded at submission
+	// State is "done", "failed" or "canceled" for terminal jobs and ""
+	// for jobs that were submitted or running when the daemon stopped —
+	// those are resumable.
+	State       string
+	Error       string
+	Blob        string // artifact content hash recorded at completion
+	Created     string
+	Started     string
+	Finished    string
+	Checkpoints []string // stage names in journal (checkpoint) order
+}
+
+// Terminal reports whether the job reached a final state before the
+// journal ended.
+func (r JobRecord) Terminal() bool { return r.State != "" }
+
+// journal is the append side of the log.
+type journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// openJournal replays path (missing = empty), compacts it, and returns
+// the appender plus the replayed jobs in submission order.
+func openJournal(path string) (*journal, []JobRecord, error) {
+	jobs, err := replay(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := compact(path, jobs); err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: opening journal: %w", err)
+	}
+	return &journal{f: f, path: path}, jobs, nil
+}
+
+// replay folds the journal into per-job records. Unparseable lines
+// (only ever the torn final line of a crashed append) are skipped.
+func replay(path string) ([]JobRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("store: opening journal: %w", err)
+	}
+	defer f.Close()
+	var jobs []JobRecord
+	index := map[string]int{} // job id -> jobs index
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal(line, &r); err != nil {
+			continue // torn tail of a crashed append
+		}
+		switch r.Op {
+		case opSubmit:
+			if _, ok := index[r.ID]; ok {
+				continue // duplicate submit: first wins
+			}
+			index[r.ID] = len(jobs)
+			jobs = append(jobs, JobRecord{
+				ID: r.ID, Key: r.Key, Kind: r.Kind,
+				Request: append([]byte(nil), r.Req...),
+				Created: r.Time,
+			})
+		default:
+			i, ok := index[r.ID]
+			if !ok {
+				continue // record for an unknown job: drop
+			}
+			j := &jobs[i]
+			switch r.Op {
+			case opStart:
+				j.Started = r.Time
+			case opCheckpoint:
+				j.Checkpoints = append(j.Checkpoints, r.Stage)
+			case opDone:
+				j.State, j.Blob, j.Finished = "done", r.Blob, r.Time
+			case opFail:
+				j.State, j.Error, j.Finished = "failed", r.Err, r.Time
+			case opCancel:
+				j.State, j.Finished = "canceled", r.Time
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("store: replaying journal: %w", err)
+	}
+	return jobs, nil
+}
+
+// compact atomically rewrites the journal to its minimal equivalent:
+// one submit plus one terminal record per finished job, and submit +
+// start + checkpoint records for jobs that must resume. Dead records
+// (superseded checkpoints of finished jobs, start records of finished
+// jobs) are dropped, which bounds journal growth across restarts.
+func compact(path string, jobs []JobRecord) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	var encErr error
+	add := func(r record) {
+		if err := enc.Encode(r); err != nil && encErr == nil {
+			encErr = err
+		}
+	}
+	for _, j := range jobs {
+		add(record{Op: opSubmit, ID: j.ID, Key: j.Key, Kind: j.Kind,
+			Req: json.RawMessage(j.Request), Time: j.Created})
+		switch j.State {
+		case "done":
+			add(record{Op: opDone, ID: j.ID, Blob: j.Blob, Time: j.Finished})
+		case "failed":
+			add(record{Op: opFail, ID: j.ID, Err: j.Error, Time: j.Finished})
+		case "canceled":
+			add(record{Op: opCancel, ID: j.ID, Time: j.Finished})
+		default: // resumable: keep its progress
+			if j.Started != "" {
+				add(record{Op: opStart, ID: j.ID, Time: j.Started})
+			}
+			for _, stage := range j.Checkpoints {
+				add(record{Op: opCheckpoint, ID: j.ID, Key: j.Key, Stage: stage})
+			}
+		}
+	}
+	if encErr != nil {
+		return fmt.Errorf("store: compacting journal: %w", encErr)
+	}
+	if err := writeAtomic(path, buf.Bytes()); err != nil {
+		return fmt.Errorf("store: compacting journal: %w", err)
+	}
+	return nil
+}
+
+// append writes one record and fsyncs. Append durability is the
+// restart-survival contract: once a submission is acknowledged, a
+// crash cannot lose it.
+func (j *journal) append(r record) error {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("store: encoding journal record: %w", err)
+	}
+	data = append(data, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("store: journal closed")
+	}
+	if _, err := j.f.Write(data); err != nil {
+		return fmt.Errorf("store: appending journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("store: syncing journal: %w", err)
+	}
+	return nil
+}
+
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// ---------------------------------------------------------------------
+// The manager-facing append API. Timestamps are passed in, already
+// formatted, so the store never reads a clock — the daemon owns its
+// stopwatches (and tests inject fixed ones).
+
+// AppendSubmit journals an accepted job with its serialized request.
+func (s *Store) AppendSubmit(id, key, kind string, req []byte, created string) error {
+	return s.journal.append(record{Op: opSubmit, ID: id, Key: key, Kind: kind,
+		Req: json.RawMessage(req), Time: created})
+}
+
+// AppendStart journals a job entering execution.
+func (s *Store) AppendStart(id, started string) error {
+	return s.journal.append(record{Op: opStart, ID: id, Time: started})
+}
+
+// AppendCheckpoint journals one persisted pipeline stage.
+func (s *Store) AppendCheckpoint(id, key, stage string) error {
+	return s.journal.append(record{Op: opCheckpoint, ID: id, Key: key, Stage: stage})
+}
+
+// AppendDone journals a completed job and its artifact hash.
+func (s *Store) AppendDone(id, blob, finished string) error {
+	return s.journal.append(record{Op: opDone, ID: id, Blob: blob, Time: finished})
+}
+
+// AppendFail journals a failed job.
+func (s *Store) AppendFail(id, errMsg, finished string) error {
+	return s.journal.append(record{Op: opFail, ID: id, Err: errMsg, Time: finished})
+}
+
+// AppendCancel journals a user-cancelled job. Jobs cancelled by daemon
+// shutdown are deliberately not journaled as cancelled: they stay
+// non-terminal in the log and resume on the next boot.
+func (s *Store) AppendCancel(id, finished string) error {
+	return s.journal.append(record{Op: opCancel, ID: id, Time: finished})
+}
+
+// JournalPath returns the journal file location (used by tests and
+// `balsabm cache stats`).
+func (s *Store) JournalPath() string { return filepath.Join(s.dir, "journal.jsonl") }

@@ -1,0 +1,341 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openTemp(t *testing.T, maxBytes int64) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openTemp(t, 0)
+	blob := []byte("{\n  \"kind\": \"design\"\n}\n")
+	ch, err := s.PutResult("design|ssem|k", blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch != contentHash(blob) {
+		t.Fatalf("content hash %s, want %s", ch, contentHash(blob))
+	}
+	got, err := s.GetResult("design|ssem|k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatalf("round trip altered blob: %q != %q", got, blob)
+	}
+	if got, err := s.GetResult("no-such-key"); err != nil || got != nil {
+		t.Fatalf("missing key: got %q err %v, want nil/nil", got, err)
+	}
+}
+
+func TestSharedBlobAcrossKeys(t *testing.T) {
+	s := openTemp(t, 0)
+	blob := []byte("same result\n")
+	h1, err := s.PutResult("key-a", blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := s.PutResult("key-b", blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("identical blobs got different hashes %s / %s", h1, h2)
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Artifacts != 1 || st.Refs != 2 {
+		t.Fatalf("stats artifacts=%d refs=%d, want 1/2", st.Artifacts, st.Refs)
+	}
+}
+
+func TestCorruptionDetectedAndHealed(t *testing.T) {
+	s := openTemp(t, 0)
+	blob := []byte("precious bytes\n")
+	ch, err := s.PutResult("k", blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte on disk behind the store's back.
+	if err := os.WriteFile(s.blobPath(ch), []byte("tampered bytes!\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetResult("k"); err == nil {
+		t.Fatal("GetResult returned tampered blob without error")
+	}
+	// Self-healed: the corrupt entry is gone, the key reads as a miss.
+	got, err := s.GetResult("k")
+	if err != nil || got != nil {
+		t.Fatalf("after corruption: got %q err %v, want miss", got, err)
+	}
+	st, _ := s.Stats()
+	if st.Corrupt != 1 {
+		t.Fatalf("corrupt counter = %d, want 1", st.Corrupt)
+	}
+	// And a fresh Put restores service.
+	if _, err := s.PutResult("k", blob); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.GetResult("k"); err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("after re-put: got %q err %v", got, err)
+	}
+}
+
+func TestGCSizeBoundEvictsOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0) // unbounded while seeding
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Three 100-byte blobs with strictly increasing mtimes.
+	var hashes []string
+	for i := 0; i < 3; i++ {
+		blob := append(bytes.Repeat([]byte{byte('a' + i)}, 99), '\n')
+		h, err := s.PutResult(fmt.Sprintf("key-%d", i), blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashes = append(hashes, h)
+		mt := time.Unix(1000+int64(i), 0)
+		if err := os.Chtimes(s.blobPath(h), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.maxBytes = 250 // room for two blobs
+	res, err := s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evicted != 1 || res.FreedBytes != 100 {
+		t.Fatalf("GC evicted=%d freed=%d, want 1/100", res.Evicted, res.FreedBytes)
+	}
+	if res.DanglingRefs != 1 {
+		t.Fatalf("GC dangling refs = %d, want 1", res.DanglingRefs)
+	}
+	// The oldest blob went; the newer two survive.
+	if _, err := os.Stat(s.blobPath(hashes[0])); !os.IsNotExist(err) {
+		t.Fatal("oldest blob survived GC")
+	}
+	for _, h := range hashes[1:] {
+		if _, err := os.Stat(s.blobPath(h)); err != nil {
+			t.Fatalf("newer blob %s evicted: %v", h, err)
+		}
+	}
+	// The evicted key reads as a clean miss.
+	if got, err := s.GetResult("key-0"); err != nil || got != nil {
+		t.Fatalf("evicted key: got %q err %v, want miss", got, err)
+	}
+}
+
+func TestVerifyReportsCorruption(t *testing.T) {
+	s := openTemp(t, 0)
+	ch, err := s.PutResult("k", []byte("good\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Verify()
+	if err != nil || res.Checked != 1 || len(res.Corrupt) != 0 {
+		t.Fatalf("clean verify: %+v err %v", res, err)
+	}
+	if err := os.WriteFile(s.blobPath(ch), []byte("bad!\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Corrupt) != 1 || res.Corrupt[0] != ch {
+		t.Fatalf("verify corrupt = %v, want [%s]", res.Corrupt, ch)
+	}
+}
+
+func TestCheckpointDir(t *testing.T) {
+	s := openTemp(t, 0)
+	ck := s.Checkpoints("job-key")
+	if _, ok := ck.Load("ssem/unopt"); ok {
+		t.Fatal("load of unsaved stage succeeded")
+	}
+	ck.Save("ssem/unopt", []byte("arm payload"))
+	ck.Save("ssem/cluster", []byte("cluster payload"))
+	got, ok := ck.Load("ssem/unopt")
+	if !ok || string(got) != "arm payload" {
+		t.Fatalf("load = %q/%v", got, ok)
+	}
+	stages := ck.Stages()
+	if len(stages) != 2 || stages[0] != "ssem/cluster" || stages[1] != "ssem/unopt" {
+		t.Fatalf("stages = %v", stages)
+	}
+	// A different key sees nothing.
+	if got := s.Checkpoints("other-key").Stages(); len(got) != 0 {
+		t.Fatalf("foreign key sees stages %v", got)
+	}
+	if err := s.DeleteCheckpoints("job-key"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Checkpoints("job-key").Stages(); len(got) != 0 {
+		t.Fatalf("stages survive deletion: %v", got)
+	}
+}
+
+func TestJournalReplayAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := []byte(`{"kind":"design","design":"ssem"}`)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.AppendSubmit("j00001", "key-1", "design", req, "t1"))
+	must(s.AppendStart("j00001", "t2"))
+	must(s.AppendDone("j00001", "blobhash", "t3"))
+	must(s.AppendSubmit("j00002", "key-2", "design", req, "t4"))
+	must(s.AppendStart("j00002", "t5"))
+	must(s.AppendCheckpoint("j00002", "key-2", "ssem/cluster"))
+	must(s.AppendCheckpoint("j00002", "key-2", "ssem/unopt"))
+	must(s.AppendSubmit("j00003", "key-3", "synth", req, "t6"))
+	must(s.AppendCancel("j00003", "t7"))
+	s.Close() // clean close; j00002 deliberately left non-terminal
+
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	jobs := s2.Jobs()
+	if len(jobs) != 3 {
+		t.Fatalf("replayed %d jobs, want 3", len(jobs))
+	}
+	j1, j2, j3 := jobs[0], jobs[1], jobs[2]
+	if j1.ID != "j00001" || j1.State != "done" || j1.Blob != "blobhash" || j1.Created != "t1" || j1.Finished != "t3" {
+		t.Fatalf("job 1 replayed as %+v", j1)
+	}
+	if j2.ID != "j00002" || j2.Terminal() || j2.Started != "t5" {
+		t.Fatalf("job 2 replayed as %+v", j2)
+	}
+	if len(j2.Checkpoints) != 2 || j2.Checkpoints[0] != "ssem/cluster" || j2.Checkpoints[1] != "ssem/unopt" {
+		t.Fatalf("job 2 checkpoints = %v", j2.Checkpoints)
+	}
+	if !bytes.Equal(j2.Request, req) {
+		t.Fatalf("job 2 request = %s", j2.Request)
+	}
+	if j3.State != "canceled" {
+		t.Fatalf("job 3 replayed as %+v", j3)
+	}
+}
+
+func TestJournalToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendSubmit("j00001", "k", "design", []byte(`{}`), "t1"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Simulate a crash mid-append: garbage with no trailing newline.
+	f, err := os.OpenFile(filepath.Join(dir, "journal.jsonl"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"done","id":"j000`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	jobs := s2.Jobs()
+	if len(jobs) != 1 || jobs[0].Terminal() {
+		t.Fatalf("replay after torn tail: %+v", jobs)
+	}
+	// Compaction removed the torn line: a third open sees the same.
+	data, err := os.ReadFile(s2.JournalPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte(`j000"`)) || !bytes.HasSuffix(data, []byte("\n")) {
+		t.Fatalf("compacted journal still torn:\n%s", data)
+	}
+}
+
+func TestJournalCompactionDropsDeadRecords(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.AppendSubmit("j00001", "k", "design", []byte(`{}`), "t1"))
+	must(s.AppendStart("j00001", "t2"))
+	for i := 0; i < 10; i++ {
+		must(s.AppendCheckpoint("j00001", "k", fmt.Sprintf("stage-%d", i)))
+	}
+	must(s.AppendDone("j00001", "h", "t3"))
+	s.Close()
+
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	data, err := os.ReadFile(s2.JournalPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Terminal job: submit + done only; checkpoints and start are dead.
+	if n := bytes.Count(data, []byte("\n")); n != 2 {
+		t.Fatalf("compacted journal has %d records, want 2:\n%s", n, data)
+	}
+	if bytes.Contains(data, []byte("checkpoint")) {
+		t.Fatalf("compacted journal keeps dead checkpoints:\n%s", data)
+	}
+}
+
+func TestSweepTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "artifacts", "ab"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stray := filepath.Join(dir, "artifacts", "ab", "abc123.tmp42")
+	if err := os.WriteFile(stray, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatal("stray temp file survived Open")
+	}
+}

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Restart-survival smoke test for the durable job store.
+#
+# Boots balsabmd with a data dir, runs the four Table 3 designs through
+# the thin client, SIGTERMs the daemon, boots a fresh one on the same
+# data dir, reruns the four designs and asserts every one is served
+# from the on-disk artifact cache:
+#
+#   balsabmd_store_hits_total{tier="disk"} 4
+#
+# Usage: scripts/restart_smoke.sh [addr]   (default 127.0.0.1:8937)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+addr="${1:-127.0.0.1:8937}"
+url="http://$addr"
+dir="$(mktemp -d)"
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$dir"
+}
+trap cleanup EXIT
+
+go build -o bin/balsabmd ./cmd/balsabmd
+go build -o bin/balsabm ./cmd/balsabm
+
+wait_up() {
+  for _ in $(seq 1 100); do
+    if curl -fsS "$url/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "restart_smoke: daemon did not come up on $url" >&2
+  return 1
+}
+
+designs="systolic-counter wagging-register stack ssem"
+
+echo "== first daemon lifetime (cold: full flow runs) =="
+bin/balsabmd -addr "$addr" -data-dir "$dir" -jobs 2 &
+pid=$!
+wait_up
+for d in $designs; do
+  bin/balsabm -server "$url" flow "$d" >/dev/null
+  echo "   ran $d"
+done
+kill -TERM "$pid"
+wait "$pid" || true
+pid=""
+
+echo "== second daemon lifetime (warm: artifact-cache hits) =="
+bin/balsabmd -addr "$addr" -data-dir "$dir" -jobs 2 &
+pid=$!
+wait_up
+for d in $designs; do
+  bin/balsabm -server "$url" flow "$d" >/dev/null
+  echo "   reran $d"
+done
+metrics="$(curl -fsS "$url/metrics")"
+kill -TERM "$pid"
+wait "$pid" || true
+pid=""
+
+if ! printf '%s\n' "$metrics" | grep -qF 'balsabmd_store_hits_total{tier="disk"} 4'; then
+  echo "restart_smoke: expected 4 disk-tier hits after restart; store metrics were:" >&2
+  printf '%s\n' "$metrics" | grep balsabmd_store >&2 || true
+  exit 1
+fi
+echo "restart smoke OK: all 4 designs served from the artifact cache after restart"
