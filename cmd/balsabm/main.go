@@ -16,6 +16,12 @@
 //	                          (no files: lint every built-in design);
 //	                          -lint is an equivalent flag spelling.
 //	                          Exit status 1 when errors are reported.
+//	balsabm bmlint [file...]  compile CH control netlists to Burst-Mode
+//	                          specifications and run the bmlint analyzer
+//	                          on each (files ending in .bms are linted
+//	                          directly as specs); no files: audit every
+//	                          built-in design, both arms. Exit status 1
+//	                          on BM-errors.
 //	balsabm netlint [file...] synthesize CH control netlists (optimized
 //	                          arm, no simulation) and run the netlint
 //	                          structural audit on every mapped controller
@@ -23,8 +29,8 @@
 //	                          every built-in design, both arms. -netlint
 //	                          is an equivalent flag spelling. Exit
 //	                          status 1 on NL-errors.
-//	balsabm audit [design...] run the full static audit stack (chlint,
-//	                          Burst-Mode spec checks, hazard-free cover
+//	balsabm audit [design...] run the five-checker static audit stack
+//	                          (chlint, bmlint, hazard-free cover
 //	                          re-verification, mapped-logic audit,
 //	                          netlint) on built-in designs; one summary
 //	                          line per design. -audit is an equivalent
@@ -196,6 +202,8 @@ func main() {
 		err = verify()
 	case "lint":
 		err = lintCmd(ctx, args)
+	case "bmlint":
+		err = bmlintCmd(ctx, args)
 	case "netlint":
 		err = netlintCmd(ctx, args)
 	case "audit":
@@ -228,7 +236,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: balsabm [-j N] [-stats] [-json] [-server URL] [-cpuprofile FILE] [-memprofile FILE] <table1|table2|table3|fig2|fig3|fig4|fig5|verify|flow|lint|netlint|audit|artifacts|cache|designs> [args]`)
+	fmt.Fprintln(os.Stderr, `usage: balsabm [-j N] [-stats] [-json] [-server URL] [-cpuprofile FILE] [-memprofile FILE] <table1|table2|table3|fig2|fig3|fig4|fig5|verify|flow|lint|bmlint|netlint|audit|artifacts|cache|designs> [args]`)
 	flag.PrintDefaults()
 }
 
@@ -383,6 +391,142 @@ func renderDiagJSON(file string, d api.DiagJSON) string {
 	}
 	if d.Line > 0 {
 		fmt.Fprintf(&sb, "%d:%d:", d.Line, d.Col)
+	}
+	if sb.Len() > 0 {
+		sb.WriteString(" ")
+	}
+	fmt.Fprintf(&sb, "%s: %s: %s", d.Severity, d.Code, d.Message)
+	for _, n := range d.Notes {
+		sb.WriteString("\n\t")
+		sb.WriteString(n)
+	}
+	return sb.String()
+}
+
+// bmlintCmd compiles CH control netlists to Burst-Mode specifications
+// and runs the bmlint analyzer on each component spec; files ending in
+// .bms are linted directly as specs. Local runs call the same
+// server.RunBmlint the daemon's POST /api/v1/bmlint handler uses, and
+// -server delegates to a daemon, so -json output is byte-identical
+// either way. With no arguments it audits every built-in design, both
+// arms. Exit status is 1 when any error-severity BMxxx finding is
+// reported.
+func bmlintCmd(ctx context.Context, args []string) error {
+	if len(args) == 0 {
+		return bmlintDesigns(ctx)
+	}
+	var results []*api.BmlintResultJSON
+	for _, file := range args {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		name := strings.TrimSuffix(filepath.Base(file), filepath.Ext(file))
+		req := api.BmlintRequest{Source: string(data), Name: name}
+		if filepath.Ext(file) == ".bms" {
+			req.Format = api.FormatBMS
+		}
+		var res *api.BmlintResultJSON
+		if *serverFlag != "" {
+			res, err = server.NewClient(*serverFlag).Bmlint(ctx, req)
+		} else {
+			res, err = server.RunBmlint(ctx, req)
+		}
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	}
+	return emitBmlint(results)
+}
+
+// bmlintDesigns audits the built-in designs, both arms, locally.
+func bmlintDesigns(ctx context.Context) error {
+	var results []*api.BmlintResultJSON
+	for _, d := range designs.All() {
+		for _, arm := range []string{"unopt", "opt"} {
+			n := d.Control()
+			if arm == "opt" {
+				var err error
+				n, _, err = core.OptimizeOpt(n, core.Options{Workers: *workersFlag, Ctx: ctx})
+				if err != nil {
+					return err
+				}
+			}
+			specs, err := flow.BmlintNetlist(n)
+			if err != nil {
+				return err
+			}
+			res := api.BmlintResult(specs)
+			res.Design, res.Mode = d.Name, arm
+			results = append(results, res)
+		}
+	}
+	return emitBmlint(results)
+}
+
+// emitBmlint prints bmlint results (-json: the wire form; otherwise
+// vet-style diagnostics) and returns errLintFindings on BM-errors.
+func emitBmlint(results []*api.BmlintResultJSON) error {
+	failed := false
+	for _, res := range results {
+		for _, rep := range res.Specs {
+			if rep.Errors > 0 {
+				failed = true
+			}
+		}
+	}
+	if *jsonFlag {
+		if len(results) == 1 {
+			if err := emitJSON(results[0]); err != nil {
+				return err
+			}
+		} else if err := emitJSON(results); err != nil {
+			return err
+		}
+	} else {
+		for _, res := range results {
+			for _, rep := range res.Specs {
+				unit := rep.Spec
+				if res.Design != "" {
+					unit = res.Design + "." + res.Mode + "." + rep.Spec
+				}
+				for _, d := range rep.Diags {
+					fmt.Println(renderBmlintDiagJSON(unit, d))
+				}
+			}
+		}
+	}
+	if failed {
+		return errLintFindings
+	}
+	return nil
+}
+
+// renderBmlintDiagJSON renders a wire-form spec diagnostic in bmlint's
+// vet-style text form (remote results arrive as JSON, so the text
+// renderer on bmlint.Diag is out of reach).
+func renderBmlintDiagJSON(spec string, d api.BmlintDiagJSON) string {
+	var sb strings.Builder
+	if spec != "" {
+		sb.WriteString(spec)
+		sb.WriteString(":")
+	}
+	var loc []string
+	if d.Arc >= 0 {
+		loc = append(loc, fmt.Sprintf("arc %d (%s)", d.Arc, d.ArcText))
+	} else if d.State >= 0 {
+		loc = append(loc, fmt.Sprintf("state %d", d.State))
+	}
+	if d.Sig != "" {
+		loc = append(loc, fmt.Sprintf("signal %q", d.Sig))
+	}
+	if len(loc) > 0 {
+		if sb.Len() > 0 {
+			sb.WriteString(" ")
+		}
+		sb.WriteString(strings.Join(loc, " "))
+		sb.WriteString(":")
 	}
 	if sb.Len() > 0 {
 		sb.WriteString(" ")

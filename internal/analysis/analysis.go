@@ -24,76 +24,29 @@
 package analysis
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-
 	"balsabm/internal/ch"
 	"balsabm/internal/core"
+	"balsabm/internal/diag"
 	"balsabm/internal/sexp"
 )
 
-// Severity classifies a diagnostic.
-type Severity int
+// Severity classifies a diagnostic; see internal/diag.
+type Severity = diag.Severity
 
+// Severity levels, re-exported from internal/diag. Errors abort the
+// flow's pre-synthesis gate; warnings are suspicious-but-synthesizable
+// constructs; infos are advisory, e.g. clustering opportunities tying
+// lint output back to the paper's T1/T2 optimizations.
 const (
-	// SevError marks violations that make the netlist unsynthesizable
-	// (or the synthesized hardware wrong). Errors abort the flow.
-	SevError Severity = iota
-	// SevWarning marks constructs that synthesize but are almost
-	// certainly not what the author meant.
-	SevWarning
-	// SevInfo marks advisory findings, e.g. optimization opportunities.
-	SevInfo
+	SevError   = diag.SevError
+	SevWarning = diag.SevWarning
+	SevInfo    = diag.SevInfo
 )
 
-func (s Severity) String() string {
-	switch s {
-	case SevError:
-		return "error"
-	case SevWarning:
-		return "warning"
-	case SevInfo:
-		return "info"
-	}
-	return fmt.Sprintf("Severity(%d)", int(s))
-}
-
-// Diag is one diagnostic: where, how bad, which rule, and why.
-type Diag struct {
-	Pos      ch.Pos
-	Severity Severity
-	Code     string // stable "CHxxx" code, see Codes
-	Message  string
-	Notes    []string // secondary lines: table rows, related positions
-}
-
-// String renders the diagnostic without a file name: "3:5: error:
-// CH001: ...". Notes follow on tab-indented lines.
-func (d Diag) String() string { return d.Render("") }
-
-// Render renders the diagnostic vet-style, prefixed with file when
-// non-empty. Diagnostics on programmatically built nodes (zero Pos)
-// omit the position rather than printing a bogus one.
-func (d Diag) Render(file string) string {
-	var sb strings.Builder
-	if file != "" {
-		sb.WriteString(file)
-		sb.WriteString(":")
-	}
-	if d.Pos.IsValid() {
-		fmt.Fprintf(&sb, "%d:%d:", d.Pos.Line, d.Pos.Col)
-	}
-	if sb.Len() > 0 {
-		sb.WriteString(" ")
-	}
-	fmt.Fprintf(&sb, "%s: %s: %s", d.Severity, d.Code, d.Message)
-	for _, n := range d.Notes {
-		sb.WriteString("\n\t")
-		sb.WriteString(n)
-	}
-	return sb.String()
-}
+// Diag is one diagnostic: where (a ch.Pos), how bad, which rule, and
+// why. It is the shared diag.Diag shape instantiated with source
+// positions; see internal/diag for the render and sort conventions.
+type Diag = diag.Diag[ch.Pos]
 
 // Codes maps every stable diagnostic code to its one-line meaning.
 // Codes are append-only: a released code never changes meaning, so
@@ -122,36 +75,7 @@ var Codes = map[string]string{
 }
 
 // Reporter collects diagnostics during a pass run.
-type Reporter struct {
-	diags []Diag
-}
-
-// Report appends one diagnostic.
-func (r *Reporter) Report(d Diag) { r.diags = append(r.diags, d) }
-
-// Errorf reports an error-severity diagnostic at pos.
-func (r *Reporter) Errorf(pos ch.Pos, code, format string, args ...any) {
-	r.Report(Diag{Pos: pos, Severity: SevError, Code: code, Message: fmt.Sprintf(format, args...)})
-}
-
-// Warnf reports a warning-severity diagnostic at pos.
-func (r *Reporter) Warnf(pos ch.Pos, code, format string, args ...any) {
-	r.Report(Diag{Pos: pos, Severity: SevWarning, Code: code, Message: fmt.Sprintf(format, args...)})
-}
-
-// Infof reports an info-severity diagnostic at pos.
-func (r *Reporter) Infof(pos ch.Pos, code, format string, args ...any) {
-	r.Report(Diag{Pos: pos, Severity: SevInfo, Code: code, Message: fmt.Sprintf(format, args...)})
-}
-
-// note attaches a note to the most recently reported diagnostic.
-func (r *Reporter) note(format string, args ...any) {
-	if len(r.diags) == 0 {
-		return
-	}
-	d := &r.diags[len(r.diags)-1]
-	d.Notes = append(d.Notes, fmt.Sprintf(format, args...))
-}
+type Reporter = diag.Reporter[ch.Pos]
 
 // Pass is one analyzer pass: a name, a one-line doc string and a run
 // function receiving the netlist under analysis.
@@ -181,28 +105,13 @@ func Run(n *core.Netlist, passes []*Pass) []Diag {
 	for _, p := range passes {
 		p.Run(n, r)
 	}
-	sortDiags(r.diags)
-	return r.diags
+	ds := r.Diags()
+	diag.Sort(ds)
+	return ds
 }
 
 // Analyze runs every registered pass over a netlist.
 func Analyze(n *core.Netlist) []Diag { return Run(n, Passes()) }
-
-func sortDiags(ds []Diag) {
-	sort.SliceStable(ds, func(i, j int) bool {
-		a, b := ds[i], ds[j]
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Col != b.Pos.Col {
-			return a.Pos.Col < b.Pos.Col
-		}
-		if a.Code != b.Code {
-			return a.Code < b.Code
-		}
-		return a.Message < b.Message
-	})
-}
 
 // LintSource lints CH source text: a sequence of (program name expr)
 // forms, or a single bare expression (wrapped as program "main").
@@ -210,9 +119,9 @@ func sortDiags(ds []Diag) {
 // CH000 error diagnostic carrying the parser's position, so every
 // caller — CLI, daemon, golden tests — sees one uniform stream.
 func LintSource(src string) []Diag {
-	n, diag := parseSource(src)
-	if diag != nil {
-		return []Diag{*diag}
+	n, d := parseSource(src)
+	if d != nil {
+		return []Diag{*d}
 	}
 	return Analyze(n)
 }
@@ -257,43 +166,21 @@ func parseDiag(err error) *Diag {
 	d := &Diag{Severity: SevError, Code: "CH000", Message: err.Error()}
 	switch e := err.(type) {
 	case *ch.ParseError:
-		d.Pos = e.Pos
+		d.Loc = e.Pos
 		d.Message = e.Msg
 	case *sexp.SyntaxError:
-		d.Pos = ch.Pos{Line: e.Line, Col: e.Col}
+		d.Loc = ch.Pos{Line: e.Line, Col: e.Col}
 		d.Message = e.Msg
 	}
 	return d
 }
 
 // Count tallies diagnostics by severity.
-func Count(ds []Diag) (errors, warnings, infos int) {
-	for _, d := range ds {
-		switch d.Severity {
-		case SevError:
-			errors++
-		case SevWarning:
-			warnings++
-		default:
-			infos++
-		}
-	}
-	return
-}
+func Count(ds []Diag) (errors, warnings, infos int) { return diag.Count(ds) }
 
 // HasErrors reports whether any diagnostic is error-severity.
-func HasErrors(ds []Diag) bool {
-	e, _, _ := Count(ds)
-	return e > 0
-}
+func HasErrors(ds []Diag) bool { return diag.HasErrors(ds) }
 
 // Format renders diagnostics vet-style, one per line (plus note
 // lines), prefixed with file when non-empty.
-func Format(ds []Diag, file string) string {
-	var sb strings.Builder
-	for _, d := range ds {
-		sb.WriteString(d.Render(file))
-		sb.WriteString("\n")
-	}
-	return sb.String()
-}
+func Format(ds []Diag, file string) string { return diag.Format(ds, file) }

@@ -62,8 +62,8 @@ func TestLegalityReportsAll(t *testing.T) {
 	}
 	wantPos := []ch.Pos{{Line: 2, Col: 3}, {Line: 3, Col: 3}, {Line: 4, Col: 3}}
 	for i, d := range errs {
-		if d.Pos != wantPos[i] {
-			t.Errorf("violation %d at %s, want %s", i, d.Pos, wantPos[i])
+		if d.Loc != wantPos[i] {
+			t.Errorf("violation %d at %s, want %s", i, d.Loc, wantPos[i])
 		}
 		if len(d.Notes) == 0 || !strings.Contains(d.Notes[0], "Table 1 row") {
 			t.Errorf("violation %d missing Table 1 row note: %v", i, d.Notes)
@@ -183,7 +183,7 @@ func TestUnreachablePass(t *testing.T) {
   (p-to-p active never))`)
 	found := false
 	for _, d := range ds {
-		if d.Code == "CH021" && d.Pos == (ch.Pos{Line: 3, Col: 3}) {
+		if d.Code == "CH021" && d.Loc == (ch.Pos{Line: 3, Col: 3}) {
 			found = true
 		}
 	}
@@ -291,13 +291,13 @@ func TestClusterAdvisories(t *testing.T) {
 func TestParseFailureIsCH000(t *testing.T) {
 	ds := LintSource("(rep\n  (p-to-p sideways x))")
 	wantCodes(t, ds, "CH000")
-	if ds[0].Pos != (ch.Pos{Line: 2, Col: 11}) {
-		t.Errorf("CH000 at %s, want 2:11", ds[0].Pos)
+	if ds[0].Loc != (ch.Pos{Line: 2, Col: 11}) {
+		t.Errorf("CH000 at %s, want 2:11", ds[0].Loc)
 	}
 
 	ds = LintSource("(rep (p-to-p passive x)")
 	wantCodes(t, ds, "CH000")
-	if !ds[0].Pos.IsValid() {
+	if !ds[0].Loc.IsValid() {
 		t.Error("sexp syntax error lost its position")
 	}
 
@@ -319,7 +319,7 @@ func TestDeterministicOrder(t *testing.T) {
 	}
 	ds := LintSource(src)
 	for i := 1; i < len(ds); i++ {
-		a, b := ds[i-1].Pos, ds[i].Pos
+		a, b := ds[i-1].Loc, ds[i].Loc
 		if a.Line > b.Line || (a.Line == b.Line && a.Col > b.Col) {
 			t.Fatalf("diags out of order: %s before %s", ds[i-1], ds[i])
 		}
@@ -337,7 +337,7 @@ func TestCleanProgram(t *testing.T) {
 }
 
 func TestRenderAndCodes(t *testing.T) {
-	d := Diag{Pos: ch.Pos{Line: 3, Col: 7}, Severity: SevError, Code: "CH001",
+	d := Diag{Loc: ch.Pos{Line: 3, Col: 7}, Severity: SevError, Code: "CH001",
 		Message: "illegal combination", Notes: []string{"Table 1 row seq-ov: ..."}}
 	got := d.Render("f.ch")
 	want := "f.ch:3:7: error: CH001: illegal combination\n\tTable 1 row seq-ov: ..."

@@ -65,8 +65,8 @@ func checkLegality(e ch.Expr, path string, loopDepth int, r *Reporter) {
 		if !ch.Legal(n.Kind, actA, actB) {
 			r.Errorf(n.Pos, "CH001", "illegal combination: %s applied to %s/%s arguments",
 				n.Kind, actA, actB)
-			r.note("%s", table1Row(n.Kind))
-			r.note("at %s", path)
+			r.Note("%s", table1Row(n.Kind))
+			r.Note("at %s", path)
 		}
 		checkLegality(n.A, fmt.Sprintf("%s/%s[1]", path, n.Kind), loopDepth, r)
 		checkLegality(n.B, fmt.Sprintf("%s/%s[2]", path, n.Kind), loopDepth, r)
@@ -93,8 +93,8 @@ func checkMuxArms(pos ch.Pos, name, kind string, act ch.Activity, arms []ch.MuxA
 			}
 			r.Errorf(p, "CH001", "illegal combination: %s applied to %s/%s arguments (implicit first argument of %s %q)",
 				arm.Op, act, arm.Arg.Activity(), kind, name)
-			r.note("%s", table1Row(arm.Op))
-			r.note("at %s", armPath)
+			r.Note("%s", table1Row(arm.Op))
+			r.Note("at %s", armPath)
 		}
 		checkLegality(arm.Arg, armPath, loopDepth, r)
 	}
@@ -178,7 +178,7 @@ var ChannelsPass = &Pass{
 					if prev.signature() != o.occ.signature() {
 						r.Errorf(o.occ.pos, "CH012",
 							"channel %q redeclared as %s", o.name, describeOcc(o.occ))
-						r.note("first declared as %s at %s", describeOcc(prev), prev.pos)
+						r.Note("first declared as %s at %s", describeOcc(prev), prev.pos)
 					}
 					continue
 				}
@@ -209,13 +209,13 @@ var ChannelsPass = &Pass{
 						what = "driven from both ends"
 					}
 					r.Errorf(b.pos, "CH010", "internal channel %q is %s", name, what)
-					r.note("other end in component %q at %s", a.comp, a.pos)
+					r.Note("other end in component %q at %s", a.comp, a.pos)
 				}
 				if a.mux != b.mux || (!a.mux && a.kind != b.kind) || a.n != b.n {
 					r.Errorf(b.pos, "CH012",
 						"channel %q declared as %s here but %s in component %q",
 						name, describeOcc(b), describeOcc(a), a.comp)
-					r.note("other declaration at %s", a.pos)
+					r.Note("other declaration at %s", a.pos)
 				}
 			}
 		}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"balsabm/internal/analysis"
+	"balsabm/internal/bmlint"
 	"balsabm/internal/core"
 	"balsabm/internal/flow"
 	"balsabm/internal/netlint"
@@ -77,6 +78,11 @@ const (
 	FormatCH    = "ch"    // a CH control netlist: one or more (program ...) forms
 	FormatBalsa = "balsa" // Balsa-subset source text
 )
+
+// FormatBMS is a Burst-Mode specification in .bms text form; accepted
+// only by POST /api/v1/bmlint, which lints the spec directly instead
+// of compiling a design.
+const FormatBMS = "bms"
 
 // Synthesis modes for KindSynth.
 const (
@@ -253,6 +259,10 @@ type Event struct {
 	// non-error diagnostics the post-merge netlint gate surfaced. Its
 	// Circuit field names the audited circuit (e.g. "stack.opt").
 	Netlint *NetlintDiagJSON `json:"netlint,omitempty"`
+	// Bmlint carries one Burst-Mode spec finding for "lint" events: the
+	// non-error diagnostics the post-compile bmlint gate surfaced. Its
+	// Spec field names the audited spec (e.g. "stack.opt.push_seq1").
+	Bmlint *BmlintDiagJSON `json:"bmlint,omitempty"`
 }
 
 // StageJSON is one pipeline stage's cumulative counters.
@@ -301,6 +311,10 @@ type MetricsJSON struct {
 	// every flow the daemon ran (also exported as
 	// balsabmd_netlint_diags_total{code=...}).
 	NetlintDiags map[string]int64 `json:"netlintDiags,omitempty"`
+	// BmlintDiags counts Burst-Mode spec diagnostics by BMxxx code
+	// across every flow the daemon ran (also exported as
+	// balsabmd_bmlint_diags_total{code=...}).
+	BmlintDiags map[string]int64 `json:"bmlintDiags,omitempty"`
 }
 
 // StoreStatsJSON summarizes the daemon's on-disk artifact store
@@ -448,8 +462,8 @@ type LintResultJSON struct {
 // FromDiag converts one analyzer finding.
 func FromDiag(d analysis.Diag) DiagJSON {
 	return DiagJSON{
-		Line:     d.Pos.Line,
-		Col:      d.Pos.Col,
+		Line:     d.Loc.Line,
+		Col:      d.Loc.Col,
 		Severity: d.Severity.String(),
 		Code:     d.Code,
 		Message:  d.Message,
@@ -574,6 +588,117 @@ func NetlintResult(mode string, ctrls []netlint.Result, merged netlint.Result) *
 	}
 	for _, c := range ctrls {
 		out.Controllers = append(out.Controllers, NetlintReport(c))
+	}
+	return out
+}
+
+// BmlintRequest is the body of POST /api/v1/bmlint: either a CH
+// design whose components are compiled to Burst-Mode specifications
+// and audited (Format "ch" default, "balsa"), or a single .bms spec
+// linted directly (Format "bms").
+type BmlintRequest struct {
+	Source string `json:"source"`
+	Format string `json:"format,omitempty"`
+	Name   string `json:"name,omitempty"`
+}
+
+// BmlintDiagJSON mirrors bmlint.Diag. State and Arc are -1 for
+// spec-level findings, matching bmlint.NoLoc.
+type BmlintDiagJSON struct {
+	// Spec names the audited spec on event streams (e.g.
+	// "stack.opt.push_seq1"); omitted inside BmlintReportJSON, whose
+	// Spec field carries it once.
+	Spec     string   `json:"spec,omitempty"`
+	State    int      `json:"state"`
+	Arc      int      `json:"arc"`
+	ArcText  string   `json:"arcText,omitempty"`
+	Sig      string   `json:"sig,omitempty"`
+	Severity string   `json:"severity"`
+	Code     string   `json:"code"`
+	Message  string   `json:"message"`
+	Notes    []string `json:"notes,omitempty"`
+}
+
+// BmStatsJSON mirrors bmlint.Stats: the BM200 static complexity
+// report for one spec.
+type BmStatsJSON struct {
+	States  int    `json:"states"`
+	Arcs    int    `json:"arcs"`
+	Inputs  int    `json:"inputs"`
+	Outputs int    `json:"outputs"`
+	MaxIn   int    `json:"maxIn"`
+	MaxOut  int    `json:"maxOut"`
+	Toggles int    `json:"toggles"`
+	Worst   string `json:"worst,omitempty"`
+	WorstN  int    `json:"worstN"`
+	Budget  int    `json:"budget"`
+}
+
+// BmlintReportJSON is the audit of one Burst-Mode specification: its
+// diagnostics and static report, with severity tallies.
+type BmlintReportJSON struct {
+	Spec     string           `json:"spec"`
+	Stats    BmStatsJSON      `json:"stats"`
+	Diags    []BmlintDiagJSON `json:"diags"`
+	Errors   int              `json:"errors"`
+	Warnings int              `json:"warnings"`
+	Infos    int              `json:"infos"`
+}
+
+// BmlintResultJSON is the body answered by POST /api/v1/bmlint and
+// emitted by `balsabm bmlint -json`: one audit per compiled component
+// spec (a single entry for Format "bms"). Design and Mode tag the
+// built-in-designs CLI mode and are empty on file/endpoint results.
+type BmlintResultJSON struct {
+	Design string             `json:"design,omitempty"`
+	Mode   string             `json:"mode,omitempty"`
+	Specs  []BmlintReportJSON `json:"specs"`
+}
+
+// FromBmStats converts a spec complexity report.
+func FromBmStats(s bmlint.Stats) BmStatsJSON {
+	return BmStatsJSON{
+		States: s.States, Arcs: s.Arcs, Inputs: s.Inputs, Outputs: s.Outputs,
+		MaxIn: s.MaxIn, MaxOut: s.MaxOut, Toggles: s.Toggles,
+		Worst: s.Worst, WorstN: s.WorstN, Budget: s.Budget,
+	}
+}
+
+// FromBmlintDiag converts one spec finding.
+func FromBmlintDiag(d bmlint.Diag) BmlintDiagJSON {
+	return BmlintDiagJSON{
+		State:    d.Loc.State,
+		Arc:      d.Loc.Arc,
+		ArcText:  d.Loc.ArcText,
+		Sig:      d.Loc.Sig,
+		Severity: d.Severity.String(),
+		Code:     d.Code,
+		Message:  d.Message,
+		Notes:    d.Notes,
+	}
+}
+
+// BmlintReport packages one spec audit for the wire. Diags is always
+// non-nil so a clean audit encodes as [] rather than null.
+func BmlintReport(res bmlint.Result) BmlintReportJSON {
+	out := BmlintReportJSON{
+		Spec:  res.Name,
+		Stats: FromBmStats(res.Stats),
+		Diags: make([]BmlintDiagJSON, 0, len(res.Diags)),
+	}
+	for _, d := range res.Diags {
+		out.Diags = append(out.Diags, FromBmlintDiag(d))
+	}
+	out.Errors, out.Warnings, out.Infos = bmlint.Count(res.Diags)
+	return out
+}
+
+// BmlintResult packages a compile-and-audit run for the wire. Specs is
+// always non-nil so an empty netlist encodes as [] rather than null.
+func BmlintResult(specs []bmlint.Result) *BmlintResultJSON {
+	out := &BmlintResultJSON{Specs: make([]BmlintReportJSON, 0, len(specs))}
+	for _, s := range specs {
+		out.Specs = append(out.Specs, BmlintReport(s))
 	}
 	return out
 }

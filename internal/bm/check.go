@@ -13,10 +13,6 @@ type CheckError struct {
 
 func (e *CheckError) Error() string { return fmt.Sprintf("bm: %s: %s", e.Spec, e.Msg) }
 
-func (sp *Spec) errf(format string, args ...any) error {
-	return &CheckError{Spec: sp.Name, Msg: fmt.Sprintf(format, args...)}
-}
-
 // Check verifies the Burst-Mode well-formedness conditions:
 //
 //  1. every arc's input burst is non-empty;
@@ -29,98 +25,13 @@ func (sp *Spec) errf(format string, args ...any) error {
 //     the value it actually holds (no x+ when x is already 1);
 //  5. every reachable state has at least one outgoing arc (our
 //     controllers are non-terminating), and all states are reachable.
+//
+// Check is a thin wrapper over Violations — the accumulating checker
+// shared with bmlint — returning the first violation found, so the
+// two can never disagree on what is well-formed.
 func (sp *Spec) Check() error {
-	inSet := map[string]bool{}
-	for _, s := range sp.Inputs {
-		inSet[s] = true
-	}
-	outSet := map[string]bool{}
-	for _, s := range sp.Outputs {
-		outSet[s] = true
-	}
-	for _, a := range sp.Arcs {
-		if len(a.In) == 0 {
-			return sp.errf("arc %s has an empty input burst", a)
-		}
-		seen := map[string]bool{}
-		for _, s := range a.In {
-			if !inSet[s.Name] {
-				return sp.errf("arc %s: %s is not an input", a, s.Name)
-			}
-			if seen[s.Name] {
-				return sp.errf("arc %s: signal %s appears twice in input burst", a, s.Name)
-			}
-			seen[s.Name] = true
-		}
-		seen = map[string]bool{}
-		for _, s := range a.Out {
-			if !outSet[s.Name] {
-				return sp.errf("arc %s: %s is not an output", a, s.Name)
-			}
-			if seen[s.Name] {
-				return sp.errf("arc %s: signal %s appears twice in output burst", a, s.Name)
-			}
-			seen[s.Name] = true
-		}
-	}
-	// Maximal-set property.
-	for s := 0; s < sp.NStates; s++ {
-		arcs := sp.ArcsFrom(s)
-		for i := 0; i < len(arcs); i++ {
-			for j := i + 1; j < len(arcs); j++ {
-				if arcs[i].In.SubsetOf(arcs[j].In) || arcs[j].In.SubsetOf(arcs[i].In) {
-					return sp.errf("state %d violates the maximal-set property: %q vs %q",
-						s, arcs[i].In.String(), arcs[j].In.String())
-				}
-			}
-		}
-	}
-	// Polarity consistency + reachability, by BFS over (state, values).
-	// Values are tracked per specification state: a state must be
-	// entered with a unique signal-value vector (Burst-Mode machines
-	// are deterministic in total state).
-	values := make([]map[string]bool, sp.NStates)
-	start := map[string]bool{}
-	for _, s := range sp.Inputs {
-		start[s] = false
-	}
-	for _, s := range sp.Outputs {
-		start[s] = false
-	}
-	values[sp.Start] = start
-	queue := []int{sp.Start}
-	reached := map[int]bool{sp.Start: true}
-	for len(queue) > 0 {
-		s := queue[0]
-		queue = queue[1:]
-		v := values[s]
-		for _, a := range sp.ArcsFrom(s) {
-			next := cloneVals(v)
-			for _, sig := range append(a.In.Clone(), a.Out...) {
-				if next[sig.Name] == sig.Rise {
-					return sp.errf("arc %s: transition %s but %s already holds value %v",
-						a, sig, sig.Name, boolBit(next[sig.Name]))
-				}
-				next[sig.Name] = sig.Rise
-			}
-			if values[a.To] == nil {
-				values[a.To] = next
-			} else if !sameVals(values[a.To], next) {
-				return sp.errf("state %d entered with inconsistent signal values via arc %s", a.To, a)
-			}
-			if !reached[a.To] {
-				reached[a.To] = true
-				queue = append(queue, a.To)
-			}
-		}
-	}
-	for s := 0; s < sp.NStates; s++ {
-		if !reached[s] {
-			return sp.errf("state %d is unreachable", s)
-		}
-		if len(sp.ArcsFrom(s)) == 0 {
-			return sp.errf("state %d has no outgoing arcs", s)
-		}
+	if vs := sp.Violations(); len(vs) > 0 {
+		return &CheckError{Spec: sp.Name, Msg: vs[0].Msg}
 	}
 	return nil
 }

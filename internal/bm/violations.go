@@ -1,0 +1,184 @@
+package bm
+
+import "fmt"
+
+// Kind classifies a Burst-Mode well-formedness violation. The kinds
+// map one-to-one onto bmlint's BM-error codes; keeping the
+// classification here (rather than in bmlint) lets Check and bmlint
+// share a single accumulating implementation without an import cycle.
+type Kind int
+
+const (
+	// KindEmptyInput: an arc's input burst is empty.
+	KindEmptyInput Kind = iota
+	// KindRole: an input signal used as an output or vice versa.
+	KindRole
+	// KindDuplicate: a signal appears twice in one burst.
+	KindDuplicate
+	// KindMaximalSet: two arcs from one state have comparable input
+	// bursts, so the machine cannot tell which burst completed.
+	KindMaximalSet
+	// KindPolarity: a transition toggles a signal to the value it
+	// already holds on a reachable path.
+	KindPolarity
+	// KindEntryValues: a state is entered with two different
+	// signal-value vectors (Burst-Mode machines are deterministic in
+	// total state).
+	KindEntryValues
+	// KindUnreachable: a state is unreachable from the start state.
+	KindUnreachable
+	// KindTerminal: a state has no outgoing arcs (controllers are
+	// non-terminating).
+	KindTerminal
+	// KindStart: the start state is out of range. Check used to crash
+	// on such specs rather than report; the accumulating checker
+	// classifies them (hand-written .bms files can carry anything).
+	KindStart
+)
+
+// Violation is one Burst-Mode well-formedness violation: its kind,
+// where it lives (a state, an arc, a signal — -1/"" when not
+// applicable), and the exact message Check has always reported.
+type Violation struct {
+	Kind  Kind
+	State int    // state involved, -1 when none; arc violations carry the arc's From state
+	Arc   int    // index into Spec.Arcs, -1 when not arc-specific
+	Sig   string // signal name when signal-specific
+	Msg   string
+}
+
+func (sp *Spec) violationf(k Kind, state, arc int, sig, format string, args ...any) Violation {
+	return Violation{Kind: k, State: state, Arc: arc, Sig: sig, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Violations checks every Burst-Mode well-formedness condition (see
+// Check for the list) and returns all violations found, in the order
+// Check has always tested them: per-arc burst checks, the maximal-set
+// property, polarity/entry consistency by BFS over (state, values),
+// then reachability and termination per state. Check returns exactly
+// the first element; bmlint reports them all.
+//
+// The BFS keeps going after a violation (applying the transition as
+// written), so downstream findings on a broken spec are best-effort —
+// later violations can be knock-on effects of earlier ones.
+func (sp *Spec) Violations() []Violation {
+	var vs []Violation
+	inSet := map[string]bool{}
+	for _, s := range sp.Inputs {
+		inSet[s] = true
+	}
+	outSet := map[string]bool{}
+	for _, s := range sp.Outputs {
+		outSet[s] = true
+	}
+	for i, a := range sp.Arcs {
+		if len(a.In) == 0 {
+			vs = append(vs, sp.violationf(KindEmptyInput, a.From, i, "",
+				"arc %s has an empty input burst", a))
+		}
+		seen := map[string]bool{}
+		for _, s := range a.In {
+			if !inSet[s.Name] {
+				vs = append(vs, sp.violationf(KindRole, a.From, i, s.Name,
+					"arc %s: %s is not an input", a, s.Name))
+			}
+			if seen[s.Name] {
+				vs = append(vs, sp.violationf(KindDuplicate, a.From, i, s.Name,
+					"arc %s: signal %s appears twice in input burst", a, s.Name))
+			}
+			seen[s.Name] = true
+		}
+		seen = map[string]bool{}
+		for _, s := range a.Out {
+			if !outSet[s.Name] {
+				vs = append(vs, sp.violationf(KindRole, a.From, i, s.Name,
+					"arc %s: %s is not an output", a, s.Name))
+			}
+			if seen[s.Name] {
+				vs = append(vs, sp.violationf(KindDuplicate, a.From, i, s.Name,
+					"arc %s: signal %s appears twice in output burst", a, s.Name))
+			}
+			seen[s.Name] = true
+		}
+	}
+	// Maximal-set property.
+	for s := 0; s < sp.NStates; s++ {
+		arcs := sp.ArcsFrom(s)
+		for i := 0; i < len(arcs); i++ {
+			for j := i + 1; j < len(arcs); j++ {
+				if arcs[i].In.SubsetOf(arcs[j].In) || arcs[j].In.SubsetOf(arcs[i].In) {
+					vs = append(vs, sp.violationf(KindMaximalSet, s, -1, "",
+						"state %d violates the maximal-set property: %q vs %q",
+						s, arcs[i].In.String(), arcs[j].In.String()))
+				}
+			}
+		}
+	}
+	// Polarity consistency + reachability, by BFS over (state, values).
+	// Values are tracked per specification state: a state must be
+	// entered with a unique signal-value vector (Burst-Mode machines
+	// are deterministic in total state).
+	from := make([][]int, sp.NStates)
+	for i, a := range sp.Arcs {
+		if a.From >= 0 && a.From < sp.NStates {
+			from[a.From] = append(from[a.From], i)
+		}
+	}
+	values := make([]map[string]bool, sp.NStates)
+	start := map[string]bool{}
+	for _, s := range sp.Inputs {
+		start[s] = false
+	}
+	for _, s := range sp.Outputs {
+		start[s] = false
+	}
+	if sp.Start < 0 || sp.Start >= sp.NStates {
+		vs = append(vs, sp.violationf(KindStart, sp.Start, -1, "",
+			"start state %d out of range (spec has %d states)", sp.Start, sp.NStates))
+	} else {
+		values[sp.Start] = start
+		queue := []int{sp.Start}
+		reached := map[int]bool{sp.Start: true}
+		for len(queue) > 0 {
+			s := queue[0]
+			queue = queue[1:]
+			v := values[s]
+			for _, ai := range from[s] {
+				a := sp.Arcs[ai]
+				next := cloneVals(v)
+				for _, sig := range append(a.In.Clone(), a.Out...) {
+					if next[sig.Name] == sig.Rise {
+						vs = append(vs, sp.violationf(KindPolarity, a.From, ai, sig.Name,
+							"arc %s: transition %s but %s already holds value %v",
+							a, sig, sig.Name, boolBit(next[sig.Name])))
+					}
+					next[sig.Name] = sig.Rise
+				}
+				if a.To < 0 || a.To >= sp.NStates {
+					continue
+				}
+				if values[a.To] == nil {
+					values[a.To] = next
+				} else if !sameVals(values[a.To], next) {
+					vs = append(vs, sp.violationf(KindEntryValues, a.To, ai, "",
+						"state %d entered with inconsistent signal values via arc %s", a.To, a))
+				}
+				if !reached[a.To] {
+					reached[a.To] = true
+					queue = append(queue, a.To)
+				}
+			}
+		}
+		for s := 0; s < sp.NStates; s++ {
+			if !reached[s] {
+				vs = append(vs, sp.violationf(KindUnreachable, s, -1, "",
+					"state %d is unreachable", s))
+			}
+			if len(from[s]) == 0 {
+				vs = append(vs, sp.violationf(KindTerminal, s, -1, "",
+					"state %d has no outgoing arcs", s))
+			}
+		}
+	}
+	return vs
+}

@@ -1,0 +1,194 @@
+package bm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// twoState returns a minimal well-formed two-state machine:
+// 0 -> 1 : a+ / y+ ; 1 -> 0 : a- / y-.
+func twoState() *Spec {
+	return &Spec{
+		Name:    "two",
+		Inputs:  []string{"a"},
+		Outputs: []string{"y"},
+		NStates: 2,
+		Arcs: []Arc{
+			{From: 0, To: 1, In: Burst{{Name: "a", Rise: true}}, Out: Burst{{Name: "y", Rise: true}}},
+			{From: 1, To: 0, In: Burst{{Name: "a", Rise: false}}, Out: Burst{{Name: "y", Rise: false}}},
+		},
+	}
+}
+
+func brokenSpecs() map[string]*Spec {
+	empty := twoState()
+	empty.Arcs[0].In = nil
+
+	role := twoState()
+	role.Arcs[0].In = Burst{{Name: "y", Rise: true}}
+
+	dup := twoState()
+	dup.Arcs[0].Out = Burst{{Name: "y", Rise: true}, {Name: "y", Rise: true}}
+
+	maximal := twoState()
+	maximal.Inputs = []string{"a", "b"}
+	maximal.Arcs = append(maximal.Arcs, Arc{From: 0, To: 1,
+		In:  Burst{{Name: "a", Rise: true}, {Name: "b", Rise: true}},
+		Out: Burst{{Name: "y", Rise: true}}})
+
+	polarity := twoState()
+	polarity.Arcs[1].In = Burst{{Name: "a", Rise: true}} // a already 1 in state 1
+
+	unreachable := twoState()
+	unreachable.NStates = 3
+	unreachable.Arcs = append(unreachable.Arcs, Arc{From: 2, To: 0,
+		In: Burst{{Name: "a", Rise: true}}})
+
+	terminal := twoState()
+	terminal.Arcs = terminal.Arcs[:1] // state 1 has no way out
+
+	badStart := twoState()
+	badStart.Start = 7
+
+	return map[string]*Spec{
+		"empty-input":  empty,
+		"role":         role,
+		"duplicate":    dup,
+		"maximal-set":  maximal,
+		"polarity":     polarity,
+		"unreachable":  unreachable,
+		"terminal":     terminal,
+		"start-range":  badStart,
+		"reconvergent": reconvergent(),
+	}
+}
+
+// reconvergent builds a machine where two paths reach state 3 with
+// different values of y: 0 -a+-> 1 -b+/y+-> 3 vs 0 -b+-> 2 -a+-> 3.
+func reconvergent() *Spec {
+	b := func(name string, rise bool) Burst { return Burst{{Name: name, Rise: rise}} }
+	return &Spec{
+		Name:    "reconv",
+		Inputs:  []string{"a", "b"},
+		Outputs: []string{"y"},
+		NStates: 4,
+		Arcs: []Arc{
+			{From: 0, To: 1, In: b("a", true)},
+			{From: 0, To: 2, In: b("b", true)},
+			{From: 1, To: 3, In: b("b", true), Out: b("y", true)},
+			{From: 2, To: 3, In: b("a", true)},
+			{From: 3, To: 0, In: Burst{{Name: "a", Rise: false}, {Name: "b", Rise: false}}},
+		},
+	}
+}
+
+// TestCheckViolationsAgreement pins the satellite invariant: Check is
+// a thin wrapper over Violations, so the first accumulated violation
+// is byte-identical to Check's error on every kind of broken spec,
+// and clean specs are clean both ways.
+func TestCheckViolationsAgreement(t *testing.T) {
+	for name, sp := range brokenSpecs() {
+		vs := sp.Violations()
+		if len(vs) == 0 {
+			t.Errorf("%s: Violations found nothing", name)
+			continue
+		}
+		err := sp.Check()
+		if err == nil {
+			t.Errorf("%s: Check passed but Violations found %d", name, len(vs))
+			continue
+		}
+		var ce *CheckError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: Check error type %T", name, err)
+			continue
+		}
+		if ce.Msg != vs[0].Msg {
+			t.Errorf("%s: Check = %q, Violations[0] = %q", name, ce.Msg, vs[0].Msg)
+		}
+	}
+	clean := twoState()
+	if vs := clean.Violations(); len(vs) != 0 {
+		t.Errorf("clean spec: Violations = %v", vs)
+	}
+	if err := clean.Check(); err != nil {
+		t.Errorf("clean spec: Check = %v", err)
+	}
+}
+
+func TestViolationsAccumulate(t *testing.T) {
+	sp := twoState()
+	sp.Arcs[0].In = nil                              // empty input burst
+	sp.Arcs[1].In = Burst{{Name: "y", Rise: false}}  // output used as input
+	sp.Arcs[1].Out = Burst{{Name: "a", Rise: false}} // input used as output
+	vs := sp.Violations()
+	if len(vs) < 3 {
+		t.Fatalf("got %d violations, want >= 3: %v", len(vs), vs)
+	}
+	wantKinds := []Kind{KindEmptyInput, KindRole, KindRole}
+	for i, k := range wantKinds {
+		if vs[i].Kind != k {
+			t.Errorf("vs[%d].Kind = %v, want %v (%s)", i, vs[i].Kind, k, vs[i].Msg)
+		}
+	}
+	if vs[0].Arc != 0 || vs[1].Arc != 1 {
+		t.Errorf("arc indices = %d, %d; want 0, 1", vs[0].Arc, vs[1].Arc)
+	}
+}
+
+func TestViolationKinds(t *testing.T) {
+	want := map[string]Kind{
+		"empty-input":  KindEmptyInput,
+		"role":         KindRole,
+		"duplicate":    KindDuplicate,
+		"maximal-set":  KindMaximalSet,
+		"polarity":     KindPolarity,
+		"unreachable":  KindUnreachable,
+		"terminal":     KindTerminal,
+		"start-range":  KindStart,
+		"reconvergent": KindEntryValues,
+	}
+	for name, sp := range brokenSpecs() {
+		vs := sp.Violations()
+		if len(vs) == 0 {
+			t.Errorf("%s: no violations", name)
+			continue
+		}
+		found := false
+		for _, v := range vs {
+			if v.Kind == want[name] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: kinds %v do not include %v", name, vs, want[name])
+		}
+	}
+}
+
+// TestStateValuesPolarityConflict covers StateValues' error paths:
+// a polarity conflict on a cycle and inconsistent entry values on
+// reconvergent paths both surface as errors, not bogus vectors.
+func TestStateValuesPolarityConflict(t *testing.T) {
+	sp := twoState()
+	sp.Arcs[1].In = Burst{{Name: "a", Rise: true}}
+	vals, err := sp.StateValues()
+	if err == nil {
+		t.Fatalf("StateValues passed with vals %v", vals)
+	}
+	if !strings.Contains(err.Error(), "already holds value 1") {
+		t.Errorf("error = %v, want polarity message", err)
+	}
+}
+
+func TestStateValuesReconvergentConflict(t *testing.T) {
+	vals, err := reconvergent().StateValues()
+	if err == nil {
+		t.Fatalf("StateValues passed with vals %v", vals)
+	}
+	if !strings.Contains(err.Error(), "inconsistent signal values") {
+		t.Errorf("error = %v, want entry-values message", err)
+	}
+}

@@ -1,0 +1,202 @@
+package bmlint
+
+import (
+	"fmt"
+
+	"balsabm/internal/bm"
+)
+
+// WellFormedPass reports every Burst-Mode well-formedness violation as
+// a BM-error. It is a thin adapter over bm.(*Spec).Violations — the
+// same accumulating core bm.Check returns the first element of — so
+// bmlint's error tier and Check can never disagree.
+var WellFormedPass = &Pass{
+	Name: "wellformed",
+	Doc:  "Burst-Mode well-formedness (the bm.Check conditions), accumulated",
+	Run: func(sp *bm.Spec, r *Reporter) {
+		for _, v := range sp.Violations() {
+			loc := Loc{State: v.State, Arc: v.Arc, Sig: v.Sig}
+			if v.Arc >= 0 && v.Arc < len(sp.Arcs) {
+				loc.ArcText = sp.Arcs[v.Arc].String()
+			}
+			r.Errorf(loc, violationCode[v.Kind], "%s", v.Msg)
+		}
+	},
+}
+
+// outKey canonicalizes an output burst for comparison: sorted, so two
+// bursts listing the same transitions in different order compare equal.
+func outKey(b bm.Burst) string {
+	c := b.Clone()
+	c.Sort()
+	return c.String()
+}
+
+// EntryPass warns (BM100) when a state pair is connected by parallel
+// arcs with differing output bursts: the target state's entry point is
+// not unique — which arc fired decides which outputs toggled, and the
+// entry values only agree by reconvergence. Legal, but often a missed
+// burst merge or a state that wants splitting.
+var EntryPass = &Pass{
+	Name: "entry",
+	Doc:  "parallel entry arcs with differing output bursts (BM100)",
+	Run: func(sp *bm.Spec, r *Reporter) {
+		type pair struct{ from, to int }
+		groups := map[pair][]int{}
+		var order []pair
+		for i, a := range sp.Arcs {
+			p := pair{a.From, a.To}
+			if len(groups[p]) == 0 {
+				order = append(order, p)
+			}
+			groups[p] = append(groups[p], i)
+		}
+		for _, p := range order {
+			idx := groups[p]
+			if len(idx) < 2 {
+				continue
+			}
+			differ := false
+			for _, i := range idx[1:] {
+				if outKey(sp.Arcs[i].Out) != outKey(sp.Arcs[idx[0]].Out) {
+					differ = true
+					break
+				}
+			}
+			if !differ {
+				continue
+			}
+			r.Warnf(StateLoc(p.to), "BM100",
+				"entered from state %d via %d parallel arcs with differing output bursts",
+				p.from, len(idx))
+			for _, i := range idx {
+				r.Note("arc %d (%s)", i, sp.Arcs[i])
+			}
+		}
+	},
+}
+
+// SiblingPass warns (BM101) about mergeable sibling arcs: two arcs
+// with the same source, target and output burst differ only in their
+// input bursts, so a single arc with a merged burst would express the
+// same behavior with fewer dhf transitions for the minimizer.
+var SiblingPass = &Pass{
+	Name: "sibling",
+	Doc:  "mergeable sibling arcs: same source, target and output burst (BM101)",
+	Run: func(sp *bm.Spec, r *Reporter) {
+		type key struct {
+			from, to int
+			out      string
+		}
+		first := map[key]int{}
+		for i, a := range sp.Arcs {
+			k := key{a.From, a.To, outKey(a.Out)}
+			if j, ok := first[k]; ok {
+				r.Warnf(ArcLoc(sp, i), "BM101",
+					"same target and output burst as arc %d; input bursts could merge", j)
+				r.Note("arc %d (%s)", j, sp.Arcs[j])
+				continue
+			}
+			first[k] = i
+		}
+	},
+}
+
+// RedundantPass warns (BM102) when two states have identical outgoing
+// behavior (same input bursts, output bursts and targets, with
+// self-loops compared symbolically), suggesting the machine was not
+// state-minimized. Terminal states are the error tier's business and
+// are skipped here.
+var RedundantPass = &Pass{
+	Name: "redundant",
+	Doc:  "redundant states with identical outgoing behavior (BM102)",
+	Run: func(sp *bm.Spec, r *Reporter) {
+		keys := make([]string, sp.NStates)
+		for s := 0; s < sp.NStates; s++ {
+			arcs := sp.ArcsFrom(s)
+			if len(arcs) == 0 {
+				continue
+			}
+			lines := make([]string, len(arcs))
+			for i, a := range arcs {
+				to := fmt.Sprint(a.To)
+				if a.To == s {
+					to = "self"
+				}
+				in := a.In.Clone()
+				in.Sort()
+				lines[i] = fmt.Sprintf("%s/%s->%s", in, outKey(a.Out), to)
+			}
+			// ArcsFrom preserves declaration order; sort the canonical
+			// lines so arc order does not defeat the comparison.
+			sortStrings(lines)
+			for _, l := range lines {
+				keys[s] += l + ";"
+			}
+		}
+		first := map[string]int{}
+		for s := 0; s < sp.NStates; s++ {
+			if keys[s] == "" {
+				continue
+			}
+			if t, ok := first[keys[s]]; ok {
+				r.Warnf(StateLoc(s), "BM102",
+					"outgoing behavior identical to state %d; states could merge", t)
+				continue
+			}
+			first[keys[s]] = s
+		}
+	},
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// SignalsPass warns about declared-but-unused signals: outputs no arc
+// ever toggles (BM103) and inputs no input burst ever samples (BM104).
+// Both synthesize — the output becomes a constant wire, the input is
+// ignored — but almost certainly indicate a specification gap.
+var SignalsPass = &Pass{
+	Name: "signals",
+	Doc:  "outputs never toggled (BM103), inputs never sampled (BM104)",
+	Run: func(sp *bm.Spec, r *Reporter) {
+		inUsed := map[string]bool{}
+		outUsed := map[string]bool{}
+		for _, a := range sp.Arcs {
+			for _, s := range a.In {
+				inUsed[s.Name] = true
+			}
+			for _, s := range a.Out {
+				outUsed[s.Name] = true
+			}
+		}
+		// Inputs and Outputs are sorted on the Spec, so report order
+		// is deterministic.
+		for _, name := range sp.Outputs {
+			if !outUsed[name] {
+				r.Warnf(SigLoc(name), "BM103", "output %q is never toggled by any arc", name)
+			}
+		}
+		for _, name := range sp.Inputs {
+			if !inUsed[name] {
+				r.Warnf(SigLoc(name), "BM104", "input %q is never sampled by any input burst", name)
+			}
+		}
+	},
+}
+
+// ReportPass emits the BM200 static complexity report: the spec-level
+// complement of netlint's NL200, summarizing machine size and the
+// estimated dhf-prime enumeration pressure against hfmin.EnumBudget.
+var ReportPass = &Pass{
+	Name: "report",
+	Doc:  "static complexity report (BM200)",
+	Run: func(sp *bm.Spec, r *Reporter) {
+		r.Infof(NoLoc, "BM200", "%s", ComputeStats(sp).String())
+	},
+}

@@ -33,6 +33,18 @@ func (p Pos) String() string {
 	return fmt.Sprintf("%d:%d", p.Line, p.Col)
 }
 
+// Fragment implements diag.Loc: source positions attach tightly to the
+// file prefix ("file.ch:3:5:"); invalid positions render nothing.
+func (p Pos) Fragment() (string, bool) {
+	if !p.IsValid() {
+		return "", true
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col), true
+}
+
+// Key implements diag.Loc: diagnostics sort by line, then column.
+func (p Pos) Key() (int, int) { return p.Line, p.Col }
+
 // ExprPos returns the source position of an expression node (the zero
 // Pos for programmatically built nodes).
 func ExprPos(e Expr) Pos {

@@ -1,0 +1,43 @@
+package chtobm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"balsabm/internal/bmlint"
+	"balsabm/internal/ch"
+)
+
+// TestFuzzBmlintCleanByConstruction mirrors netlint's flow-emitted-
+// circuits invariant one tier up: every spec chtobm compiles from a
+// legal CH program is bmlint-clean at the error tier. Since bm.Check
+// is a thin wrapper over the same bm.Violations core bmlint's error
+// pass reports, this also pins the two entry points to agree — a spec
+// passing Check can never carry a BM-error diagnostic and vice versa.
+func TestFuzzBmlintCleanByConstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(20020304)) // DATE 2002
+	for i := 0; i < 300; i++ {
+		g := &genCtx{rng: rng}
+		body := &ch.Rep{Body: &ch.Op{
+			Kind: ch.EncEarly,
+			A:    &ch.Chan{Kind: ch.PToP, Act: ch.Passive, Name: "act"},
+			B:    g.genAny(rng.Intn(4) + 1),
+		}}
+		p := &ch.Program{Name: fmt.Sprintf("fuzz%d", i), Body: body}
+		sp, err := Compile(p)
+		if err != nil {
+			t.Fatalf("fuzz %d: %v\n%s", i, err, ch.Format(p.Body))
+		}
+		ds := bmlint.Analyze(sp)
+		for _, d := range ds {
+			if d.Severity == bmlint.SevError {
+				t.Fatalf("fuzz %d: compiled spec carries BM-error:\n%s\n%s",
+					i, d.Render(sp.Name), sp)
+			}
+		}
+		if (sp.Check() == nil) != !bmlint.HasErrors(ds) {
+			t.Fatalf("fuzz %d: Check and bmlint disagree on %s", i, sp.Name)
+		}
+	}
+}

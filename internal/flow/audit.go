@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"balsabm/internal/analysis"
+	"balsabm/internal/bmlint"
 	"balsabm/internal/ch"
 	"balsabm/internal/chtobm"
 	"balsabm/internal/core"
@@ -18,20 +19,25 @@ import (
 	"balsabm/internal/techmap"
 )
 
-// AuditResult aggregates the repo's full static-checker stack over one
-// design: chlint on the CH control netlist, Burst-Mode well-formedness
-// (bm.Spec.Check) and a hazard-free re-verification of every
-// synthesized cover (hfmin.CheckCover) per controller shape, the
-// speed-split mapped-logic audit (techmap.CheckMapped), and netlint on
-// every mapped controller plus the merged circuit of each arm.
+// AuditResult aggregates the repo's full five-checker stack over one
+// design: chlint on the CH control netlist, bmlint on every compiled
+// Burst-Mode specification (subsuming the old bm.Spec.Check row), a
+// hazard-free re-verification of every synthesized cover
+// (hfmin.CheckCover) per controller shape, the speed-split
+// mapped-logic audit (techmap.CheckMapped), and netlint on every
+// mapped controller plus the merged circuit of each arm.
 type AuditResult struct {
 	Design string
 	// LintDiags are the chlint findings on the control netlist.
 	LintDiags []analysis.Diag
+	// Specs are the bmlint audits of each unique controller shape's
+	// compiled Burst-Mode specification, in audit order.
+	Specs []bmlint.Result
 	// SpecsChecked counts controller shapes whose compiled Burst-Mode
-	// specification passed bm.Spec.Check; CoversChecked counts
-	// two-level covers re-verified hazard-free; MappedChecked counts
-	// speed-split mapped controllers whose gate logic passed the
+	// specification carried no BM-error (the bm.Spec.Check
+	// conditions, accumulated); CoversChecked counts two-level covers
+	// re-verified hazard-free; MappedChecked counts speed-split
+	// mapped controllers whose gate logic passed the
 	// hazard-non-increasing mapping audit.
 	SpecsChecked  int
 	CoversChecked int
@@ -49,42 +55,61 @@ func (a *AuditResult) fail(format string, args ...any) {
 	a.Failures = append(a.Failures, fmt.Sprintf(format, args...))
 }
 
-// Errors counts everything that must fail an audit: checker failures,
-// error-severity lint findings and error-severity netlint findings.
-func (a *AuditResult) Errors() int {
-	e, _, _ := analysis.Count(a.LintDiags)
-	n := e + len(a.Failures)
-	for _, c := range a.Circuits {
-		ce, _, _ := netlint.Count(c.Diags)
-		n += ce
+// bmCount tallies the bmlint findings across all audited specs.
+func (a *AuditResult) bmCount() (errors, warnings int) {
+	for _, s := range a.Specs {
+		e, w, _ := bmlint.Count(s.Diags)
+		errors += e
+		warnings += w
 	}
-	return n
+	return
 }
 
-// Warnings counts warning-severity lint and netlint findings.
+// nlCount tallies the netlint findings across all audited circuits.
+func (a *AuditResult) nlCount() (errors, warnings int) {
+	for _, c := range a.Circuits {
+		e, w, _ := netlint.Count(c.Diags)
+		errors += e
+		warnings += w
+	}
+	return
+}
+
+// Errors counts everything that must fail an audit: checker failures
+// and error-severity findings from any of the three linters.
+func (a *AuditResult) Errors() int {
+	e, _, _ := analysis.Count(a.LintDiags)
+	be, _ := a.bmCount()
+	ne, _ := a.nlCount()
+	return e + be + ne + len(a.Failures)
+}
+
+// Warnings counts warning-severity findings from the three linters.
 func (a *AuditResult) Warnings() int {
 	_, w, _ := analysis.Count(a.LintDiags)
-	n := w
-	for _, c := range a.Circuits {
-		_, cw, _ := netlint.Count(c.Diags)
-		n += cw
-	}
-	return n
+	_, bw := a.bmCount()
+	_, nw := a.nlCount()
+	return w + bw + nw
 }
 
 // OK reports whether the whole stack passed with no errors.
 func (a *AuditResult) OK() bool { return a.Errors() == 0 }
 
-// Summary renders the audit as one line, e.g.
+// Summary renders the audit as one line with per-checker diagnostic
+// counts for the five-checker stack, e.g.
 //
-//	stack: audit OK: 9 specs, 74 covers, 9 mapped, 22 circuits; 0 errors, 4 warnings
+//	stack: audit OK: chlint 0e/0w; bmlint 0e/0w, 9 specs; 74 covers; 9 mapped; netlint 0e/4w, 22 circuits; 0 errors, 4 warnings
 func (a *AuditResult) Summary() string {
 	status := "OK"
 	if !a.OK() {
 		status = "FAIL"
 	}
-	return fmt.Sprintf("%s: audit %s: %d specs, %d covers, %d mapped, %d circuits; %d errors, %d warnings",
-		a.Design, status, a.SpecsChecked, a.CoversChecked, a.MappedChecked,
+	le, lw, _ := analysis.Count(a.LintDiags)
+	be, bw := a.bmCount()
+	ne, nw := a.nlCount()
+	return fmt.Sprintf("%s: audit %s: chlint %de/%dw; bmlint %de/%dw, %d specs; %d covers; %d mapped; netlint %de/%dw, %d circuits; %d errors, %d warnings",
+		a.Design, status, le, lw, be, bw, a.SpecsChecked,
+		a.CoversChecked, a.MappedChecked, ne, nw,
 		len(a.Circuits), a.Errors(), a.Warnings())
 }
 
@@ -99,6 +124,13 @@ func (a *AuditResult) Details() string {
 	for _, d := range a.LintDiags {
 		if d.Severity != analysis.SevInfo {
 			fmt.Fprintf(&sb, "%s\n", d.String())
+		}
+	}
+	for _, s := range a.Specs {
+		for _, d := range s.Diags {
+			if d.Severity != bmlint.SevInfo {
+				fmt.Fprintf(&sb, "%s\n", d.Render(s.Name))
+			}
 		}
 	}
 	for _, c := range a.Circuits {
@@ -193,14 +225,17 @@ func (r *runner) auditComponent(a *AuditResult, comp *ch.Program, mode techmap.M
 		seenMapped[key] = true
 	}
 
-	sp, err := chtobm.Compile(comp)
+	sp, err := chtobm.CompileLoose(comp)
 	if err != nil {
 		a.fail("%s: compile: %v", comp.Name, err)
 		return nil
 	}
 	if needSpec {
-		if err := sp.Check(); err != nil {
-			a.fail("%s: spec check: %v", comp.Name, err)
+		res := bmlint.Audit(sp)
+		a.Specs = append(a.Specs, res)
+		if bmlint.HasErrors(res.Diags) {
+			// The BM-error diagnostics carry the verdict; synthesizing
+			// an ill-formed spec would only cascade.
 			return nil
 		}
 		a.SpecsChecked++

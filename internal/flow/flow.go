@@ -163,6 +163,10 @@ type Metrics struct {
 	lint       []LintFinding
 	lintNotify func(LintFinding)
 
+	bmlintMu     sync.Mutex
+	bmlint       []BmlintFinding
+	bmlintNotify func(BmlintFinding)
+
 	netlintMu     sync.Mutex
 	netlint       []NetlintFinding
 	netlintNotify func(NetlintFinding)
@@ -193,6 +197,36 @@ func (m *Metrics) recordLint(f LintFinding) {
 	m.lint = append(m.lint, f)
 	fn := m.lintNotify
 	m.lintMu.Unlock()
+	if fn != nil {
+		fn(f)
+	}
+}
+
+// NotifyBmlint registers a callback invoked (synchronously) for every
+// non-error finding the post-compile bmlint gate records — the hook
+// the daemon uses to stream spec findings over SSE. Call before the
+// run starts.
+func (m *Metrics) NotifyBmlint(fn func(BmlintFinding)) {
+	m.bmlintMu.Lock()
+	defer m.bmlintMu.Unlock()
+	m.bmlintNotify = fn
+}
+
+// BmlintFindings returns the non-error spec findings recorded so far,
+// in gate order.
+func (m *Metrics) BmlintFindings() []BmlintFinding {
+	m.bmlintMu.Lock()
+	defer m.bmlintMu.Unlock()
+	out := make([]BmlintFinding, len(m.bmlint))
+	copy(out, m.bmlint)
+	return out
+}
+
+func (m *Metrics) recordBmlint(f BmlintFinding) {
+	m.bmlintMu.Lock()
+	m.bmlint = append(m.bmlint, f)
+	fn := m.bmlintNotify
+	m.bmlintMu.Unlock()
 	if fn != nil {
 		fn(f)
 	}
@@ -248,6 +282,9 @@ func (m *Metrics) String() string {
 	}
 	for _, f := range m.LintFindings() {
 		s += fmt.Sprintf("lint: %s: %s\n", f.Design, f.Diag)
+	}
+	for _, f := range m.BmlintFindings() {
+		s += fmt.Sprintf("bmlint: %s: %s\n", f.Unit(), f.Diag)
 	}
 	for _, f := range m.NetlintFindings() {
 		s += fmt.Sprintf("netlint: %s: %s\n", f.Circuit(), f.Diag)
@@ -575,6 +612,9 @@ func (r *runner) runDesign(d *designs.Design) (*DesignResult, error) {
 			res.Unopt, res.Bench = cp.Arm, cp.Bench
 			return nil
 		}
+		if err := r.bmlintGate(d.Name, "unopt", d.Control()); err != nil {
+			return fmt.Errorf("unoptimized arm: %w", err)
+		}
 		mapped, ctrls, err := r.synthesizeNetlist(d.Control(), techmap.AreaShared)
 		if err != nil {
 			return fmt.Errorf("unoptimized arm: %w", err)
@@ -620,6 +660,9 @@ func (r *runner) runDesign(d *designs.Design) (*DesignResult, error) {
 			ck.saveCluster(optNetlist, report)
 		}
 		res.Report = report
+		if err := r.bmlintGate(d.Name, "opt", optNetlist); err != nil {
+			return fmt.Errorf("optimized arm: %w", err)
+		}
 		mapped, ctrls, err := r.synthesizeNetlist(optNetlist, techmap.SpeedSplit)
 		if err != nil {
 			return fmt.Errorf("optimized arm: %w", err)

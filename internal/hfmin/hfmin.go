@@ -141,12 +141,14 @@ func (e *ConflictError) Error() string {
 		e.On, e.Off, e.On.Intersect(e.Off))
 }
 
-// enumBudget bounds the nodes one dhfPrimes enumeration may visit
+// EnumBudget bounds the nodes one dhfPrimes enumeration may visit
 // before falling back to greedy expansion. The packed engine made
 // nodes roughly an order of magnitude cheaper than the original
 // []Lit implementation's 1500-node budget, so the exact path now
-// covers the Table 3 controllers without truncating.
-const enumBudget = 20000
+// covers the Table 3 controllers without truncating. Exported so
+// bmlint's BM200 complexity report can compare a spec's estimated
+// enumeration pressure against the minimizer's exact-path budget.
+const EnumBudget = 20000
 
 // bbBudget bounds the covering branch-and-bound; beyond it the
 // incumbent (at worst the greedy solution) is kept and the result is
@@ -300,7 +302,7 @@ func (m *problemMat) dhfPrimesMask(seed logic.PackedCube, spec []int) (out []log
 		if _, dup := seen[ex]; dup {
 			return
 		}
-		if nodes++; nodes > enumBudget {
+		if nodes++; nodes > EnumBudget {
 			overflow = true
 			return
 		}
@@ -403,7 +405,7 @@ func (m *problemMat) dhfPrimesWide(seed logic.PackedCube) (out []logic.PackedCub
 		if overflow {
 			return
 		}
-		if nodes++; nodes > enumBudget {
+		if nodes++; nodes > EnumBudget {
 			overflow = true
 			return
 		}

@@ -31,39 +31,27 @@ package netlint
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"balsabm/internal/cell"
+	"balsabm/internal/diag"
 	"balsabm/internal/gates"
 )
 
-// Severity classifies a diagnostic, mirroring internal/analysis.
-type Severity int
+// Severity classifies a diagnostic; see internal/diag.
+type Severity = diag.Severity
 
+// Severity levels, re-exported from internal/diag. Errors mark
+// structural defects — the circuit is miswired (or would corrupt
+// downstream tooling) and must not ship; they abort the flow's
+// post-merge gate. Warnings mark suspicious-but-functional structure,
+// e.g. driven nets nothing consumes. Infos are advisory, e.g. the
+// static report.
 const (
-	// SevError marks structural defects: the circuit is miswired (or
-	// would corrupt downstream tooling) and must not ship. Errors
-	// abort the flow's post-merge gate.
-	SevError Severity = iota
-	// SevWarning marks suspicious-but-functional structure, e.g.
-	// driven nets nothing consumes.
-	SevWarning
-	// SevInfo marks advisory findings, e.g. the static report.
-	SevInfo
+	SevError   = diag.SevError
+	SevWarning = diag.SevWarning
+	SevInfo    = diag.SevInfo
 )
-
-func (s Severity) String() string {
-	switch s {
-	case SevError:
-		return "error"
-	case SevWarning:
-		return "warning"
-	case SevInfo:
-		return "info"
-	}
-	return fmt.Sprintf("Severity(%d)", int(s))
-}
 
 // Loc pins a diagnostic to a place in the netlist: an instance (gate),
 // a net, both, or neither (circuit-level findings). Instances are
@@ -116,45 +104,18 @@ func (l Loc) String() string {
 	return strings.Join(parts, " ")
 }
 
-// Diag is one diagnostic: where, how bad, which rule, and why.
-type Diag struct {
-	Loc      Loc
-	Severity Severity
-	Code     string // stable "NLxxx" code, see Codes
-	Message  string
-	Notes    []string // secondary lines: cycle paths, colliding names
-}
+// Fragment implements diag.Loc: gate/net locations are
+// space-separated from the circuit prefix ("stack.opt: g12(NAND2):").
+func (l Loc) Fragment() (string, bool) { return l.String(), false }
 
-// String renders the diagnostic without a circuit name.
-func (d Diag) String() string { return d.Render("") }
+// Key implements diag.Loc: diagnostics sort by instance, then net.
+func (l Loc) Key() (int, int) { return l.Inst, l.Net }
 
-// Render renders the diagnostic vet-style, prefixed with the circuit
-// name when non-empty:
-//
-//	stack.opt: g12(NAND2): error: NL004: ...
-func (d Diag) Render(circuit string) string {
-	var sb strings.Builder
-	if circuit != "" {
-		sb.WriteString(circuit)
-		sb.WriteString(":")
-	}
-	if loc := d.Loc.String(); loc != "" {
-		if sb.Len() > 0 {
-			sb.WriteString(" ")
-		}
-		sb.WriteString(loc)
-		sb.WriteString(":")
-	}
-	if sb.Len() > 0 {
-		sb.WriteString(" ")
-	}
-	fmt.Fprintf(&sb, "%s: %s: %s", d.Severity, d.Code, d.Message)
-	for _, n := range d.Notes {
-		sb.WriteString("\n\t")
-		sb.WriteString(n)
-	}
-	return sb.String()
-}
+// Diag is one diagnostic: where (a gate/net Loc), how bad, which
+// rule, and why. It is the shared diag.Diag shape instantiated with
+// netlist locations; see internal/diag for the render and sort
+// conventions.
+type Diag = diag.Diag[Loc]
 
 // Codes maps every stable diagnostic code to its one-line meaning.
 // Codes are append-only: a released code never changes meaning, so
@@ -177,36 +138,7 @@ var Codes = map[string]string{
 }
 
 // Reporter collects diagnostics during a pass run.
-type Reporter struct {
-	diags []Diag
-}
-
-// Report appends one diagnostic.
-func (r *Reporter) Report(d Diag) { r.diags = append(r.diags, d) }
-
-// Errorf reports an error-severity diagnostic at loc.
-func (r *Reporter) Errorf(loc Loc, code, format string, args ...any) {
-	r.Report(Diag{Loc: loc, Severity: SevError, Code: code, Message: fmt.Sprintf(format, args...)})
-}
-
-// Warnf reports a warning-severity diagnostic at loc.
-func (r *Reporter) Warnf(loc Loc, code, format string, args ...any) {
-	r.Report(Diag{Loc: loc, Severity: SevWarning, Code: code, Message: fmt.Sprintf(format, args...)})
-}
-
-// Infof reports an info-severity diagnostic at loc.
-func (r *Reporter) Infof(loc Loc, code, format string, args ...any) {
-	r.Report(Diag{Loc: loc, Severity: SevInfo, Code: code, Message: fmt.Sprintf(format, args...)})
-}
-
-// note attaches a note to the most recently reported diagnostic.
-func (r *Reporter) note(format string, args ...any) {
-	if len(r.diags) == 0 {
-		return
-	}
-	d := &r.diags[len(r.diags)-1]
-	d.Notes = append(d.Notes, fmt.Sprintf(format, args...))
-}
+type Reporter = diag.Reporter[Loc]
 
 // Pass is one analyzer pass: a name, a one-line doc string and a run
 // function receiving the netlist under analysis and its library.
@@ -238,22 +170,16 @@ func Run(nl *gates.Netlist, lib *cell.Library, passes []*Pass) []Diag {
 	r := &Reporter{}
 	for _, p := range passes {
 		p.Run(nl, lib, r)
-		if p == StructPass && hasCode(r.diags, "NL000") {
+		if p == StructPass && hasCode(r.Diags(), "NL000") {
 			break
 		}
 	}
-	sortDiags(r.diags)
-	return r.diags
+	ds := r.Diags()
+	diag.Sort(ds)
+	return ds
 }
 
-func hasCode(ds []Diag, code string) bool {
-	for _, d := range ds {
-		if d.Code == code {
-			return true
-		}
-	}
-	return false
-}
+func hasCode(ds []Diag, code string) bool { return diag.HasCode(ds, code) }
 
 // Analyze runs every registered pass over a netlist.
 func Analyze(nl *gates.Netlist, lib *cell.Library) []Diag {
@@ -281,52 +207,12 @@ func Audit(nl *gates.Netlist, lib *cell.Library) Result {
 	return res
 }
 
-// sortDiags orders diagnostics by location (instance, then net), then
-// code, then message — byte-deterministic at any pass count.
-func sortDiags(ds []Diag) {
-	sort.SliceStable(ds, func(i, j int) bool {
-		a, b := ds[i], ds[j]
-		if a.Loc.Inst != b.Loc.Inst {
-			return a.Loc.Inst < b.Loc.Inst
-		}
-		if a.Loc.Net != b.Loc.Net {
-			return a.Loc.Net < b.Loc.Net
-		}
-		if a.Code != b.Code {
-			return a.Code < b.Code
-		}
-		return a.Message < b.Message
-	})
-}
-
 // Count tallies diagnostics by severity.
-func Count(ds []Diag) (errors, warnings, infos int) {
-	for _, d := range ds {
-		switch d.Severity {
-		case SevError:
-			errors++
-		case SevWarning:
-			warnings++
-		default:
-			infos++
-		}
-	}
-	return
-}
+func Count(ds []Diag) (errors, warnings, infos int) { return diag.Count(ds) }
 
 // HasErrors reports whether any diagnostic is error-severity.
-func HasErrors(ds []Diag) bool {
-	e, _, _ := Count(ds)
-	return e > 0
-}
+func HasErrors(ds []Diag) bool { return diag.HasErrors(ds) }
 
 // Format renders diagnostics vet-style, one per line (plus note
 // lines), prefixed with the circuit name when non-empty.
-func Format(ds []Diag, circuit string) string {
-	var sb strings.Builder
-	for _, d := range ds {
-		sb.WriteString(d.Render(circuit))
-		sb.WriteString("\n")
-	}
-	return sb.String()
-}
+func Format(ds []Diag, circuit string) string { return diag.Format(ds, circuit) }

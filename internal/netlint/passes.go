@@ -153,7 +153,7 @@ func runDrivers(nl *gates.Netlist, lib *cell.Library, r *Reporter) {
 		if len(ds) > 1 {
 			r.Errorf(NetLoc(nl, id), "NL001", "net has %d drivers", len(ds))
 			for _, i := range ds {
-				r.note("driven by g%d(%s)", i, nl.Instances[i].Cell)
+				r.Note("driven by g%d(%s)", i, nl.Instances[i].Cell)
 			}
 		}
 		hasSource := len(ds) > 0 || isInput[id] || id == nl.Const0
@@ -301,9 +301,9 @@ func reportCycle(nl *gates.Netlist, r *Reporter, reported map[string]bool, path 
 		net := cycle[i]
 		d := drivers[net]
 		if d >= 0 {
-			r.note("net %q driven by g%d(%s)", nl.NetNames[net], d, nl.Instances[d].Cell)
+			r.Note("net %q driven by g%d(%s)", nl.NetNames[net], d, nl.Instances[d].Cell)
 		} else {
-			r.note("net %q", nl.NetNames[net])
+			r.Note("net %q", nl.NetNames[net])
 		}
 	}
 }

@@ -44,6 +44,17 @@ func (c *Client) Lint(ctx context.Context, req api.LintRequest) (*api.LintResult
 	return &out, nil
 }
 
+// Bmlint compiles a design's Burst-Mode specs on the daemon (or lints
+// one .bms spec) and returns the bmlint audit per spec
+// (POST /api/v1/bmlint).
+func (c *Client) Bmlint(ctx context.Context, req api.BmlintRequest) (*api.BmlintResultJSON, error) {
+	var out api.BmlintResultJSON
+	if err := c.do(ctx, http.MethodPost, "/api/v1/bmlint", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Netlint synthesizes a design on the daemon (no simulation) and
 // returns its structural audit (POST /api/v1/netlint).
 func (c *Client) Netlint(ctx context.Context, req api.NetlintRequest) (*api.NetlintResultJSON, error) {

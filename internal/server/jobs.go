@@ -13,6 +13,7 @@ import (
 
 	"balsabm/internal/api"
 	"balsabm/internal/balsa"
+	"balsabm/internal/bmlint"
 	"balsabm/internal/cell"
 	"balsabm/internal/ch"
 	"balsabm/internal/core"
@@ -167,6 +168,10 @@ type Manager struct {
 	// the error findings of gates that failed the job. Exported as
 	// balsabmd_netlint_diags_total{code=...}.
 	netlintDiags map[string]int64
+	// bmlintDiags is the same per-code tally one tier up: Burst-Mode
+	// spec diagnostics (BMxxx) from the post-compile bmlint gates.
+	// Exported as balsabmd_bmlint_diags_total{code=...}.
+	bmlintDiags map[string]int64
 
 	dedupHits   parallel.Counter
 	dedupMisses parallel.Counter
@@ -204,6 +209,7 @@ func NewManager(cfg Config) *Manager {
 		store:        cfg.Store,
 		jobs:         map[string]*Job{},
 		netlintDiags: map[string]int64{},
+		bmlintDiags:  map[string]int64{},
 	}
 	var resumable []*Job
 	if m.store != nil {
@@ -299,6 +305,12 @@ func (m *Manager) hookJob(j *Job) {
 		d := api.FromNetlintDiag(f.Diag)
 		d.Circuit = f.Circuit()
 		j.events.publish(api.Event{Type: "lint", Netlint: &d})
+	})
+	// And the bmlint gate's, tagged with the audited spec.
+	j.met.NotifyBmlint(func(f flow.BmlintFinding) {
+		d := api.FromBmlintDiag(f.Diag)
+		d.Spec = f.Unit()
+		j.events.publish(api.Event{Type: "lint", Bmlint: &d})
 	})
 }
 
@@ -419,6 +431,7 @@ func (m *Manager) run(j *Job) {
 		m.ckptSaves.Add(j.met.CheckpointSaves.Load())
 		m.ckptLoads.Add(j.met.CheckpointLoads.Load())
 		m.countNetlint(j.met.NetlintFindings(), err)
+		m.countBmlint(j.met.BmlintFindings(), err)
 	}
 	switch {
 	case err == nil:
@@ -491,6 +504,27 @@ func (m *Manager) countNetlint(fs []flow.NetlintFinding, err error) {
 	}
 }
 
+// countBmlint folds one executed job's Burst-Mode spec diagnostics
+// into the daemon-wide per-code counters: the non-error findings its
+// bmlint gates recorded, plus the error findings when the gate failed
+// the job.
+func (m *Manager) countBmlint(fs []flow.BmlintFinding, err error) {
+	var be *flow.BmlintError
+	if len(fs) == 0 && !errors.As(err, &be) {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range fs {
+		m.bmlintDiags[f.Diag.Code]++
+	}
+	if be != nil {
+		for _, d := range be.Diags {
+			m.bmlintDiags[d.Code]++
+		}
+	}
+}
+
 // Metrics snapshots the daemon-wide counters.
 func (m *Manager) Metrics() *api.MetricsJSON {
 	out := &api.MetricsJSON{
@@ -540,6 +574,12 @@ func (m *Manager) Metrics() *api.MetricsJSON {
 		out.NetlintDiags = make(map[string]int64, len(m.netlintDiags))
 		for code, n := range m.netlintDiags {
 			out.NetlintDiags[code] = n
+		}
+	}
+	if len(m.bmlintDiags) > 0 {
+		out.BmlintDiags = make(map[string]int64, len(m.bmlintDiags))
+		for code, n := range m.bmlintDiags {
+			out.BmlintDiags[code] = n
 		}
 	}
 	m.mu.Unlock()
@@ -697,6 +737,13 @@ func runSynth(ctx context.Context, n *core.Netlist, mode string, cfg api.FlowCon
 			}
 		}
 	}
+	// Post-compile bmlint gate, mirroring the flow's runDesign: an
+	// ill-formed Burst-Mode spec fails the job before the minimizer
+	// sees it; warnings and the BM200 reports stream to subscribers
+	// and count toward the daemon's per-code totals.
+	if _, err := flow.BmlintGate("synth", mode, n, met); err != nil {
+		return nil, err
+	}
 	opts := cfg.Options(met)
 	mapped, ctrls, err := flow.SynthesizeNetlistCtx(ctx, n, tmMode, opts)
 	if err != nil {
@@ -761,4 +808,32 @@ func RunNetlint(ctx context.Context, req api.NetlintRequest) (*api.NetlintResult
 		return nil, err
 	}
 	return api.NetlintResult(mode, ctrls, merged), nil
+}
+
+// RunBmlint compiles a submitted design's components to Burst-Mode
+// specifications and audits each with bmlint — or, for Format "bms",
+// lints a single spec directly. Unlike the job-queue gate, error
+// findings do not fail the request: the report is the product. Both
+// the POST /api/v1/bmlint handler and the local `balsabm bmlint` path
+// call this one function, so the two answer byte-identical reports.
+func RunBmlint(ctx context.Context, req api.BmlintRequest) (*api.BmlintResultJSON, error) {
+	if req.Format == api.FormatBMS {
+		if strings.TrimSpace(req.Source) == "" {
+			return nil, fmt.Errorf("server: bmlint request has empty source")
+		}
+		res := bmlint.LintSource(req.Source)
+		if res.Name == "" {
+			res.Name = req.Name
+		}
+		return api.BmlintResult([]bmlint.Result{res}), nil
+	}
+	n, err := parseSource(api.JobRequest{Source: req.Source, Format: req.Format, Name: req.Name})
+	if err != nil {
+		return nil, err
+	}
+	specs, err := flow.BmlintNetlist(n)
+	if err != nil {
+		return nil, err
+	}
+	return api.BmlintResult(specs), nil
 }

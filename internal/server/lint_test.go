@@ -155,6 +155,7 @@ func TestLintWarningsStreamAsEvents(t *testing.T) {
 	}
 	var lints []api.DiagJSON
 	var netlints []api.NetlintDiagJSON
+	var bmlints []api.BmlintDiagJSON
 	for _, line := range strings.Split(string(body), "\n") {
 		if !strings.HasPrefix(line, "data: ") {
 			continue
@@ -169,6 +170,8 @@ func TestLintWarningsStreamAsEvents(t *testing.T) {
 				lints = append(lints, *ev.Lint)
 			case ev.Netlint != nil:
 				netlints = append(netlints, *ev.Netlint)
+			case ev.Bmlint != nil:
+				bmlints = append(bmlints, *ev.Bmlint)
 			default:
 				t.Fatalf("lint event without payload: %+v", ev)
 			}
@@ -193,5 +196,19 @@ func TestLintWarningsStreamAsEvents(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("missing NL200 netlint event for synth.unopt: %+v", netlints)
+	}
+	// The post-compile bmlint gate streams its findings there too: one
+	// BM200 static report per compiled spec, tagged with the audited
+	// spec ("design.arm.component").
+	for _, spec := range []string{"synth.unopt.a", "synth.unopt.b"} {
+		found := false
+		for _, d := range bmlints {
+			if d.Code == "BM200" && d.Spec == spec {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing BM200 bmlint event for %s: %+v", spec, bmlints)
+		}
 	}
 }

@@ -85,6 +85,17 @@ func PrometheusText(m *api.MetricsJSON) string {
 	line("# TYPE balsabmd_minimize_branch_nodes_total counter")
 	line("balsabmd_minimize_branch_nodes_total %d", m.BranchNodes)
 
+	line("# HELP balsabmd_bmlint_diags_total Burst-Mode spec diagnostics surfaced by the bmlint gates, by code.")
+	line("# TYPE balsabmd_bmlint_diags_total counter")
+	bmCodes := make([]string, 0, len(m.BmlintDiags))
+	for c := range m.BmlintDiags {
+		bmCodes = append(bmCodes, c)
+	}
+	sort.Strings(bmCodes)
+	for _, c := range bmCodes {
+		line("balsabmd_bmlint_diags_total{code=%q} %d", c, m.BmlintDiags[c])
+	}
+
 	line("# HELP balsabmd_netlint_diags_total Netlist diagnostics surfaced by the netlint gates, by code.")
 	line("# TYPE balsabmd_netlint_diags_total counter")
 	codes := make([]string, 0, len(m.NetlintDiags))

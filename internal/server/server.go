@@ -17,6 +17,9 @@
 //	GET    /api/v1/jobs/{id}/events live progress stream (SSE)
 //	POST   /api/v1/lint             run the chlint analyzer on CH source,
 //	                                synchronously; body is a LintRequest
+//	POST   /api/v1/bmlint           compile a design's Burst-Mode specs (or
+//	                                lint one .bms spec) and answer the
+//	                                bmlint audit per spec
 //	POST   /api/v1/netlint          synthesize a design (no simulation) and
 //	                                run the netlint structural audit on every
 //	                                mapped controller plus the merged
@@ -55,6 +58,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("POST /api/v1/lint", s.handleLint)
+	s.mux.HandleFunc("POST /api/v1/bmlint", s.handleBmlint)
 	s.mux.HandleFunc("POST /api/v1/netlint", s.handleNetlint)
 	s.mux.HandleFunc("GET /api/v1/designs", s.handleDesigns)
 	s.mux.HandleFunc("GET /api/v1/metrics", s.handleMetricsJSON)
@@ -252,6 +256,29 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, api.LintResult(req.File, analysis.LintSource(req.Source)))
+}
+
+// handleBmlint compiles a submitted design's Burst-Mode specs (or
+// lints one .bms spec) synchronously — no job queue; compiling specs
+// is cheap. The body is api.Encode(api.BmlintResult(...)), the same
+// struct and encoder `balsabm bmlint -json` prints, so the two
+// surfaces answer byte-identical reports for the same source.
+// Error-severity findings are reported, not failed: this endpoint
+// exists to look at them.
+func (s *Server) handleBmlint(w http.ResponseWriter, r *http.Request) {
+	var req api.BmlintRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	res, err := RunBmlint(r.Context(), req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 // handleNetlint synthesizes a submitted design synchronously (no

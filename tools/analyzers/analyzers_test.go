@@ -211,3 +211,27 @@ func TestRunConfigWritesVetxAndSkips(t *testing.T) {
 		t.Errorf("facts file not written: %v", err)
 	}
 }
+
+func TestDiagcodeFires(t *testing.T) {
+	got, wants, fset := runOnTestdata(t, "diagcode", "example.com/diagcodetest", diagcodeAnalyzer)
+	if len(got) != 3 {
+		t.Fatalf("diagcode produced %d findings on its testdata, want 3: %v", len(got), got)
+	}
+	checkWants(t, got, wants, fset)
+	// The _test.go file constructs an unregistered code; none of the
+	// findings may point into it.
+	for _, d := range got {
+		if strings.HasSuffix(fset.Position(d.pos).Filename, "_test.go") {
+			t.Errorf("diagcode flagged a test file: %s", fset.Position(d.pos))
+		}
+	}
+}
+
+func TestDiagcodeExemptsPackagesWithoutCodes(t *testing.T) {
+	// A package with no Codes registry (the mapiter testdata) must
+	// stay silent even though it is full of ordinary strings.
+	got, _, fset := runOnTestdata(t, "mapiter", "example.com/mapitertest", diagcodeAnalyzer)
+	for _, d := range got {
+		t.Errorf("diagcode fired without a Codes table: %s: %s", fset.Position(d.pos), d.message)
+	}
+}

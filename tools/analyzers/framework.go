@@ -15,6 +15,12 @@
 //     logic,minimalist,techmap,gates,netlint}). Their outputs key the
 //     dedup cache and the golden files; a clock read is a hidden input.
 //     Stage timing lives in internal/flow, which is exempt.
+//   - diagcode: in packages declaring a `Codes` registry (the three
+//     lint tiers: chlint, bmlint, netlint), every CHxxx/NLxxx/BMxxx
+//     code constructed in source must be a registered row with a
+//     non-empty doc string, and every row must still be constructed
+//     somewhere — the registry feeds suppressions, /metrics labels
+//     and docs, so it must never drift from the passes.
 //
 // It speaks the `go vet -vettool` protocol (the cmd/go side of
 // golang.org/x/tools' unitchecker) using only the standard library, so
@@ -39,7 +45,7 @@ type Analyzer struct {
 }
 
 // analyzers is the registry, in run order.
-var analyzers = []*Analyzer{mapiterAnalyzer, gostmtAnalyzer, timenowAnalyzer}
+var analyzers = []*Analyzer{mapiterAnalyzer, gostmtAnalyzer, timenowAnalyzer, diagcodeAnalyzer}
 
 // Pass hands one type-checked package to an analyzer.
 type Pass struct {

@@ -1,0 +1,22 @@
+// Package diagcodetest exercises the diagcode analyzer: a Codes
+// registry with a documented live row, an empty-doc row, a dead row,
+// and constructions of registered and unregistered codes.
+package diagcodetest
+
+// Codes is the registry under test.
+var Codes = map[string]string{
+	"CH001": "documented and constructed",
+	"CH002": "",                                 // want `diagnostic code "CH002" has an empty doc string`
+	"CH003": "registered but never constructed", // want `diagnostic code "CH003" is registered in Codes but never constructed in this package`
+}
+
+func report(code string) {}
+
+func use() {
+	report("CH001")
+	report("CH002")
+	report("CH999") // want `diagnostic code "CH999" constructed but not registered in this package's Codes table`
+	report("not a code")
+	report("CH12")   // shape mismatch: silent
+	report("CH1234") // shape mismatch: silent
+}

@@ -1,0 +1,6 @@
+package diagcodetest
+
+// Test files are exempt: an unregistered code here must not fire.
+func testUse() {
+	report("CH777")
+}

@@ -24,8 +24,11 @@ var timenowAnalyzer = &Analyzer{
 // pure functions of their inputs. internal/flow, the daemon, and the
 // CLIs are deliberately absent: they own the stopwatches.
 var deterministicPkgs = []string{
+	"internal/bm",
+	"internal/bmlint",
 	"internal/ch",
 	"internal/chtobm",
+	"internal/diag",
 	"internal/hfmin",
 	"internal/logic",
 	"internal/minimalist",
