@@ -35,6 +35,18 @@
 //	                          netlint) on built-in designs; one summary
 //	                          line per design. -audit is an equivalent
 //	                          flag spelling. Exit status 1 on failures.
+//	balsabm synth <file.ch>   synthesize a CH control netlist (no
+//	                          simulation): clustering + speed-split
+//	                          mapping by default (-mode unopt for the
+//	                          baseline arm), emitting per-controller
+//	                          summaries and structural Verilog (-json:
+//	                          the api.SynthResultJSON wire form). With
+//	                          -incremental, unchanged controllers are
+//	                          spliced in from the controller-grain
+//	                          cache instead of resynthesized; -base
+//	                          names the design file this one is an edit
+//	                          of (or, with -server, a prior job ID) and
+//	                          -data-dir makes the cache durable.
 //	balsabm artifacts <design> <dir>
 //	                          write the Fig 1 file pipeline (.bms, .sol,
 //	                          .v per controller, both arms) into dir
@@ -62,6 +74,21 @@
 //	-server URL
 //	          thin-client mode: run table3/flow on a balsabmd daemon
 //	          at URL instead of in process
+//	-incremental
+//	          attach the controller-grain synthesis cache to flow runs
+//	          (synth, table3, flow, audit): controllers whose canonical
+//	          subtree is already cached splice in instead of
+//	          resynthesizing. Results are byte-identical either way;
+//	          -stats shows the reused/resynthesized split.
+//	-base PATH|JOBID
+//	          the design this run is an edit of: a CH file locally, a
+//	          prior job ID with -server. Locally the base is
+//	          synthesized first (cheap when the cache is warm) so the
+//	          edited design reuses every unchanged controller.
+//	-data-dir DIR
+//	          back the incremental cache with a balsabmd data
+//	          directory, so reuse survives across runs and is shared
+//	          with a daemon using the same directory
 //	-cpuprofile FILE
 //	          write a CPU profile of the run to FILE (go tool pprof)
 //	-memprofile FILE
@@ -110,7 +137,50 @@ var (
 	auditFlag   = flag.Bool("audit", false, "run the full static audit stack (same as the audit subcommand)")
 	cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile  = flag.String("memprofile", "", "write an allocation profile (taken at exit) to this file")
+
+	incrFlag    = flag.Bool("incremental", false, "reuse cached controller syntheses with unchanged canonical subtrees")
+	baseFlag    = flag.String("base", "", "base design for incremental synth: a CH file locally, a job ID with -server")
+	dataDirFlag = flag.String("data-dir", "", "balsabmd data directory backing the incremental controller cache")
+	modeFlag    = flag.String("mode", api.ModeOpt, "synth arm: opt (clustering + speed-split) or unopt (baseline)")
 )
+
+// ctlStore is the store opened for -data-dir, shared by every flow run
+// of the invocation and closed at exit.
+var ctlStore *store.Store
+
+// controllerCache returns the controller-grain cache for -incremental
+// runs: the -data-dir store when given, an in-process map otherwise,
+// nil when -incremental is unset. A store that fails to open is fatal
+// — silently running cold would defeat the flag.
+func controllerCache() flow.ControllerCache {
+	if !*incrFlag {
+		return nil
+	}
+	if *dataDirFlag == "" {
+		return memCtlCache
+	}
+	if ctlStore == nil {
+		s, err := store.Open(*dataDirFlag, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "balsabm:", err)
+			os.Exit(1)
+		}
+		ctlStore = s
+	}
+	return ctlStore
+}
+
+var memCtlCache = flow.NewMemoryControllerCache()
+
+// closeCtlStore closes the -data-dir store if one was opened.
+// Controller blobs are written atomically at Put time, so this is
+// about releasing the journal handle, not flushing data.
+func closeCtlStore() {
+	if ctlStore != nil {
+		ctlStore.Close()
+		ctlStore = nil
+	}
+}
 
 // startProfiles starts CPU profiling when requested and returns a
 // cleanup that stops it and writes the exit heap profile. Profile
@@ -151,7 +221,11 @@ func startProfiles() func() {
 // flags; the returned metrics are printed when -stats is set.
 func flowOptions() (*flow.Options, *flow.Metrics) {
 	met := &flow.Metrics{}
-	return &flow.Options{Workers: *workersFlag, Metrics: met}, met
+	return &flow.Options{
+		Workers:     *workersFlag,
+		Metrics:     met,
+		Controllers: controllerCache(),
+	}, met
 }
 
 func printStats(met *flow.Metrics) {
@@ -169,6 +243,7 @@ func main() {
 	}
 	stopProfiles := startProfiles()
 	defer stopProfiles()
+	defer closeCtlStore()
 	// Ctrl-C / SIGTERM cancel in-flight flow runs cleanly.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -210,6 +285,8 @@ func main() {
 		err = auditCmd(ctx, args)
 	case "flow":
 		err = flowReport(ctx, args)
+	case "synth":
+		err = synthCmd(ctx, args)
 	case "artifacts":
 		err = artifacts(args)
 	case "cache":
@@ -223,12 +300,14 @@ func main() {
 		os.Exit(2)
 	}
 	if err == errLintFindings {
+		closeCtlStore()
 		stopProfiles()
 		stop()
 		os.Exit(1) // diagnostics already printed, vet-style
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "balsabm:", err)
+		closeCtlStore()
 		stopProfiles()
 		stop()
 		os.Exit(1)
@@ -236,7 +315,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: balsabm [-j N] [-stats] [-json] [-server URL] [-cpuprofile FILE] [-memprofile FILE] <table1|table2|table3|fig2|fig3|fig4|fig5|verify|flow|lint|bmlint|netlint|audit|artifacts|cache|designs> [args]`)
+	fmt.Fprintln(os.Stderr, `usage: balsabm [-j N] [-stats] [-json] [-server URL] [-incremental] [-base PATH|JOBID] [-data-dir DIR] [-cpuprofile FILE] [-memprofile FILE] <table1|table2|table3|fig2|fig3|fig4|fig5|verify|flow|synth|lint|bmlint|netlint|audit|artifacts|cache|designs> [args]`)
 	flag.PrintDefaults()
 }
 
@@ -278,10 +357,12 @@ func cacheCmd(args []string) error {
 			return err
 		}
 		if *jsonFlag {
-			return emitJSON(st)
+			// The daemon's /metrics "store" object and this command
+			// share api.FromStoreStats, so the two surfaces agree.
+			return emitJSON(api.FromStoreStats(st))
 		}
 		fmt.Printf("artifacts:   %d (%d bytes)\n", st.Artifacts, st.ArtifactBytes)
-		fmt.Printf("refs:        %d\n", st.Refs)
+		fmt.Printf("refs:        %d job results, %d controllers\n", st.Refs, st.ControllerRefs)
 		fmt.Printf("jobs:        %d journaled, %d resumable\n", st.Jobs, st.Interrupted)
 		fmt.Printf("checkpoints: %d stage payloads\n", st.Checkpoints)
 		return nil
@@ -318,6 +399,97 @@ func cacheCmd(args []string) error {
 		return nil
 	}
 	return fmt.Errorf("cache: unknown operation %q", op)
+}
+
+// synthCmd synthesizes one CH control netlist without simulation,
+// locally or (with -server) on a daemon. It shares server.RunSynth
+// with the daemon's job executor, so both paths emit byte-identical
+// api.SynthResultJSON. With -incremental the controller cache from
+// controllerCache() is attached; -base names the design this one is
+// an edit of — locally a CH file that is synthesized first to seed
+// the cache (all reuse when a -data-dir store is warm), with -server
+// a prior job ID forwarded as baseJobID.
+func synthCmd(ctx context.Context, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: balsabm synth <file.ch>")
+	}
+	mode := *modeFlag
+	if mode != api.ModeOpt && mode != api.ModeUnopt {
+		return fmt.Errorf("synth: unknown mode %q (want opt or unopt)", mode)
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	if *serverFlag != "" {
+		c := server.NewClient(*serverFlag)
+		req := api.JobRequest{
+			Kind: api.KindSynth, Source: string(data), Mode: mode,
+			Config:    api.FlowConfig{Workers: *workersFlag},
+			BaseJobID: *baseFlag,
+		}
+		res, err := c.Run(ctx, req)
+		if err != nil {
+			return err
+		}
+		return emitSynth(res.Synth)
+	}
+	met := &flow.Metrics{}
+	defer printStats(met)
+	ctl := controllerCache()
+	cfg := api.FlowConfig{Workers: *workersFlag}
+	if *baseFlag != "" {
+		if ctl == nil {
+			return fmt.Errorf("synth: -base requires -incremental")
+		}
+		baseData, err := os.ReadFile(*baseFlag)
+		if err != nil {
+			return fmt.Errorf("synth: reading -base: %w", err)
+		}
+		if *statsFlag {
+			if bn, berr := core.ParseNetlist(string(baseData)); berr == nil {
+				if en, eerr := core.ParseNetlist(string(data)); eerr == nil {
+					fmt.Fprintln(os.Stderr, flow.PlanIncremental(bn, en).String())
+				}
+			}
+		}
+		// Seed the cache from the base design; its result is
+		// discarded and its metrics kept separate so -stats reports
+		// the edited design's reuse split, not the seeding pass.
+		seedReq := api.JobRequest{Kind: api.KindSynth, Source: string(baseData), Mode: mode, Config: cfg}
+		if _, err := server.RunSynth(ctx, seedReq, &flow.Metrics{}, ctl); err != nil {
+			return fmt.Errorf("synth: base %s: %w", *baseFlag, err)
+		}
+	}
+	res, err := server.RunSynth(ctx, api.JobRequest{Kind: api.KindSynth, Source: string(data), Mode: mode, Config: cfg}, met, ctl)
+	if err != nil {
+		return err
+	}
+	return emitSynth(res.Synth)
+}
+
+// emitSynth prints a synth result: the wire form under -json, a
+// per-controller summary table otherwise.
+func emitSynth(s *api.SynthResultJSON) error {
+	if *jsonFlag {
+		return emitJSON(s)
+	}
+	fmt.Printf("mode %s: %d controllers\n", s.Mode, len(s.Controllers))
+	for _, c := range s.Controllers {
+		solver := "greedy"
+		if c.Controller.Exact {
+			solver = "exact"
+		}
+		fmt.Printf("  %-20s %3d states  %2d bits  %3d products  %3d cells  area %6.1f  critical %.2f ns  (%s)\n",
+			c.Controller.Name, c.Controller.States, c.Controller.StateBits,
+			c.Controller.Products, c.Controller.Cells, c.Controller.Area,
+			c.Controller.Critical, solver)
+	}
+	if s.Netlint != nil {
+		fmt.Printf("netlint %s: %d errors, %d warnings, %d infos\n",
+			s.Netlint.Circuit, s.Netlint.Errors, s.Netlint.Warnings, s.Netlint.Infos)
+	}
+	return nil
 }
 
 // errLintFindings reports that lint printed error diagnostics; main

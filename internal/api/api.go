@@ -18,6 +18,7 @@ import (
 	"balsabm/internal/core"
 	"balsabm/internal/flow"
 	"balsabm/internal/netlint"
+	"balsabm/internal/store"
 )
 
 // FlowConfig is the serializable subset of the flow's tuning knobs —
@@ -112,6 +113,13 @@ type JobRequest struct {
 	Name   string     `json:"name,omitempty"`   // KindSynth+balsa: design name for the compiler
 	Mode   string     `json:"mode,omitempty"`   // KindSynth: "opt" (default) or "unopt"
 	Config FlowConfig `json:"config"`
+	// BaseJobID marks an incremental resubmission: the ID of a prior
+	// job this request is an edit of. Submission fails if the ID is
+	// unknown. It never changes the result — the daemon's controller
+	// cache already reuses every unchanged canonical subtree — so it is
+	// excluded from the dedup key; it declares intent and is echoed in
+	// JobStatus so clients can correlate edit loops.
+	BaseJobID string `json:"baseJobID,omitempty"`
 }
 
 // JobStatus describes one job.
@@ -133,10 +141,19 @@ type JobStatus struct {
 	// daemon was interrupted, for jobs re-enqueued from the journal at
 	// boot; completed stages restore from disk instead of recomputing.
 	ResumedFrom string `json:"resumedFrom,omitempty"`
-	Error       string `json:"error,omitempty"`
-	Created     string `json:"created,omitempty"`
-	Started     string `json:"started,omitempty"`
-	Finished    string `json:"finished,omitempty"`
+	// BaseJobID echoes the incremental base named in the request.
+	BaseJobID string `json:"baseJobID,omitempty"`
+	// ControllersReused / ControllersResynthesized report the job's
+	// incremental resynthesis split: distinct canonical controller
+	// shapes spliced in from the controller cache vs. synthesized
+	// afresh. Zero for dedup- and disk-served jobs, which never reached
+	// the synthesis layer.
+	ControllersReused        int64  `json:"controllersReused,omitempty"`
+	ControllersResynthesized int64  `json:"controllersResynthesized,omitempty"`
+	Error                    string `json:"error,omitempty"`
+	Created                  string `json:"created,omitempty"`
+	Started                  string `json:"started,omitempty"`
+	Finished                 string `json:"finished,omitempty"`
 }
 
 // ControllerJSON mirrors flow.ControllerResult.
@@ -251,7 +268,12 @@ type Event struct {
 	Stage       string `json:"stage,omitempty"`
 	Count       int64  `json:"count,omitempty"`
 	TotalMicros int64  `json:"totalMicros,omitempty"`
-	Error       string `json:"error,omitempty"`
+	// ControllersReused / ControllersResynthesized ride the terminal
+	// "state" event of an executed job: its incremental resynthesis
+	// split (see JobStatus).
+	ControllersReused        int64  `json:"controllersReused,omitempty"`
+	ControllersResynthesized int64  `json:"controllersResynthesized,omitempty"`
+	Error                    string `json:"error,omitempty"`
 	// Lint carries one analyzer finding for "lint" events: the
 	// non-error diagnostics the pre-synthesis gate surfaced.
 	Lint *DiagJSON `json:"lint,omitempty"`
@@ -304,6 +326,12 @@ type MetricsJSON struct {
 	// the durable store and stages restored from it.
 	CheckpointsSaved    int64 `json:"checkpointsSaved"`
 	CheckpointsRestored int64 `json:"checkpointsRestored"`
+	// Incremental resynthesis split across every executed job: distinct
+	// canonical controller shapes served from the controller-grain
+	// artifact cache vs. synthesized afresh (also exported as
+	// balsabmd_incremental_controllers_total{outcome=...}).
+	ControllersReused        int64 `json:"controllersReused"`
+	ControllersResynthesized int64 `json:"controllersResynthesized"`
 	// Store summarizes the artifact cache on disk; present only when the
 	// daemon runs with a data directory.
 	Store *StoreStatsJSON `json:"store,omitempty"`
@@ -319,15 +347,33 @@ type MetricsJSON struct {
 
 // StoreStatsJSON summarizes the daemon's on-disk artifact store
 // (mirrors store.Stats; present in MetricsJSON only when the daemon
-// runs with a data directory).
+// runs with a data directory). `balsabm cache stats -json` emits the
+// same shape, so scripts read one schema for both surfaces.
 type StoreStatsJSON struct {
 	Artifacts     int   `json:"artifacts"`
 	ArtifactBytes int64 `json:"artifactBytes"`
 	Refs          int   `json:"refs"`
-	Checkpoints   int   `json:"checkpoints"`
+	// ControllerRefs counts controller-grain refs — the durable tier
+	// behind incremental resynthesis.
+	ControllerRefs int `json:"controllerRefs"`
+	Checkpoints    int `json:"checkpoints"`
 	// Corrupt counts artifacts that failed read-back verification this
 	// daemon session (each was removed and recomputed).
 	Corrupt int64 `json:"corrupt"`
+}
+
+// FromStoreStats converts a store summary to its wire form — the one
+// conversion both the daemon's /metrics and `balsabm cache stats
+// -json` go through, so the two surfaces agree byte for byte.
+func FromStoreStats(st store.Stats) *StoreStatsJSON {
+	return &StoreStatsJSON{
+		Artifacts:      st.Artifacts,
+		ArtifactBytes:  st.ArtifactBytes,
+		Refs:           st.Refs,
+		ControllerRefs: st.ControllerRefs,
+		Checkpoints:    st.Checkpoints,
+		Corrupt:        st.Corrupt,
+	}
 }
 
 // FromControllerResult converts one controller summary.

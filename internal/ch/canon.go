@@ -1,6 +1,8 @@
 package ch
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
@@ -127,6 +129,26 @@ func Canonicalize(e Expr) (*CanonicalForm, bool) {
 // CanonicalizeProgram is Canonicalize over a program's body.
 func CanonicalizeProgram(p *Program) (*CanonicalForm, bool) {
 	return Canonicalize(p.Body)
+}
+
+// Digest returns the sha256 hex digest of the canonical Key — the
+// controller-grain identity used by the incremental resynthesis
+// planner and the durable controller artifact store. Two programs
+// share a Digest exactly when they share a Key, i.e. when their
+// synthesized netlists are exact wire-renames of each other.
+func (c *CanonicalForm) Digest() string {
+	h := sha256.Sum256([]byte(c.Key))
+	return hex.EncodeToString(h[:])
+}
+
+// ProgramDigest is the canonical subtree digest of a program's body
+// (ok=false when the α-renaming cannot cover it, see Canonicalize).
+func ProgramDigest(p *Program) (string, bool) {
+	c, ok := CanonicalizeProgram(p)
+	if !ok {
+		return "", false
+	}
+	return c.Digest(), true
 }
 
 // WireRenames builds the exact-match net substitution that maps the

@@ -159,6 +159,13 @@ type Metrics struct {
 	CheckpointSaves parallel.Counter
 	CheckpointLoads parallel.Counter
 
+	// Incremental resynthesis counters, bumped only when the run has a
+	// ControllerCache attached, once per distinct canonical shape (the
+	// in-run memo folds repeats): controllers spliced in from the cache
+	// vs. synthesized afresh (and written back).
+	ControllersReused        parallel.Counter
+	ControllersResynthesized parallel.Counter
+
 	lintMu     sync.Mutex
 	lint       []LintFinding
 	lintNotify func(LintFinding)
@@ -277,6 +284,10 @@ func (m *Metrics) String() string {
 		s += fmt.Sprintf("checkpoints: %d saved, %d restored\n",
 			m.CheckpointSaves.Load(), m.CheckpointLoads.Load())
 	}
+	if n := m.ControllersReused.Load() + m.ControllersResynthesized.Load(); n > 0 {
+		s += fmt.Sprintf("incremental: %d controllers reused, %d resynthesized\n",
+			m.ControllersReused.Load(), m.ControllersResynthesized.Load())
+	}
 	if t := m.Timings.String(); t != "" {
 		s += t
 	}
@@ -319,6 +330,15 @@ type Options struct {
 	// checkpoint/resume. Payloads are deterministic, so resuming from a
 	// sink produces byte-identical results to an uninterrupted run.
 	Checkpoint CheckpointSink
+	// Controllers, when non-nil, is the controller-grain artifact tier
+	// behind incremental resynthesis: before synthesizing a canonical
+	// shape the run consults it (a hit splices the cached netlist in,
+	// renamed to the component's wires), and every fresh synthesis is
+	// written back. Because the cache key pins everything that affects
+	// the synthesized netlist, a warm cache produces byte-identical
+	// results to a cold run — only the ControllersReused /
+	// ControllersResynthesized metrics differ.
+	Controllers ControllerCache
 }
 
 // withDefaults returns a copy of the options with defaults filled in.
@@ -478,11 +498,36 @@ func (r *runner) synthOne(comp *ch.Program, mode techmap.Mode) (*gates.Netlist, 
 	}
 	key := fmt.Sprintf("%s|audit=%t|%s", mode, !r.opt.SkipAudit, canon.Key)
 	entry, hit, err := r.cache.Do(key, func() (*synthEntry, error) {
+		// Controller-grain artifact tier (incremental resynthesis): an
+		// unchanged canonical subtree loads its prior synthesis instead
+		// of recomputing it. The lookup runs inside the single-flight
+		// closure, so concurrent occurrences of one shape agree on a
+		// single entry at any worker count.
+		ctl := r.opt.Controllers
+		var ctlKey string
+		if ctl != nil {
+			ctlKey = ControllerKey(mode, !r.opt.SkipAudit, canon.Digest())
+			if blob, ok := ctl.GetController(ctlKey); ok {
+				if e, err := decodeController(blob); err == nil {
+					r.met.ControllersReused.Add(1)
+					return e, nil
+				}
+				// A corrupt blob falls through to resynthesis, which
+				// overwrites it.
+			}
+		}
 		nl, res, err := r.synthesize(comp, mode)
 		if err != nil {
 			return nil, err
 		}
-		return &synthEntry{wires: canon.Wires, netlist: nl, res: res}, nil
+		e := &synthEntry{wires: canon.Wires, netlist: nl, res: res}
+		if ctl != nil {
+			r.met.ControllersResynthesized.Add(1)
+			if blob, err := encodeController(e); err == nil {
+				ctl.PutController(ctlKey, blob)
+			}
+		}
+		return e, nil
 	})
 	if hit {
 		r.met.CacheHits.Add(1)
@@ -497,6 +542,13 @@ func (r *runner) synthOne(comp *ch.Program, mode techmap.Mode) (*gates.Netlist, 
 		if w != canon.Wires[i] {
 			sub[w] = canon.Wires[i]
 		}
+	}
+	if len(sub) > 0 {
+		// Carry the rename into techmap's derived helper nets, so the
+		// spliced netlist is byte-identical to direct synthesis of this
+		// component — regardless of which occurrence seeded the entry or
+		// whether it came from the controller artifact cache.
+		addDerivedRenames(sub, entry.netlist.NetNames)
 	}
 	nl := entry.netlist.Rename(comp.Name, sub)
 	res := entry.res

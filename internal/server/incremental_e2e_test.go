@@ -1,0 +1,166 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"balsabm/internal/api"
+	"balsabm/internal/flow"
+)
+
+// incrBase / incrEdit are a submit-edit-resubmit pair: the edit
+// changes only ctlB's protocol, so an incremental resubmission reuses
+// ctlA's cached synthesis and recomputes ctlB's.
+const incrBase = `
+(program ctlA (rep (enc-early (p-to-p passive root)
+    (seq (p-to-p active l1) (p-to-p active l2)))))
+(program ctlB (rep (enc-late (p-to-p passive go)
+    (seq-ov (p-to-p active x1) (p-to-p active x2)))))
+`
+
+const incrEdit = `
+(program ctlA (rep (enc-early (p-to-p passive root)
+    (seq (p-to-p active l1) (p-to-p active l2)))))
+(program ctlB (rep (enc-middle (p-to-p passive go)
+    (seq-ov (p-to-p active x1) (p-to-p active x2)))))
+`
+
+// TestE2EIncrementalResubmit is the daemon-level acceptance pin:
+// submit, edit one controller, resubmit with baseJobID — the second
+// job splices the unchanged controller from the controller cache
+// (reuse counters in JobStatus, the terminal SSE event, and /metrics)
+// and its result is byte-identical to a from-scratch synthesis.
+func TestE2EIncrementalResubmit(t *testing.T) {
+	_, hs, c := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+
+	base, err := c.Submit(ctx, api.JobRequest{Kind: api.KindSynth, Source: incrBase, Mode: api.ModeOpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSt, err := c.Wait(ctx, base.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseSt.State != api.StateDone {
+		t.Fatalf("base job state %s", baseSt.State)
+	}
+	if baseSt.ControllersResynthesized != 2 || baseSt.ControllersReused != 0 {
+		t.Fatalf("base job counters reused=%d resynthesized=%d, want 0/2",
+			baseSt.ControllersReused, baseSt.ControllersResynthesized)
+	}
+
+	// Unknown base job IDs fail submission with a 400-class error.
+	if _, err := c.Submit(ctx, api.JobRequest{Kind: api.KindSynth, Source: incrEdit,
+		Mode: api.ModeOpt, BaseJobID: "j99999"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown base job") {
+		t.Fatalf("unknown baseJobID accepted: %v", err)
+	}
+
+	edit, err := c.Submit(ctx, api.JobRequest{Kind: api.KindSynth, Source: incrEdit,
+		Mode: api.ModeOpt, BaseJobID: base.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	editSt, err := c.Wait(ctx, edit.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if editSt.State != api.StateDone || editSt.BaseJobID != base.ID {
+		t.Fatalf("edit job state=%s base=%q, want done/%s", editSt.State, editSt.BaseJobID, base.ID)
+	}
+	if editSt.ControllersReused != 1 || editSt.ControllersResynthesized != 1 {
+		t.Fatalf("edit job counters reused=%d resynthesized=%d, want 1/1",
+			editSt.ControllersReused, editSt.ControllersResynthesized)
+	}
+
+	// Byte-identity with a from-scratch run of the same executor.
+	res, err := c.Result(ctx, edit.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := api.Encode(res.Synth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := RunSynth(ctx, api.JobRequest{Kind: api.KindSynth, Source: incrEdit,
+		Mode: api.ModeOpt, Config: api.FlowConfig{Workers: 2}}, &flow.Metrics{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := api.Encode(scratch.Synth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("incremental result differs from scratch:\n--- incremental ---\n%s\n--- scratch ---\n%s", got, want)
+	}
+
+	// The reuse split rides the terminal SSE event.
+	reqCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(reqCtx, http.MethodGet,
+		hs.URL+"/api/v1/jobs/"+edit.ID+"/events", nil)
+	resp, err := hs.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	if _, err := io.Copy(&buf, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	sawTerminal := false
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev api.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad event %q: %v", line, err)
+		}
+		if ev.Type == "state" && ev.State == api.StateDone {
+			sawTerminal = true
+			if ev.ControllersReused != 1 || ev.ControllersResynthesized != 1 {
+				t.Fatalf("terminal event counters reused=%d resynthesized=%d, want 1/1",
+					ev.ControllersReused, ev.ControllersResynthesized)
+			}
+		}
+	}
+	if !sawTerminal {
+		t.Fatal("no terminal state event on the stream")
+	}
+
+	// Daemon-level aggregates: JSON metrics and the Prometheus text form.
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ControllersReused != 1 || m.ControllersResynthesized != 3 {
+		t.Fatalf("daemon counters reused=%d resynthesized=%d, want 1/3",
+			m.ControllersReused, m.ControllersResynthesized)
+	}
+	mresp, err := hs.Client().Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var mbuf strings.Builder
+	if _, err := io.Copy(&mbuf, mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`balsabmd_incremental_controllers_total{outcome="reused"} 1`,
+		`balsabmd_incremental_controllers_total{outcome="resynthesized"} 3`,
+	} {
+		if !strings.Contains(mbuf.String(), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, mbuf.String())
+		}
+	}
+}

@@ -80,7 +80,7 @@ type Job struct {
 	cancel context.CancelFunc
 	events *broker
 	met    *flow.Metrics
-	exec   func(ctx context.Context, met *flow.Metrics, ck flow.CheckpointSink) (*api.JobResult, error)
+	exec   func(ctx context.Context, met *flow.Metrics, ck flow.CheckpointSink, ctl flow.ControllerCache) (*api.JobResult, error)
 
 	mu    sync.Mutex
 	state string
@@ -112,9 +112,16 @@ func (j *Job) Status() api.JobStatus {
 		Dedup:       j.dedup,
 		Disk:        j.disk,
 		ResumedFrom: j.resumedFrom,
+		BaseJobID:   j.Req.BaseJobID,
 		Key:         j.Key,
 		Error:       j.err,
 		Created:     j.created.UTC().Format(time.RFC3339Nano),
+
+		// Incremental resynthesis split: populated while the job's own
+		// flow executes (dedup-/disk-served jobs keep zeros — they never
+		// reached the synthesis layer).
+		ControllersReused:        j.met.ControllersReused.Load(),
+		ControllersResynthesized: j.met.ControllersResynthesized.Load(),
 	}
 	if !j.started.IsZero() {
 		st.Started = j.started.UTC().Format(time.RFC3339Nano)
@@ -158,6 +165,11 @@ type Manager struct {
 	queue  chan *Job
 	memo   parallel.Memo[*api.JobResult]
 	store  *store.Store // nil = in-memory only
+	// ctl is the controller-grain artifact cache attached to every
+	// job's flow run (incremental resynthesis): the durable store when
+	// configured, an in-process map otherwise — so an edit-compile loop
+	// reuses unchanged controllers either way.
+	ctl flow.ControllerCache
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -191,6 +203,11 @@ type Manager struct {
 	jobsResumed   parallel.Counter
 	ckptSaves     parallel.Counter
 	ckptLoads     parallel.Counter
+
+	// Incremental resynthesis split across every executed job, exported
+	// as balsabmd_incremental_controllers_total{outcome=...}.
+	ctlReused  parallel.Counter
+	ctlResynth parallel.Counter
 }
 
 // NewManager starts a manager with cfg.Workers executor goroutines.
@@ -210,6 +227,11 @@ func NewManager(cfg Config) *Manager {
 		jobs:         map[string]*Job{},
 		netlintDiags: map[string]int64{},
 		bmlintDiags:  map[string]int64{},
+	}
+	if cfg.Store != nil {
+		m.ctl = cfg.Store
+	} else {
+		m.ctl = flow.NewMemoryControllerCache()
 	}
 	var resumable []*Job
 	if m.store != nil {
@@ -241,6 +263,16 @@ func (m *Manager) Submit(req api.JobRequest) (*Job, error) {
 	exec, key, err := prepare(req)
 	if err != nil {
 		return nil, err
+	}
+	// An incremental resubmission must name a job this daemon knows —
+	// catching stale IDs at submission, where the client can react,
+	// instead of silently running cold. The base does not change the
+	// dedup key (the controller cache is consulted for every run), so
+	// validation is all that happens here.
+	if req.BaseJobID != "" {
+		if _, ok := m.Get(req.BaseJobID); !ok {
+			return nil, fmt.Errorf("server: unknown base job %q", req.BaseJobID)
+		}
 	}
 	ctx, cancel := context.WithCancel(m.ctx)
 	j := &Job{
@@ -411,7 +443,7 @@ func (m *Manager) run(j *Job) {
 	}
 
 	res, hit, err := m.memo.Do(j.Key, func() (*api.JobResult, error) {
-		return j.exec(j.ctx, j.met, m.sink(j))
+		return j.exec(j.ctx, j.met, m.sink(j), m.ctl)
 	})
 	if hit {
 		m.dedupHits.Add(1)
@@ -430,6 +462,8 @@ func (m *Manager) run(j *Job) {
 		m.branchNodes.Add(j.met.BranchNodes.Load())
 		m.ckptSaves.Add(j.met.CheckpointSaves.Load())
 		m.ckptLoads.Add(j.met.CheckpointLoads.Load())
+		m.ctlReused.Add(j.met.ControllersReused.Load())
+		m.ctlResynth.Add(j.met.ControllersResynthesized.Load())
 		m.countNetlint(j.met.NetlintFindings(), err)
 		m.countBmlint(j.met.BmlintFindings(), err)
 	}
@@ -473,7 +507,11 @@ func (m *Manager) finish(j *Job, state string, res *api.JobResult, err error) {
 	}
 	dedup, disk := j.dedup, j.disk
 	j.mu.Unlock()
-	ev := api.Event{Type: "state", State: state, Dedup: dedup, Disk: disk}
+	ev := api.Event{
+		Type: "state", State: state, Dedup: dedup, Disk: disk,
+		ControllersReused:        j.met.ControllersReused.Load(),
+		ControllersResynthesized: j.met.ControllersResynthesized.Load(),
+	}
 	if err != nil {
 		ev.Error = err.Error()
 	}
@@ -549,16 +587,13 @@ func (m *Manager) Metrics() *api.MetricsJSON {
 		JobsResumed:         m.jobsResumed.Load(),
 		CheckpointsSaved:    m.ckptSaves.Load(),
 		CheckpointsRestored: m.ckptLoads.Load(),
+
+		ControllersReused:        m.ctlReused.Load(),
+		ControllersResynthesized: m.ctlResynth.Load(),
 	}
 	if m.store != nil {
 		if st, err := m.store.Stats(); err == nil {
-			out.Store = &api.StoreStatsJSON{
-				Artifacts:     st.Artifacts,
-				ArtifactBytes: st.ArtifactBytes,
-				Refs:          st.Refs,
-				Checkpoints:   st.Checkpoints,
-				Corrupt:       st.Corrupt,
-			}
+			out.Store = api.FromStoreStats(st)
 		}
 	}
 	for _, j := range m.List() {
@@ -614,9 +649,10 @@ func netlistKey(n *core.Netlist) string {
 // dedup key. All parsing happens here, at submission time, so a
 // malformed request fails synchronously with a 400-class error. The
 // executor receives the job's checkpoint sink (nil without a store)
-// and threads it into the flow, so long runs persist each completed
-// stage.
-func prepare(req api.JobRequest) (func(context.Context, *flow.Metrics, flow.CheckpointSink) (*api.JobResult, error), string, error) {
+// and the manager's controller cache (incremental resynthesis tier)
+// and threads both into the flow, so long runs persist each completed
+// stage and unchanged controllers splice in instead of recomputing.
+func prepare(req api.JobRequest) (func(context.Context, *flow.Metrics, flow.CheckpointSink, flow.ControllerCache) (*api.JobResult, error), string, error) {
 	cfgKey := req.Config.Key()
 	switch req.Kind {
 	case api.KindDesign:
@@ -625,9 +661,10 @@ func prepare(req api.JobRequest) (func(context.Context, *flow.Metrics, flow.Chec
 			return nil, "", err
 		}
 		key := fmt.Sprintf("design|%s|%s|%s", req.Design, cfgKey, netlistKey(d.Control()))
-		exec := func(ctx context.Context, met *flow.Metrics, ck flow.CheckpointSink) (*api.JobResult, error) {
+		exec := func(ctx context.Context, met *flow.Metrics, ck flow.CheckpointSink, ctl flow.ControllerCache) (*api.JobResult, error) {
 			opt := req.Config.Options(met)
 			opt.Checkpoint = ck
+			opt.Controllers = ctl
 			r, err := flow.RunDesignCtx(ctx, d, opt)
 			if err != nil {
 				return nil, err
@@ -638,9 +675,10 @@ func prepare(req api.JobRequest) (func(context.Context, *flow.Metrics, flow.Chec
 
 	case api.KindTable3:
 		key := fmt.Sprintf("table3|%s", cfgKey)
-		exec := func(ctx context.Context, met *flow.Metrics, ck flow.CheckpointSink) (*api.JobResult, error) {
+		exec := func(ctx context.Context, met *flow.Metrics, ck flow.CheckpointSink, ctl flow.ControllerCache) (*api.JobResult, error) {
 			opt := req.Config.Options(met)
 			opt.Checkpoint = ck
+			opt.Controllers = ctl
 			rs, err := flow.RunAllCtx(ctx, opt)
 			if err != nil {
 				return nil, err
@@ -662,8 +700,8 @@ func prepare(req api.JobRequest) (func(context.Context, *flow.Metrics, flow.Chec
 			return nil, "", fmt.Errorf("server: unknown mode %q", req.Mode)
 		}
 		key := fmt.Sprintf("synth|%s|%s|%s", mode, cfgKey, netlistKey(n))
-		exec := func(ctx context.Context, met *flow.Metrics, ck flow.CheckpointSink) (*api.JobResult, error) {
-			return runSynth(ctx, n, mode, req.Config, met, ck)
+		exec := func(ctx context.Context, met *flow.Metrics, ck flow.CheckpointSink, ctl flow.ControllerCache) (*api.JobResult, error) {
+			return runSynth(ctx, n, mode, req.Config, met, ck, ctl)
 		}
 		return exec, key, nil
 	}
@@ -705,7 +743,7 @@ type synthClusterCheckpoint struct {
 // numbers and structural Verilog per controller. The clustering stage
 // checkpoints to ck (when durable), so a daemon interrupted mid-job
 // resumes with the clustered netlist instead of re-deriving it.
-func runSynth(ctx context.Context, n *core.Netlist, mode string, cfg api.FlowConfig, met *flow.Metrics, ck flow.CheckpointSink) (*api.JobResult, error) {
+func runSynth(ctx context.Context, n *core.Netlist, mode string, cfg api.FlowConfig, met *flow.Metrics, ck flow.CheckpointSink, ctl flow.ControllerCache) (*api.JobResult, error) {
 	// Pre-synthesis lint gate, mirroring the flow's runDesign: error
 	// findings fail the job before clustering or synthesis start;
 	// warnings stream to subscribers via the metrics lint hook.
@@ -745,6 +783,7 @@ func runSynth(ctx context.Context, n *core.Netlist, mode string, cfg api.FlowCon
 		return nil, err
 	}
 	opts := cfg.Options(met)
+	opts.Controllers = ctl
 	mapped, ctrls, err := flow.SynthesizeNetlistCtx(ctx, n, tmMode, opts)
 	if err != nil {
 		return nil, err
@@ -771,6 +810,27 @@ func runSynth(ctx context.Context, n *core.Netlist, mode string, cfg api.FlowCon
 		})
 	}
 	return &api.JobResult{Kind: api.KindSynth, Synth: out}, nil
+}
+
+// RunSynth executes a KindSynth request in process, without a job
+// queue: the balsabm CLI's synth subcommand calls it directly, so a
+// local run and a daemon job go through the same executor and emit
+// byte-identical results. ctl is the controller-grain incremental
+// cache (nil to synthesize everything afresh); there is no checkpoint
+// sink — interrupted CLI runs just rerun.
+func RunSynth(ctx context.Context, req api.JobRequest, met *flow.Metrics, ctl flow.ControllerCache) (*api.JobResult, error) {
+	n, err := parseSource(req)
+	if err != nil {
+		return nil, err
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = api.ModeOpt
+	}
+	if mode != api.ModeOpt && mode != api.ModeUnopt {
+		return nil, fmt.Errorf("server: unknown mode %q", req.Mode)
+	}
+	return runSynth(ctx, n, mode, req.Config, met, nil, ctl)
 }
 
 // RunNetlint synthesizes a submitted

@@ -53,6 +53,11 @@ func PrometheusText(m *api.MetricsJSON) string {
 	line("# TYPE balsabmd_store_misses_total counter")
 	line("balsabmd_store_misses_total %d", m.StoreMisses)
 
+	line("# HELP balsabmd_incremental_controllers_total Controller syntheses by outcome (reused = spliced from the controller-grain artifact cache, resynthesized = computed afresh and written back).")
+	line("# TYPE balsabmd_incremental_controllers_total counter")
+	line("balsabmd_incremental_controllers_total{outcome=%q} %d", "resynthesized", m.ControllersResynthesized)
+	line("balsabmd_incremental_controllers_total{outcome=%q} %d", "reused", m.ControllersReused)
+
 	line("# HELP balsabmd_jobs_resumed_total Jobs re-enqueued from the journal at boot.")
 	line("# TYPE balsabmd_jobs_resumed_total counter")
 	line("balsabmd_jobs_resumed_total %d", m.JobsResumed)
@@ -71,6 +76,9 @@ func PrometheusText(m *api.MetricsJSON) string {
 		line("# HELP balsabmd_store_corrupt_total Artifacts that failed read-back verification this session.")
 		line("# TYPE balsabmd_store_corrupt_total counter")
 		line("balsabmd_store_corrupt_total %d", m.Store.Corrupt)
+		line("# HELP balsabmd_store_controller_refs Controller-grain refs in the artifact cache (incremental resynthesis tier).")
+		line("# TYPE balsabmd_store_controller_refs gauge")
+		line("balsabmd_store_controller_refs %d", m.Store.ControllerRefs)
 	}
 
 	line("# HELP balsabmd_minimize_functions_total Functions minimized, by solver path.")

@@ -59,7 +59,7 @@ func TestListStableOrder(t *testing.T) {
 
 // submitCustom enqueues a job with a caller-supplied executor, exactly
 // as Submit would, so tests can control execution timing directly.
-func submitCustom(m *Manager, key string, exec func(context.Context, *flow.Metrics, flow.CheckpointSink) (*api.JobResult, error)) *Job {
+func submitCustom(m *Manager, key string, exec func(context.Context, *flow.Metrics, flow.CheckpointSink, flow.ControllerCache) (*api.JobResult, error)) *Job {
 	ctx, cancel := context.WithCancel(m.ctx)
 	j := &Job{
 		Key:    key,
@@ -92,7 +92,7 @@ func TestCancelRunningForgetsMemo(t *testing.T) {
 
 	var runs atomic.Int32
 	started := make(chan struct{})
-	exec := func(ctx context.Context, met *flow.Metrics, ck flow.CheckpointSink) (*api.JobResult, error) {
+	exec := func(ctx context.Context, met *flow.Metrics, ck flow.CheckpointSink, ctl flow.ControllerCache) (*api.JobResult, error) {
 		if runs.Add(1) == 1 {
 			close(started)
 			<-ctx.Done() // first run blocks until cancelled
@@ -218,8 +218,10 @@ func TestE2EWarmRestartByteIdentical(t *testing.T) {
 	if met.StoreDiskHits != 1 || met.StoreMisses != 0 {
 		t.Fatalf("store tiers: disk=%d misses=%d, want 1/0", met.StoreDiskHits, met.StoreMisses)
 	}
-	if met.Store == nil || met.Store.Artifacts != 2 {
-		t.Fatalf("store stats = %+v, want 2 artifacts", met.Store)
+	// Two job-result blobs plus the controller-grain blobs the runs
+	// wrote for incremental resynthesis.
+	if met.Store == nil || met.Store.Artifacts != 4 || met.Store.ControllerRefs != 2 {
+		t.Fatalf("store stats = %+v, want 4 artifacts / 2 controller refs", met.Store)
 	}
 	text := PrometheusText(met)
 	if !bytes.Contains([]byte(text), []byte(`balsabmd_store_hits_total{tier="disk"} 1`)) {

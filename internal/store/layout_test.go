@@ -1,0 +1,147 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLayoutVersionWrittenOnCreate(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	data, err := os.ReadFile(filepath.Join(dir, "layout-version"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != LayoutVersion+"\n" {
+		t.Fatalf("layout-version = %q, want %q", data, LayoutVersion+"\n")
+	}
+	// Reopening the same directory accepts its own marker.
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+}
+
+func TestLayoutVersionMismatchRefusesOpen(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "layout-version"), []byte("999\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(dir, 0)
+	if err == nil {
+		t.Fatal("Open accepted a future layout version")
+	}
+	if !strings.Contains(err.Error(), "layout version") || !strings.Contains(err.Error(), "refusing to open") {
+		t.Fatalf("mismatch error is not loud enough: %v", err)
+	}
+}
+
+// A v1 directory (created before the marker existed: subdirectories
+// but no layout-version file) upgrades in place — the v2 additions
+// are purely additive — and keeps its artifacts readable.
+func TestLayoutV1DirUpgradesInPlace(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PutResult("old-key", []byte("v1 era blob\n")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Strip the marker to simulate a pre-versioning directory.
+	if err := os.Remove(filepath.Join(dir, "layout-version")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatalf("v1 directory refused: %v", err)
+	}
+	defer s2.Close()
+	if got, err := s2.GetResult("old-key"); err != nil || string(got) != "v1 era blob\n" {
+		t.Fatalf("v1 artifact unreadable after upgrade: %q err %v", got, err)
+	}
+	if data, err := os.ReadFile(filepath.Join(dir, "layout-version")); err != nil || string(data) != LayoutVersion+"\n" {
+		t.Fatalf("upgrade did not stamp the marker: %q err %v", data, err)
+	}
+}
+
+func TestControllerBlobRoundTripAndStats(t *testing.T) {
+	s := openTemp(t, 0)
+	if _, ok := s.GetController("ctl|missing"); ok {
+		t.Fatal("miss reported as hit")
+	}
+	blob := []byte(`{"wires":["a_r"],"result":{},"netlist":{}}`)
+	s.PutController("ctl|k1", blob)
+	got, ok := s.GetController("ctl|k1")
+	if !ok || !bytes.Equal(got, blob) {
+		t.Fatalf("round trip: %q/%v", got, ok)
+	}
+	// Controller refs share the artifact blob pool with job results:
+	// an identical payload dedupes to one artifact.
+	if _, err := s.PutResult("job-key", blob); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Artifacts != 1 || st.Refs != 1 || st.ControllerRefs != 1 {
+		t.Fatalf("stats = %+v, want 1 artifact, 1 ref, 1 controller ref", st)
+	}
+}
+
+// Controller refs heal like result refs: a tampered blob reads as a
+// miss (not an error), and a re-put restores service.
+func TestControllerCorruptionHealsToMiss(t *testing.T) {
+	s := openTemp(t, 0)
+	blob := []byte("controller payload\n")
+	s.PutController("ctl|k", blob)
+	if err := os.WriteFile(s.blobPath(contentHash(blob)), []byte("tampered!!!!!!!!!!\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetController("ctl|k"); ok {
+		t.Fatal("tampered controller blob served as a hit")
+	}
+	s.PutController("ctl|k", blob)
+	if got, ok := s.GetController("ctl|k"); !ok || !bytes.Equal(got, blob) {
+		t.Fatalf("after re-put: %q/%v", got, ok)
+	}
+}
+
+// GC sweeps dangling controller refs alongside result refs when their
+// shared blob is evicted.
+func TestGCSweepsDanglingControllerRefs(t *testing.T) {
+	s := openTemp(t, 0)
+	blob := []byte("shared payload between namespaces\n")
+	if _, err := s.PutResult("job", blob); err != nil {
+		t.Fatal(err)
+	}
+	s.PutController("ctl", blob)
+	s.maxBytes = 1 // evict everything
+	res, err := s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evicted != 1 {
+		t.Fatalf("evicted %d blobs, want 1", res.Evicted)
+	}
+	if res.DanglingRefs != 2 {
+		t.Fatalf("swept %d dangling refs, want 2 (refs + ctlrefs)", res.DanglingRefs)
+	}
+	if _, ok := s.GetController("ctl"); ok {
+		t.Fatal("evicted controller key still hits")
+	}
+	st, _ := s.Stats()
+	if st.ControllerRefs != 0 {
+		t.Fatalf("controller refs = %d after GC, want 0", st.ControllerRefs)
+	}
+}

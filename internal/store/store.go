@@ -8,11 +8,20 @@
 //
 // Layout under the data directory:
 //
+//	layout-version               the store format number (one line);
+//	                             written on create, checked on Open so
+//	                             a future format change fails loudly
+//	                             instead of silently mis-reading
 //	artifacts/<hh>/<sha256>      result blobs, named by the sha256 of
 //	                             their content (hh = first two hex
 //	                             digits); verified on read by re-hashing
 //	refs/<sha256(key)>           one line: the content hash a canonical
 //	                             job key resolves to
+//	ctlrefs/<sha256(key)>        same indirection at controller grain:
+//	                             the content hash a canonical controller
+//	                             subtree key (mode, audit flag, subtree
+//	                             sha256) resolves to — the durable tier
+//	                             behind incremental resynthesis
 //	checkpoints/<sha256(key)>/<stage>
 //	                             per-stage checkpoint payloads of
 //	                             in-flight jobs, deleted on completion
@@ -53,11 +62,21 @@ type Store struct {
 	corrupt int64 // artifacts that failed read-back verification
 }
 
+// LayoutVersion is the on-disk format number the package reads and
+// writes. Version 2 added the controller-grain ctlrefs/ namespace —
+// additive over version 1, so v1 directories (which predate the
+// marker file) upgrade in place on Open.
+const LayoutVersion = "2"
+
 // Open opens (creating if needed) the store rooted at dir, replays and
 // compacts its journal, sweeps stray temp files and runs the size-bound
-// GC. maxBytes bounds the artifact cache (0 = unbounded).
+// GC. maxBytes bounds the artifact cache (0 = unbounded). A data
+// directory written by an incompatible store layout is refused.
 func Open(dir string, maxBytes int64) (*Store, error) {
-	for _, sub := range []string{"artifacts", "refs", "checkpoints"} {
+	if err := checkLayout(dir); err != nil {
+		return nil, err
+	}
+	for _, sub := range []string{"artifacts", "refs", "ctlrefs", "checkpoints"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
@@ -136,8 +155,38 @@ func (s *Store) blobPath(ch string) string {
 	return filepath.Join(s.dir, "artifacts", ch[:2], ch)
 }
 
+// checkLayout enforces the layout-version marker: written when absent
+// (new directories, and v1 directories from before the marker existed
+// — the v2 layout is additive over v1), refused when it names a
+// version this package does not read.
+func checkLayout(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	path := filepath.Join(dir, "layout-version")
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		if err := writeAtomic(path, []byte(LayoutVersion+"\n")); err != nil {
+			return fmt.Errorf("store: writing layout-version: %w", err)
+		}
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: reading layout-version: %w", err)
+	}
+	if got := strings.TrimSpace(string(data)); got != LayoutVersion {
+		return fmt.Errorf("store: %s: layout version %q, this build reads %q — refusing to open", dir, got, LayoutVersion)
+	}
+	return nil
+}
+
 func (s *Store) refPath(key string) string {
 	return filepath.Join(s.dir, "refs", keyHash(key))
+}
+
+// ctlRefPath addresses the controller-grain ref namespace.
+func (s *Store) ctlRefPath(key string) string {
+	return filepath.Join(s.dir, "ctlrefs", keyHash(key))
 }
 
 // writeAtomic writes data to path via a temp file in the same
@@ -168,12 +217,10 @@ func writeAtomic(path string, data []byte) error {
 	return os.Rename(tmp.Name(), path)
 }
 
-// PutResult stores one completed job result blob under its canonical
-// key and returns the content hash. The blob lands content-addressed
-// in artifacts/ and the key's ref points at it; identical results
-// under different keys share one blob. Exceeding the size bound
-// triggers GC.
-func (s *Store) PutResult(key string, blob []byte) (string, error) {
+// putBlob lands a blob content-addressed in artifacts/ and points the
+// given ref file at it; identical blobs under different refs share one
+// artifact. Exceeding the size bound triggers GC.
+func (s *Store) putBlob(refPath string, blob []byte) (string, error) {
 	ch := contentHash(blob)
 	path := s.blobPath(ch)
 	if _, err := os.Stat(path); err != nil {
@@ -190,18 +237,18 @@ func (s *Store) PutResult(key string, blob []byte) (string, error) {
 			}
 		}
 	}
-	if err := writeAtomic(s.refPath(key), []byte(ch+"\n")); err != nil {
+	if err := writeAtomic(refPath, []byte(ch+"\n")); err != nil {
 		return "", fmt.Errorf("store: writing ref: %w", err)
 	}
 	return ch, nil
 }
 
-// GetResult looks a canonical key up in the artifact cache. A missing
-// key returns (nil, nil). A present blob is re-hashed before it is
-// returned; on a mismatch the corrupt entry is removed (so the next
-// run recomputes it) and an error is returned.
-func (s *Store) GetResult(key string) ([]byte, error) {
-	ref, err := os.ReadFile(s.refPath(key))
+// getBlob resolves a ref file to its artifact. A missing ref returns
+// (nil, nil). A present blob is re-hashed before it is returned; on a
+// mismatch the corrupt entry is removed (so the next run recomputes
+// it) and an error is returned.
+func (s *Store) getBlob(refPath string) ([]byte, error) {
+	ref, err := os.ReadFile(refPath)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
@@ -213,7 +260,7 @@ func (s *Store) GetResult(key string) ([]byte, error) {
 	if err != nil {
 		if os.IsNotExist(err) {
 			// Blob evicted by GC (or lost): drop the dangling ref.
-			os.Remove(s.refPath(key))
+			os.Remove(refPath)
 			return nil, nil
 		}
 		return nil, fmt.Errorf("store: reading artifact: %w", err)
@@ -223,10 +270,46 @@ func (s *Store) GetResult(key string) ([]byte, error) {
 		s.corrupt++
 		s.mu.Unlock()
 		os.Remove(s.blobPath(ch))
-		os.Remove(s.refPath(key))
+		os.Remove(refPath)
 		return nil, fmt.Errorf("store: artifact %s corrupt: content hashes to %s", ch, got)
 	}
 	return blob, nil
+}
+
+// PutResult stores one completed job result blob under its canonical
+// key and returns the content hash. The blob lands content-addressed
+// in artifacts/ and the key's ref points at it; identical results
+// under different keys share one blob. Exceeding the size bound
+// triggers GC.
+func (s *Store) PutResult(key string, blob []byte) (string, error) {
+	return s.putBlob(s.refPath(key), blob)
+}
+
+// GetResult looks a canonical key up in the artifact cache. A missing
+// key returns (nil, nil); see getBlob for read-back verification.
+func (s *Store) GetResult(key string) ([]byte, error) {
+	return s.getBlob(s.refPath(key))
+}
+
+// PutController stores one synthesized controller blob under its
+// canonical subtree key (see flow.ControllerKey). Best-effort, like a
+// checkpoint save: a failed write costs one resynthesis on the next
+// run, never correctness — so errors are swallowed and the signature
+// satisfies flow.ControllerCache directly.
+func (s *Store) PutController(key string, blob []byte) {
+	_, _ = s.putBlob(s.ctlRefPath(key), blob)
+}
+
+// GetController looks a canonical controller subtree key up in the
+// artifact cache. Read errors (including a corrupt blob, which getBlob
+// removes for self-healing) report as a miss; the signature satisfies
+// flow.ControllerCache directly.
+func (s *Store) GetController(key string) ([]byte, bool) {
+	blob, err := s.getBlob(s.ctlRefPath(key))
+	if err != nil || blob == nil {
+		return nil, false
+	}
+	return blob, true
 }
 
 // blobInfo is one artifact on disk, as seen by GC and Verify.
@@ -330,19 +413,21 @@ func (s *Store) GC() (GCResult, error) {
 		res.LiveBlobs++
 		res.LiveBytes += b.size
 	}
-	refs, err := os.ReadDir(filepath.Join(s.dir, "refs"))
-	if err != nil {
-		return res, fmt.Errorf("store: %w", err)
-	}
-	for _, e := range refs {
-		path := filepath.Join(s.dir, "refs", e.Name())
-		data, err := os.ReadFile(path)
+	for _, ns := range []string{"refs", "ctlrefs"} {
+		refs, err := os.ReadDir(filepath.Join(s.dir, ns))
 		if err != nil {
-			continue
+			return res, fmt.Errorf("store: %w", err)
 		}
-		if !live[strings.TrimSpace(string(data))] {
-			os.Remove(path)
-			res.DanglingRefs++
+		for _, e := range refs {
+			path := filepath.Join(s.dir, ns, e.Name())
+			data, err := os.ReadFile(path)
+			if err != nil {
+				continue
+			}
+			if !live[strings.TrimSpace(string(data))] {
+				os.Remove(path)
+				res.DanglingRefs++
+			}
 		}
 	}
 	s.mu.Lock()
@@ -381,13 +466,14 @@ func (s *Store) Verify() (VerifyResult, error) {
 
 // Stats summarizes the store for `balsabm cache stats` and /metrics.
 type Stats struct {
-	Artifacts     int   `json:"artifacts"`
-	ArtifactBytes int64 `json:"artifactBytes"`
-	Refs          int   `json:"refs"`
-	Jobs          int   `json:"jobs"`        // journal jobs at Open
-	Interrupted   int   `json:"interrupted"` // of those, non-terminal (resumable)
-	Checkpoints   int   `json:"checkpoints"` // stage payloads currently on disk
-	Corrupt       int64 `json:"corrupt"`     // read-back verification failures this session
+	Artifacts      int   `json:"artifacts"`
+	ArtifactBytes  int64 `json:"artifactBytes"`
+	Refs           int   `json:"refs"`
+	ControllerRefs int   `json:"controllerRefs"` // controller-grain refs (incremental resynthesis)
+	Jobs           int   `json:"jobs"`           // journal jobs at Open
+	Interrupted    int   `json:"interrupted"`    // of those, non-terminal (resumable)
+	Checkpoints    int   `json:"checkpoints"`    // stage payloads currently on disk
+	Corrupt        int64 `json:"corrupt"`        // read-back verification failures this session
 }
 
 // Stats walks the store and summarizes it.
@@ -406,6 +492,11 @@ func (s *Store) Stats() (Stats, error) {
 		return st, fmt.Errorf("store: %w", err)
 	}
 	st.Refs = len(refs)
+	ctlrefs, err := os.ReadDir(filepath.Join(s.dir, "ctlrefs"))
+	if err != nil {
+		return st, fmt.Errorf("store: %w", err)
+	}
+	st.ControllerRefs = len(ctlrefs)
 	err = filepath.WalkDir(filepath.Join(s.dir, "checkpoints"), func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
