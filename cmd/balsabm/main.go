@@ -29,12 +29,24 @@
 //	                          every built-in design, both arms. -netlint
 //	                          is an equivalent flag spelling. Exit
 //	                          status 1 on NL-errors.
-//	balsabm audit [design...] run the five-checker static audit stack
+//	balsabm hazver [file...]  synthesize CH control netlists and run the
+//	                          hazver static hazard verification: every
+//	                          specified input burst of every mapped
+//	                          controller is checked for clean monotonic
+//	                          transitions by ternary (0/1/X) analysis of
+//	                          the merged circuit. Files use the arm named
+//	                          by -mode (default opt); no files: verify
+//	                          every built-in design, both arms. Exit
+//	                          status 1 on HZ-errors.
+//	balsabm audit [design...] run the six-checker static audit stack
 //	                          (chlint, bmlint, hazard-free cover
 //	                          re-verification, mapped-logic audit,
-//	                          netlint) on built-in designs; one summary
-//	                          line per design. -audit is an equivalent
-//	                          flag spelling. Exit status 1 on failures.
+//	                          netlint, hazver) on built-in designs; one
+//	                          summary line per design (-json: the
+//	                          api.AuditResultJSON wire form with
+//	                          per-checker counts). -audit is an
+//	                          equivalent flag spelling. Exit status 1 on
+//	                          failures.
 //	balsabm synth <file.ch>   synthesize a CH control netlist (no
 //	                          simulation): clustering + speed-split
 //	                          mapping by default (-mode unopt for the
@@ -281,6 +293,8 @@ func main() {
 		err = bmlintCmd(ctx, args)
 	case "netlint":
 		err = netlintCmd(ctx, args)
+	case "hazver":
+		err = hazverCmd(ctx, args)
 	case "audit":
 		err = auditCmd(ctx, args)
 	case "flow":
@@ -315,7 +329,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: balsabm [-j N] [-stats] [-json] [-server URL] [-incremental] [-base PATH|JOBID] [-data-dir DIR] [-cpuprofile FILE] [-memprofile FILE] <table1|table2|table3|fig2|fig3|fig4|fig5|verify|flow|synth|lint|bmlint|netlint|audit|artifacts|cache|designs> [args]`)
+	fmt.Fprintln(os.Stderr, `usage: balsabm [-j N] [-stats] [-json] [-server URL] [-incremental] [-base PATH|JOBID] [-data-dir DIR] [-cpuprofile FILE] [-memprofile FILE] <table1|table2|table3|fig2|fig3|fig4|fig5|verify|flow|synth|lint|bmlint|netlint|hazver|audit|artifacts|cache|designs> [args]`)
 	flag.PrintDefaults()
 }
 
@@ -844,12 +858,145 @@ func renderNetlintDiagJSON(circuit string, d api.NetlintDiagJSON) string {
 	return sb.String()
 }
 
+// hazverCmd synthesizes designs (no simulation) and runs the hazver
+// static hazard verification on the merged mapped circuits. With file
+// arguments each file is a CH control netlist, verified through the
+// arm named by -mode (default opt: clustering + speed-split mapping,
+// matching the POST /api/v1/hazver default) — locally via the same
+// server.RunHazver the daemon uses, or remotely with -server, so
+// -json output is byte-identical either way. With no arguments it
+// verifies every built-in design, both arms. Exit status is 1 when
+// any error-severity HZxxx finding is reported.
+func hazverCmd(ctx context.Context, args []string) error {
+	if len(args) == 0 {
+		return hazverDesigns(ctx)
+	}
+	mode := *modeFlag
+	if mode != api.ModeOpt && mode != api.ModeUnopt {
+		return fmt.Errorf("hazver: unknown mode %q (want opt or unopt)", mode)
+	}
+	var results []*api.HazverResultJSON
+	for _, file := range args {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		name := strings.TrimSuffix(filepath.Base(file), filepath.Ext(file))
+		req := api.HazverRequest{
+			Source: string(data), Name: name, Mode: mode,
+			Config: api.FlowConfig{Workers: *workersFlag},
+		}
+		var res *api.HazverResultJSON
+		if *serverFlag != "" {
+			res, err = server.NewClient(*serverFlag).Hazver(ctx, req)
+		} else {
+			res, err = server.RunHazver(ctx, req)
+		}
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	}
+	return emitHazver(results)
+}
+
+// hazverDesigns verifies the built-in designs, both arms, locally.
+func hazverDesigns(ctx context.Context) error {
+	opt, met := flowOptions()
+	defer printStats(met)
+	var results []*api.HazverResultJSON
+	for _, d := range designs.All() {
+		for _, arm := range []string{"unopt", "opt"} {
+			n := d.Control()
+			mode := techmap.AreaShared
+			if arm == "opt" {
+				var err error
+				n, _, err = core.OptimizeOpt(n, core.Options{Workers: *workersFlag, Ctx: ctx})
+				if err != nil {
+					return err
+				}
+				mode = techmap.SpeedSplit
+			}
+			res, err := flow.HazverNetlist(ctx, d.Name, arm, n, mode, opt)
+			if err != nil {
+				return err
+			}
+			results = append(results, api.HazverResult(arm, res))
+		}
+	}
+	return emitHazver(results)
+}
+
+// emitHazver prints hazver results (-json: the wire form; otherwise
+// vet-style diagnostics plus one stats line per circuit) and returns
+// errLintFindings on HZ-errors.
+func emitHazver(results []*api.HazverResultJSON) error {
+	failed := false
+	for _, res := range results {
+		if res.Report.Errors > 0 {
+			failed = true
+		}
+	}
+	if *jsonFlag {
+		if len(results) == 1 {
+			if err := emitJSON(results[0]); err != nil {
+				return err
+			}
+		} else if err := emitJSON(results); err != nil {
+			return err
+		}
+	} else {
+		for _, res := range results {
+			for _, d := range res.Report.Diags {
+				fmt.Println(renderHazverDiagJSON(res.Report.Circuit, d))
+			}
+		}
+	}
+	if failed {
+		return errLintFindings
+	}
+	return nil
+}
+
+// renderHazverDiagJSON renders a wire-form hazard diagnostic in
+// hazver's vet-style text form (remote results arrive as JSON, so the
+// text renderer on hazver.Diag is out of reach).
+func renderHazverDiagJSON(circuit string, d api.HazverDiagJSON) string {
+	var sb strings.Builder
+	if circuit != "" {
+		sb.WriteString(circuit)
+		sb.WriteString(":")
+	}
+	if d.Fn != "" {
+		if sb.Len() > 0 {
+			sb.WriteString(" ")
+		}
+		if d.Tr < 0 {
+			fmt.Fprintf(&sb, "fn %q:", d.Fn)
+		} else {
+			fmt.Fprintf(&sb, "fn %q burst %d (%s):", d.Fn, d.Tr, d.Burst)
+		}
+	}
+	if sb.Len() > 0 {
+		sb.WriteString(" ")
+	}
+	fmt.Fprintf(&sb, "%s: %s: %s", d.Severity, d.Code, d.Message)
+	for _, n := range d.Notes {
+		sb.WriteString("\n\t")
+		sb.WriteString(n)
+	}
+	return sb.String()
+}
+
 // auditCmd runs the unified static audit stack on built-in designs
 // (all of them, or the named ones): chlint, Burst-Mode spec checks,
 // hazard-free cover re-verification, the speed-split mapped-logic
-// audit, and netlint on every controller and merged circuit. One
+// audit, netlint on every controller and merged circuit, and the
+// hazver static hazard verification of every specified burst. One
 // summary line per design; failing designs additionally print their
-// error and warning findings.
+// error and warning findings. -json instead emits one
+// api.AuditResultJSON per design with machine-readable per-checker
+// error/warning/checked counts.
 func auditCmd(ctx context.Context, args []string) error {
 	all := args
 	if len(all) == 0 {
@@ -860,6 +1007,7 @@ func auditCmd(ctx context.Context, args []string) error {
 	opt, met := flowOptions()
 	defer printStats(met)
 	failed := false
+	var audits []*api.AuditResultJSON
 	for _, name := range all {
 		d, err := designs.ByName(name)
 		if err != nil {
@@ -869,10 +1017,25 @@ func auditCmd(ctx context.Context, args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(a.Summary())
+		if *jsonFlag {
+			audits = append(audits, api.FromAuditResult(a))
+		} else {
+			fmt.Println(a.Summary())
+			if !a.OK() {
+				fmt.Print(a.Details())
+			}
+		}
 		if !a.OK() {
 			failed = true
-			fmt.Print(a.Details())
+		}
+	}
+	if *jsonFlag {
+		if len(audits) == 1 {
+			if err := emitJSON(audits[0]); err != nil {
+				return err
+			}
+		} else if err := emitJSON(audits); err != nil {
+			return err
 		}
 	}
 	if failed {

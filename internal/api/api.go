@@ -17,6 +17,7 @@ import (
 	"balsabm/internal/bmlint"
 	"balsabm/internal/core"
 	"balsabm/internal/flow"
+	"balsabm/internal/hazver"
 	"balsabm/internal/netlint"
 	"balsabm/internal/store"
 )
@@ -239,6 +240,9 @@ type SynthResultJSON struct {
 	// Netlint is the structural audit of the merged circuit of all
 	// synthesized controllers (gates.Merge wiring).
 	Netlint *NetlintReportJSON `json:"netlint,omitempty"`
+	// Hazver is the static hazard verification of the synthesized
+	// controller shapes on their specified bursts.
+	Hazver *HazverReportJSON `json:"hazver,omitempty"`
 }
 
 // JobResult is the body of GET /api/v1/jobs/{id}/result; exactly one
@@ -285,6 +289,11 @@ type Event struct {
 	// non-error diagnostics the post-compile bmlint gate surfaced. Its
 	// Spec field names the audited spec (e.g. "stack.opt.push_seq1").
 	Bmlint *BmlintDiagJSON `json:"bmlint,omitempty"`
+	// Hazver carries one static hazard-verification finding for "lint"
+	// events: the non-error diagnostics the post-mapping hazver gate
+	// surfaced. Its Circuit field names the verified circuit (e.g.
+	// "stack.opt").
+	Hazver *HazverDiagJSON `json:"hazver,omitempty"`
 }
 
 // StageJSON is one pipeline stage's cumulative counters.
@@ -343,6 +352,10 @@ type MetricsJSON struct {
 	// across every flow the daemon ran (also exported as
 	// balsabmd_bmlint_diags_total{code=...}).
 	BmlintDiags map[string]int64 `json:"bmlintDiags,omitempty"`
+	// HazverDiags counts static hazard-verification diagnostics by
+	// HZxxx code across every flow the daemon ran (also exported as
+	// balsabmd_hazver_diags_total{code=...}).
+	HazverDiags map[string]int64 `json:"hazverDiags,omitempty"`
 }
 
 // StoreStatsJSON summarizes the daemon's on-disk artifact store
@@ -747,6 +760,172 @@ func BmlintResult(specs []bmlint.Result) *BmlintResultJSON {
 		out.Specs = append(out.Specs, BmlintReport(s))
 	}
 	return out
+}
+
+// HazverRequest is the body of POST /api/v1/hazver: design source
+// whose controllers are synthesized, mapped, and statically verified
+// hazard-free on their specified bursts. Fields match the KindSynth
+// job request: Source in the given Format ("ch" default, "balsa"),
+// Mode selecting the arm ("opt" default, "unopt"), and the flow
+// config.
+type HazverRequest struct {
+	Source string     `json:"source"`
+	Format string     `json:"format,omitempty"`
+	Name   string     `json:"name,omitempty"`
+	Mode   string     `json:"mode,omitempty"`
+	Config FlowConfig `json:"config"`
+}
+
+// HazverDiagJSON mirrors hazver.Diag. Tr is -1 for function-level
+// findings, matching hazver.NoLoc.
+type HazverDiagJSON struct {
+	// Circuit names the verified circuit on event streams (e.g.
+	// "stack.opt"); omitted inside HazverReportJSON, whose Circuit
+	// field carries it once.
+	Circuit  string   `json:"circuit,omitempty"`
+	Fn       string   `json:"fn,omitempty"`
+	Tr       int      `json:"tr"`
+	Burst    string   `json:"burst,omitempty"`
+	Severity string   `json:"severity"`
+	Code     string   `json:"code"`
+	Message  string   `json:"message"`
+	Notes    []string `json:"notes,omitempty"`
+}
+
+// HazverStatsJSON mirrors hazver.Stats: the static report for one
+// hazard-verification audit.
+type HazverStatsJSON struct {
+	Units      int  `json:"units"`
+	Skipped    int  `json:"skipped"`
+	Functions  int  `json:"functions"`
+	Bursts     int  `json:"bursts"`
+	Unverified int  `json:"unverified"`
+	Passes     int  `json:"passes"`
+	MaxXDepth  int  `json:"maxXDepth"`
+	Compiled   bool `json:"compiled"`
+}
+
+// HazverReportJSON is the verification of one circuit: its
+// diagnostics and static report, with severity tallies.
+type HazverReportJSON struct {
+	Circuit  string           `json:"circuit"`
+	Stats    HazverStatsJSON  `json:"stats"`
+	Diags    []HazverDiagJSON `json:"diags"`
+	Errors   int              `json:"errors"`
+	Warnings int              `json:"warnings"`
+	Infos    int              `json:"infos"`
+}
+
+// HazverResultJSON is the body answered by POST /api/v1/hazver and
+// emitted by `balsabm hazver -json`.
+type HazverResultJSON struct {
+	Mode   string           `json:"mode"`
+	Report HazverReportJSON `json:"report"`
+}
+
+// FromHazverDiag converts one hazard-verification finding.
+func FromHazverDiag(d hazver.Diag) HazverDiagJSON {
+	return HazverDiagJSON{
+		Fn:       d.Loc.Fn,
+		Tr:       d.Loc.Tr,
+		Burst:    d.Loc.Burst,
+		Severity: d.Severity.String(),
+		Code:     d.Code,
+		Message:  d.Message,
+		Notes:    d.Notes,
+	}
+}
+
+// FromHazverStats converts a hazard-verification static report.
+func FromHazverStats(s hazver.Stats) HazverStatsJSON {
+	return HazverStatsJSON{
+		Units: s.Units, Skipped: s.Skipped, Functions: s.Functions,
+		Bursts: s.Bursts, Unverified: s.Unverified, Passes: s.Passes,
+		MaxXDepth: s.MaxXDepth, Compiled: s.Compiled,
+	}
+}
+
+// HazverReport packages one audit result for the wire. Diags is
+// always non-nil so a clean audit encodes as [] rather than null.
+func HazverReport(res hazver.Result) HazverReportJSON {
+	out := HazverReportJSON{
+		Circuit: res.Name,
+		Stats:   FromHazverStats(res.Stats),
+		Diags:   make([]HazverDiagJSON, 0, len(res.Diags)),
+	}
+	for _, d := range res.Diags {
+		out.Diags = append(out.Diags, FromHazverDiag(d))
+	}
+	out.Errors, out.Warnings, out.Infos = hazver.Count(res.Diags)
+	return out
+}
+
+// HazverResult packages a synthesize-and-verify run for the wire.
+func HazverResult(mode string, res hazver.Result) *HazverResultJSON {
+	return &HazverResultJSON{Mode: mode, Report: HazverReport(res)}
+}
+
+// AuditCheckerJSON is one checker's tally inside an audit: its
+// error/warning counts and how many items it covered (specs, covers,
+// mapped controllers, circuits, bursts — whichever the checker
+// counts).
+type AuditCheckerJSON struct {
+	Errors   int `json:"errors"`
+	Warnings int `json:"warnings"`
+	Checked  int `json:"checked"`
+}
+
+// AuditResultJSON is one design's six-checker audit in machine form —
+// the body emitted per design by `balsabm audit -json`. Checkers is
+// keyed "chlint", "bmlint", "covers", "mapped", "netlint", "hazver".
+type AuditResultJSON struct {
+	Design   string                      `json:"design"`
+	OK       bool                        `json:"ok"`
+	Summary  string                      `json:"summary"`
+	Checkers map[string]AuditCheckerJSON `json:"checkers"`
+	Failures []string                    `json:"failures,omitempty"`
+	Errors   int                         `json:"errors"`
+	Warnings int                         `json:"warnings"`
+}
+
+// FromAuditResult converts one design audit to its wire form.
+func FromAuditResult(a *flow.AuditResult) *AuditResultJSON {
+	le, lw, _ := analysis.Count(a.LintDiags)
+	var be, bw int
+	for _, s := range a.Specs {
+		e, w, _ := bmlint.Count(s.Diags)
+		be += e
+		bw += w
+	}
+	var ne, nw int
+	for _, c := range a.Circuits {
+		e, w, _ := netlint.Count(c.Diags)
+		ne += e
+		nw += w
+	}
+	var he, hw, hb int
+	for _, h := range a.Hazver {
+		e, w, _ := hazver.Count(h.Diags)
+		he += e
+		hw += w
+		hb += h.Stats.Bursts
+	}
+	return &AuditResultJSON{
+		Design:  a.Design,
+		OK:      a.OK(),
+		Summary: a.Summary(),
+		Checkers: map[string]AuditCheckerJSON{
+			"chlint":  {Errors: le, Warnings: lw, Checked: 1},
+			"bmlint":  {Errors: be, Warnings: bw, Checked: a.SpecsChecked},
+			"covers":  {Checked: a.CoversChecked},
+			"mapped":  {Checked: a.MappedChecked},
+			"netlint": {Errors: ne, Warnings: nw, Checked: len(a.Circuits)},
+			"hazver":  {Errors: he, Warnings: hw, Checked: hb},
+		},
+		Failures: a.Failures,
+		Errors:   a.Errors(),
+		Warnings: a.Warnings(),
+	}
 }
 
 // Encode renders any wire value in the canonical machine-readable

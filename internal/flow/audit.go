@@ -13,19 +13,22 @@ import (
 	"balsabm/internal/chtobm"
 	"balsabm/internal/core"
 	"balsabm/internal/designs"
+	"balsabm/internal/hazver"
 	"balsabm/internal/hfmin"
 	"balsabm/internal/minimalist"
 	"balsabm/internal/netlint"
 	"balsabm/internal/techmap"
 )
 
-// AuditResult aggregates the repo's full five-checker stack over one
+// AuditResult aggregates the repo's full six-checker stack over one
 // design: chlint on the CH control netlist, bmlint on every compiled
 // Burst-Mode specification (subsuming the old bm.Spec.Check row), a
 // hazard-free re-verification of every synthesized cover
 // (hfmin.CheckCover) per controller shape, the speed-split
-// mapped-logic audit (techmap.CheckMapped), and netlint on every
-// mapped controller plus the merged circuit of each arm.
+// mapped-logic audit (techmap.CheckMapped), netlint on every mapped
+// controller plus the merged circuit of each arm, and hazver — the
+// static gate-level hazard verification of each arm's mapped
+// controller shapes by two-pass ternary evaluation.
 type AuditResult struct {
 	Design string
 	// LintDiags are the chlint findings on the control netlist.
@@ -46,6 +49,11 @@ type AuditResult struct {
 	// mapped controllers (named "<design>.<arm>.<controller>") followed
 	// by the arm's merged circuit ("<design>.<arm>").
 	Circuits []netlint.Result
+	// Hazver are the static hazard-verification reports, one per arm
+	// ("<design>.unopt" then "<design>.opt"): every distinct controller
+	// shape's mapped logic proved glitch-free on its specified bursts
+	// by two-pass ternary evaluation.
+	Hazver []hazver.Result
 	// Failures are hard checker failures: a spec, cover or mapping
 	// audit that did not pass.
 	Failures []string
@@ -75,30 +83,44 @@ func (a *AuditResult) nlCount() (errors, warnings int) {
 	return
 }
 
+// hzCount tallies the hazver findings and verified bursts across both
+// arms.
+func (a *AuditResult) hzCount() (errors, warnings, bursts int) {
+	for _, h := range a.Hazver {
+		e, w, _ := hazver.Count(h.Diags)
+		errors += e
+		warnings += w
+		bursts += h.Stats.Bursts
+	}
+	return
+}
+
 // Errors counts everything that must fail an audit: checker failures
 // and error-severity findings from any of the three linters.
 func (a *AuditResult) Errors() int {
 	e, _, _ := analysis.Count(a.LintDiags)
 	be, _ := a.bmCount()
 	ne, _ := a.nlCount()
-	return e + be + ne + len(a.Failures)
+	he, _, _ := a.hzCount()
+	return e + be + ne + he + len(a.Failures)
 }
 
-// Warnings counts warning-severity findings from the three linters.
+// Warnings counts warning-severity findings from the four linters.
 func (a *AuditResult) Warnings() int {
 	_, w, _ := analysis.Count(a.LintDiags)
 	_, bw := a.bmCount()
 	_, nw := a.nlCount()
-	return w + bw + nw
+	_, hw, _ := a.hzCount()
+	return w + bw + nw + hw
 }
 
 // OK reports whether the whole stack passed with no errors.
 func (a *AuditResult) OK() bool { return a.Errors() == 0 }
 
 // Summary renders the audit as one line with per-checker diagnostic
-// counts for the five-checker stack, e.g.
+// counts for the six-checker stack, e.g.
 //
-//	stack: audit OK: chlint 0e/0w; bmlint 0e/0w, 9 specs; 74 covers; 9 mapped; netlint 0e/4w, 22 circuits; 0 errors, 4 warnings
+//	stack: audit OK: chlint 0e/0w; bmlint 0e/0w, 9 specs; 74 covers; 9 mapped; netlint 0e/4w, 22 circuits; hazver 0e/0w, 1644 bursts; 0 errors, 4 warnings
 func (a *AuditResult) Summary() string {
 	status := "OK"
 	if !a.OK() {
@@ -107,10 +129,11 @@ func (a *AuditResult) Summary() string {
 	le, lw, _ := analysis.Count(a.LintDiags)
 	be, bw := a.bmCount()
 	ne, nw := a.nlCount()
-	return fmt.Sprintf("%s: audit %s: chlint %de/%dw; bmlint %de/%dw, %d specs; %d covers; %d mapped; netlint %de/%dw, %d circuits; %d errors, %d warnings",
+	he, hw, hb := a.hzCount()
+	return fmt.Sprintf("%s: audit %s: chlint %de/%dw; bmlint %de/%dw, %d specs; %d covers; %d mapped; netlint %de/%dw, %d circuits; hazver %de/%dw, %d bursts; %d errors, %d warnings",
 		a.Design, status, le, lw, be, bw, a.SpecsChecked,
 		a.CoversChecked, a.MappedChecked, ne, nw,
-		len(a.Circuits), a.Errors(), a.Warnings())
+		len(a.Circuits), he, hw, hb, a.Errors(), a.Warnings())
 }
 
 // Details renders every failure and every error/warning finding,
@@ -137,6 +160,13 @@ func (a *AuditResult) Details() string {
 		for _, d := range c.Diags {
 			if d.Severity != netlint.SevInfo {
 				fmt.Fprintf(&sb, "%s\n", d.Render(c.Name))
+			}
+		}
+	}
+	for _, h := range a.Hazver {
+		for _, d := range h.Diags {
+			if d.Severity != hazver.SevInfo {
+				fmt.Fprintf(&sb, "%s\n", d.Render(h.Name))
 			}
 		}
 	}
@@ -200,6 +230,14 @@ func AuditDesignCtx(ctx context.Context, d *designs.Design, opt *Options) (*Audi
 		}
 		a.Circuits = append(a.Circuits, NetlintMerged(d.Name, arm.name, mapped, r.opt.Lib))
 		r.met.Timings.Observe("netlint", time.Since(start))
+		units, err := r.hazverUnits(arm.n, arm.mode)
+		if err != nil {
+			return nil, fmt.Errorf("%s arm: %w", arm.name, err)
+		}
+		start = time.Now()
+		a.Hazver = append(a.Hazver, hazver.Audit(d.Name+"."+arm.name, units, r.opt.Lib,
+			hazver.Options{Pool: r.pool, Ctx: r.ctx}))
+		r.met.Timings.Observe("hazver", time.Since(start))
 	}
 	return a, nil
 }

@@ -11,6 +11,7 @@ import (
 	"balsabm/internal/bmlint"
 	"balsabm/internal/core"
 	"balsabm/internal/designs"
+	"balsabm/internal/hazver"
 )
 
 // armControl returns one arm's control netlist: the original for
@@ -149,10 +150,10 @@ func TestBmlintGateTimed(t *testing.T) {
 	}
 }
 
-// TestAuditFiveCheckerStack: the audit summary names all five checkers
+// TestAuditSixCheckerStack: the audit summary names all six checkers
 // with per-checker counts, and the paper designs pass clean at the
-// spec tier.
-func TestAuditFiveCheckerStack(t *testing.T) {
+// spec tier and the static hazard tier.
+func TestAuditSixCheckerStack(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a full design audit")
 	}
@@ -162,13 +163,24 @@ func TestAuditFiveCheckerStack(t *testing.T) {
 		t.Fatal(err)
 	}
 	sum := a.Summary()
-	for _, part := range []string{"chlint ", "bmlint ", " covers; ", " mapped; ", "netlint "} {
+	for _, part := range []string{"chlint ", "bmlint ", " covers; ", " mapped; ", "netlint ", "hazver "} {
 		if !strings.Contains(sum, part) {
 			t.Errorf("summary misses %q: %s", part, sum)
 		}
 	}
 	if len(a.Specs) == 0 || a.SpecsChecked == 0 {
 		t.Errorf("audit recorded no spec results: %d specs, %d checked", len(a.Specs), a.SpecsChecked)
+	}
+	if len(a.Hazver) != 2 {
+		t.Errorf("audit recorded %d hazver reports, want one per arm", len(a.Hazver))
+	}
+	for _, h := range a.Hazver {
+		if hazver.HasErrors(h.Diags) {
+			t.Errorf("%s: paper-design arm has static hazards:\n%s", h.Name, hazver.Format(h.Diags, h.Name))
+		}
+		if h.Stats.Bursts == 0 {
+			t.Errorf("%s: hazver verified no bursts: %+v", h.Name, h.Stats)
+		}
 	}
 	for _, s := range a.Specs {
 		if bmlint.HasErrors(s.Diags) {

@@ -177,6 +177,10 @@ type Metrics struct {
 	netlintMu     sync.Mutex
 	netlint       []NetlintFinding
 	netlintNotify func(NetlintFinding)
+
+	hazverMu     sync.Mutex
+	hazver       []HazverFinding
+	hazverNotify func(HazverFinding)
 }
 
 // NotifyLint registers a callback invoked (synchronously, in gate
@@ -269,6 +273,36 @@ func (m *Metrics) recordNetlint(f NetlintFinding) {
 	}
 }
 
+// NotifyHazver registers a callback invoked (synchronously) for every
+// non-error finding the post-mapping hazard-verification gate records —
+// the hook the daemon uses to stream hazver findings over SSE. Call
+// before the run starts.
+func (m *Metrics) NotifyHazver(fn func(HazverFinding)) {
+	m.hazverMu.Lock()
+	defer m.hazverMu.Unlock()
+	m.hazverNotify = fn
+}
+
+// HazverFindings returns the non-error hazard-verification findings
+// recorded so far, in gate order.
+func (m *Metrics) HazverFindings() []HazverFinding {
+	m.hazverMu.Lock()
+	defer m.hazverMu.Unlock()
+	out := make([]HazverFinding, len(m.hazver))
+	copy(out, m.hazver)
+	return out
+}
+
+func (m *Metrics) recordHazver(f HazverFinding) {
+	m.hazverMu.Lock()
+	m.hazver = append(m.hazver, f)
+	fn := m.hazverNotify
+	m.hazverMu.Unlock()
+	if fn != nil {
+		fn(f)
+	}
+}
+
 // String renders the metrics for human consumption.
 func (m *Metrics) String() string {
 	if m == nil {
@@ -299,6 +333,9 @@ func (m *Metrics) String() string {
 	}
 	for _, f := range m.NetlintFindings() {
 		s += fmt.Sprintf("netlint: %s: %s\n", f.Circuit(), f.Diag)
+	}
+	for _, f := range m.HazverFindings() {
+		s += fmt.Sprintf("hazver: %s: %s\n", f.Circuit(), f.Diag)
 	}
 	return s
 }
@@ -679,6 +716,9 @@ func (r *runner) runDesign(d *designs.Design) (*DesignResult, error) {
 		if err != nil {
 			return fmt.Errorf("unoptimized arm: %w", err)
 		}
+		if _, err := r.hazverGate(d.Name, "unopt", d.Control(), techmap.AreaShared); err != nil {
+			return fmt.Errorf("unoptimized arm: %w", err)
+		}
 		t, dpArea, events, benchDesc, err := r.simulate(d, mapped)
 		if err != nil {
 			return fmt.Errorf("unoptimized arm: %w", err)
@@ -725,6 +765,9 @@ func (r *runner) runDesign(d *designs.Design) (*DesignResult, error) {
 		}
 		res.Opt.Static, err = r.netlintGate(d.Name, "opt", mapped)
 		if err != nil {
+			return fmt.Errorf("optimized arm: %w", err)
+		}
+		if _, err := r.hazverGate(d.Name, "opt", optNetlist, techmap.SpeedSplit); err != nil {
 			return fmt.Errorf("optimized arm: %w", err)
 		}
 		t, dpArea, events, _, err := r.simulate(d, mapped)

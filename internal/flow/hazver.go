@@ -1,0 +1,162 @@
+package flow
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"balsabm/internal/ch"
+	"balsabm/internal/chtobm"
+	"balsabm/internal/core"
+	"balsabm/internal/hazver"
+	"balsabm/internal/minimalist"
+	"balsabm/internal/techmap"
+)
+
+// HazverError aborts a flow run: the static gate-level hazard
+// verification found an error-severity diagnostic in one arm — a
+// specified burst on which the mapped logic can glitch (HZ001/HZ002)
+// or disagrees with its specification at a burst endpoint (HZ003), so
+// the measured hardware would not be hazard-free.
+type HazverError struct {
+	Design string
+	Arm    string // "unopt" or "opt"
+	Diags  []hazver.Diag
+}
+
+func (e *HazverError) Error() string {
+	var sb strings.Builder
+	sb.WriteString("hazver: ")
+	sb.WriteString(e.Circuit())
+	sb.WriteString(": ")
+	if len(e.Diags) == 1 {
+		sb.WriteString(e.Diags[0].String())
+	} else {
+		sb.WriteString("static hazard verification failed:")
+		for _, d := range e.Diags {
+			sb.WriteString("\n\t")
+			sb.WriteString(d.String())
+		}
+	}
+	return sb.String()
+}
+
+// Circuit names the verified circuit, e.g. "stack.opt".
+func (e *HazverError) Circuit() string { return e.Design + "." + e.Arm }
+
+// HazverFinding is one non-error hazard-verification finding surfaced
+// by the post-mapping gate, tagged with the circuit it was found in.
+type HazverFinding struct {
+	Design string
+	Arm    string
+	Diag   hazver.Diag
+}
+
+// Circuit names the verified circuit, e.g. "stack.opt".
+func (f HazverFinding) Circuit() string { return f.Design + "." + f.Arm }
+
+// hazverUnits derives the verification units of one arm: one unit per
+// distinct canonical controller shape (rename-isomorphic components
+// verify identically, so each shape is proved once on a
+// representative), synthesized and technology mapped in the arm's
+// mode. The baseline arm verifies the synthesized AreaShared circuit
+// even for shapes the flow itself would emit from the hand library —
+// hclib circuits use internal state the Burst-Mode specification does
+// not name, so their hazard freedom is established dynamically by the
+// benchmark simulations instead.
+func (r *runner) hazverUnits(n *core.Netlist, mode techmap.Mode) ([]hazver.Unit, error) {
+	seen := map[string]bool{}
+	var units []hazver.Unit
+	for _, comp := range n.Components {
+		if err := r.ctx.Err(); err != nil {
+			return nil, err
+		}
+		key := "raw|" + comp.Name
+		if canon, ok := ch.CanonicalizeProgram(comp); ok {
+			key = canon.Key
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		sp, err := chtobm.Compile(comp)
+		if err != nil {
+			return nil, fmt.Errorf("hazver: %s: %w", comp.Name, err)
+		}
+		ctrl, err := minimalist.SynthesizeOpt(sp, minimalist.Options{Pool: r.pool, Ctx: r.ctx})
+		if err != nil {
+			return nil, fmt.Errorf("hazver: %s: %w", comp.Name, err)
+		}
+		nl, err := techmap.MapController(ctrl, mode, r.opt.Lib)
+		if err != nil {
+			return nil, fmt.Errorf("hazver: %s: %w", comp.Name, err)
+		}
+		units = append(units, hazver.Unit{
+			Name:        comp.Name,
+			Vars:        ctrl.Vars,
+			Outputs:     ctrl.Spec.Outputs,
+			StateBits:   ctrl.StateBits,
+			Transitions: ctrl.Transitions,
+			Netlist:     nl,
+		})
+	}
+	return units, nil
+}
+
+// HazverNetlist statically verifies every controller of a control
+// netlist for hazard freedom on its specified input bursts: each
+// distinct canonical shape is synthesized, mapped in the given mode,
+// and its merged mapped logic checked by two-pass ternary evaluation
+// (hazver.Audit). Unlike the flow gate, error findings do not abort:
+// the report is the product. Callers wanting the optimized arm cluster
+// the netlist first (core.OptimizeOpt) and pass techmap.SpeedSplit.
+func HazverNetlist(ctx context.Context, design, arm string, n *core.Netlist, mode techmap.Mode, opt *Options) (hazver.Result, error) {
+	r := newRunner(ctx, opt)
+	units, err := r.hazverUnits(n, mode)
+	if err != nil {
+		return hazver.Result{}, err
+	}
+	start := time.Now()
+	res := hazver.Audit(design+"."+arm, units, r.opt.Lib, hazver.Options{Pool: r.pool, Ctx: r.ctx})
+	r.met.Timings.Observe("hazver", time.Since(start))
+	return res, nil
+}
+
+// hazverGate is the post-mapping gate inside runDesign: after an arm's
+// controllers are mapped and the merged circuit passes netlint, every
+// controller shape's mapped logic is statically verified hazard-free
+// on its specified bursts. Error findings abort the arm as a
+// *HazverError; warnings and the HZ200 static report land on the
+// metrics sink (shown by -stats, streamed on the daemon's "lint" SSE
+// stage) and never block. The full audit result is returned either way
+// so callers can report it.
+func (r *runner) hazverGate(design, arm string, n *core.Netlist, mode techmap.Mode) (hazver.Result, error) {
+	units, err := r.hazverUnits(n, mode)
+	if err != nil {
+		return hazver.Result{}, err
+	}
+	start := time.Now()
+	res := hazver.Audit(design+"."+arm, units, r.opt.Lib, hazver.Options{Pool: r.pool, Ctx: r.ctx})
+	r.met.Timings.Observe("hazver", time.Since(start))
+	var errs []hazver.Diag
+	for _, d := range res.Diags {
+		if d.Severity == hazver.SevError {
+			errs = append(errs, d)
+		} else {
+			r.met.recordHazver(HazverFinding{Design: design, Arm: arm, Diag: d})
+		}
+	}
+	if len(errs) > 0 {
+		return res, &HazverError{Design: design, Arm: arm, Diags: errs}
+	}
+	return res, nil
+}
+
+// HazverGate runs the post-mapping static hazard gate the way the
+// flow's runDesign does, for callers outside a flow run (the daemon's
+// synth executor): error findings abort as a *HazverError; warnings
+// and the HZ200 report land on opt.Metrics and never block.
+func HazverGate(ctx context.Context, design, arm string, n *core.Netlist, mode techmap.Mode, opt *Options) (hazver.Result, error) {
+	return newRunner(ctx, opt).hazverGate(design, arm, n, mode)
+}

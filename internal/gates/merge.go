@@ -21,6 +21,16 @@ import "fmt"
 // Parts must be structurally well-formed (net ids in range); run
 // netlint on the parts first when in doubt.
 func Merge(name string, parts []*Netlist) *Netlist {
+	out, _ := MergeParts(name, parts)
+	return out
+}
+
+// MergeParts is Merge plus the per-part net remapping: remaps[pi][id]
+// is the merged net id of part pi's net id. Consumers that need to
+// address a part's private nets after the merge (hazver forcing each
+// controller's y* cut points) use the remap instead of reconstructing
+// the "part.net" naming rules.
+func MergeParts(name string, parts []*Netlist) (*Netlist, [][]int) {
 	out := New(name)
 	seen := map[string]int{}
 	remaps := make([][]int, len(parts))
@@ -81,5 +91,5 @@ func Merge(name string, parts []*Netlist) *Netlist {
 			}
 		}
 	}
-	return out
+	return out, remaps
 }

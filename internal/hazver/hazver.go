@@ -1,0 +1,784 @@
+// Package hazver implements static gate-level hazard verification of
+// mapped burst-mode controllers — the sixth and final tier of the
+// lint stack (chlint → bmlint → netlint → hazver), and the one that
+// closes the gap between the minimizer's hazard-freedom proof over
+// two-level covers (hfmin.CheckCover) and the multi-level netlist the
+// back-end actually emits.
+//
+// The check is Eichelberger's ternary-simulation argument specialized
+// to fundamental mode: for every specified burst of every controller
+// function (outputs and y* state bits), evaluate the merged mapped
+// circuit twice over {0,1,X} — first with the changing burst inputs
+// at X and every other variable at its start value, then at the burst
+// end point. Under the same feedback cuts the compiled evaluator and
+// netlint already honor (primary outputs and y* nets forced), the
+// mapped network is combinational and the ternary evaluation is
+// exact: a function whose specification holds it stable across the
+// burst has a static hazard — some input arrival order glitches it —
+// if and only if the X-pass evaluates to X (HZ001). A function that
+// transitions gets the analogous multiple-input-change check: the
+// specification says it holds its start value until the final burst
+// input arrives, so for every changing input v, holding v at its
+// start value with the rest at X must still evaluate to the binary
+// start value (HZ002 when X). Burst endpoints are also checked
+// against the specified function values (HZ003), subsuming
+// techmap.CheckMapped's sampling on exactly the points fundamental
+// mode visits. Residual single-input-change dynamic hazards on the
+// final transition itself are outside the ternary model; DESIGN.md
+// §16 gives the soundness argument and this boundary.
+//
+// Evaluation is bit-parallel: gates.TernaryEval packs 64 passes into
+// dual-rail lane words over the compiled Program, with the
+// interpreted ternary settle (gates.SettleTernary) as oracle and
+// fallback. Findings are HZxxx diagnostics on the shared
+// internal/diag framework: HZ0xx hazards/mismatches (errors), HZ1xx
+// verification-coverage warnings, HZ200 the static report with
+// per-function worst-case X-propagation depth.
+package hazver
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"balsabm/internal/cell"
+	"balsabm/internal/diag"
+	"balsabm/internal/gates"
+	"balsabm/internal/hfmin"
+	"balsabm/internal/logic"
+	"balsabm/internal/parallel"
+)
+
+// Severity classifies a diagnostic; see internal/diag.
+type Severity = diag.Severity
+
+// Severity levels, re-exported from internal/diag. Errors mark real
+// hazards or functional divergence — the mapped circuit can glitch or
+// compute the wrong value on a specified burst — and abort the flow's
+// post-mapping gate. Warnings mark verification-coverage gaps. Infos
+// are advisory (the static report).
+const (
+	SevError   = diag.SevError
+	SevWarning = diag.SevWarning
+	SevInfo    = diag.SevInfo
+)
+
+// Loc pins a diagnostic to a function (an output or y* state bit of
+// one controller, named as in the merged netlist) and optionally one
+// of its specified bursts.
+type Loc struct {
+	Fn    string // merged-netlist function name ("pop_a", "pop_seq1.y0")
+	Tr    int    // burst ordinal within the function, -1 when function-level
+	Burst string // rendered burst, e.g. "req+ ack-"
+	FnOrd int    // deterministic function ordinal across the audit (sort key)
+}
+
+// NoLoc is the circuit-level location.
+var NoLoc = Loc{Tr: -1, FnOrd: -1}
+
+// String renders the location: `fn "pop_a" burst 2 (req+ ack-)`.
+func (l Loc) String() string {
+	if l.Fn == "" {
+		return ""
+	}
+	if l.Tr < 0 {
+		return fmt.Sprintf("fn %q", l.Fn)
+	}
+	return fmt.Sprintf("fn %q burst %d (%s)", l.Fn, l.Tr, l.Burst)
+}
+
+// Fragment implements diag.Loc.
+func (l Loc) Fragment() (string, bool) { return l.String(), false }
+
+// Key implements diag.Loc: diagnostics sort by function, then burst.
+func (l Loc) Key() (int, int) { return l.FnOrd, l.Tr }
+
+// Diag is one diagnostic; see internal/diag.
+type Diag = diag.Diag[Loc]
+
+// Reporter collects diagnostics during an audit.
+type Reporter = diag.Reporter[Loc]
+
+// Codes maps every stable diagnostic code to its one-line meaning.
+// Codes are append-only: a released code never changes meaning, so
+// suppressions, CI greps and the /metrics code labels stay valid.
+var Codes = map[string]string{
+	"HZ000": "ternary evaluation failed; the burst could not be verified",
+	"HZ001": "static hazard: a specified-stable function may glitch during the burst",
+	"HZ002": "dynamic hazard: a transitioning function may glitch before its final burst input",
+	"HZ003": "functional mismatch between mapped logic and specification at a burst endpoint",
+	"HZ100": "function net missing or undriven; its bursts cannot be verified",
+	"HZ101": "compiled ternary evaluation unavailable; verified on the interpreted path",
+	"HZ200": "static hazard-verification report",
+}
+
+// Unit is one controller's worth of verification input: the burst
+// provenance the minimizer proved hazard-free (variables in
+// hfmin.Transition order, specified transitions per function) and the
+// mapped netlist that must honor it. Functions are the spec outputs
+// in order followed by y0..y(StateBits-1); Transitions is keyed by
+// those names. A Unit with a nil Netlist is counted as skipped — a
+// hand-library circuit with no burst provenance to check against.
+type Unit struct {
+	Name        string
+	Vars        []string // inputs, then fed-back outputs, then y* bits
+	Outputs     []string // spec output order
+	StateBits   int
+	Transitions map[string][]hfmin.Transition
+	Netlist     *gates.Netlist
+}
+
+// Options tunes an audit.
+type Options struct {
+	Pool        *parallel.Pool  // nil uses the process-wide default pool
+	Ctx         context.Context // nil uses context.Background()
+	Interpreted bool            // force the interpreted oracle path (testing)
+}
+
+// Stats is the static report for one audit.
+type Stats struct {
+	Units      int  // verifiable controllers
+	Skipped    int  // hand-library circuits without burst provenance
+	Functions  int  // outputs + y* bits across all units
+	Bursts     int  // specified transitions verified
+	Unverified int  // transitions skipped (undriven/missing function nets)
+	Passes     int  // ternary evaluation passes
+	MaxXDepth  int  // worst X-propagation depth reaching any function's driver
+	Compiled   bool // fast path (64-lane dual-rail) vs interpreted oracle
+}
+
+// String renders the one-line report used by the HZ200 info
+// diagnostic and the flow's -stats output.
+func (s Stats) String() string {
+	path := "interpreted"
+	if s.Compiled {
+		path = "compiled"
+	}
+	skip := ""
+	if s.Skipped > 0 {
+		skip = fmt.Sprintf(" (+%d hand-library skipped)", s.Skipped)
+	}
+	unv := ""
+	if s.Unverified > 0 {
+		unv = fmt.Sprintf(", %d unverified", s.Unverified)
+	}
+	return fmt.Sprintf("%d units%s, %d functions, %d bursts%s, %d ternary passes, worst X-depth %d, %s",
+		s.Units, skip, s.Functions, s.Bursts, unv, s.Passes, s.MaxXDepth, path)
+}
+
+// Result is one full audit: the merged circuit's name, its
+// diagnostics, and the static report.
+type Result struct {
+	Name  string
+	Diags []Diag
+	Stats Stats
+}
+
+// Count tallies diagnostics by severity.
+func Count(ds []Diag) (errors, warnings, infos int) { return diag.Count(ds) }
+
+// HasErrors reports whether any diagnostic is error-severity.
+func HasErrors(ds []Diag) bool { return diag.HasErrors(ds) }
+
+// Format renders diagnostics vet-style, one per line (plus note
+// lines), prefixed with the circuit name when non-empty.
+func Format(ds []Diag, circuit string) string { return diag.Format(ds, circuit) }
+
+// passKind is one ternary evaluation obligation for a transition.
+type passKind uint8
+
+const (
+	passStart  passKind = iota // binary start point must equal From
+	passEnd                    // binary end point must equal To
+	passStatic                 // changed inputs at X must stay binary From
+	passSub                    // one changed input held, rest at X: binary From
+)
+
+// tpass is one scheduled ternary pass: which function, which of its
+// transitions, and which obligation.
+type tpass struct {
+	fn    int32
+	tr    int32
+	kind  passKind
+	vhold int32 // passSub: var index held at its start value
+}
+
+// fnInfo is one function to verify: a spec output or y* bit of one
+// unit, resolved to its merged net.
+type fnInfo struct {
+	unit  int
+	key   string // Transitions key (output name or "y%d")
+	name  string // display name, merged-netlist qualified
+	net   int    // merged net id, -1 when the part lacks the net
+	trs   []hfmin.Transition
+	burst int // bursts verified
+	depth int // worst X-depth observed at the driver
+}
+
+// Audit statically verifies every specified burst of every unit
+// against the merged mapped circuit and returns all findings plus the
+// static report. The result is deterministic — independent of worker
+// count and pool scheduling.
+func Audit(name string, units []Unit, lib *cell.Library, opt Options) Result {
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rep := &Reporter{}
+	res := Result{Name: name}
+
+	// Merge the verifiable parts; remember each unit's remap so its
+	// private y* nets stay addressable.
+	var parts []*gates.Netlist
+	partOf := make([]int, len(units)) // unit -> index into parts, -1 skipped
+	for i := range units {
+		if units[i].Netlist == nil {
+			partOf[i] = -1
+			res.Stats.Skipped++
+			continue
+		}
+		partOf[i] = len(parts)
+		parts = append(parts, units[i].Netlist)
+		res.Stats.Units++
+	}
+	merged, remaps := gates.MergeParts(name, parts)
+	drv := merged.DriverIndex()
+
+	// Resolve every function to its merged net and collect the forced
+	// cut: all outputs and y* bits, exactly the fundamental-mode cut
+	// netlint and gates.Compile honor.
+	var fns []fnInfo
+	varNets := make([][]int, len(units))
+	forced := map[int]bool{}
+	for ui := range units {
+		u := &units[ui]
+		pi := partOf[ui]
+		if pi < 0 {
+			continue
+		}
+		remap := remaps[pi]
+		vn := make([]int, len(u.Vars))
+		for j, v := range u.Vars {
+			vn[j] = -1
+			if u.Netlist.HasNet(v) {
+				vn[j] = remap[u.Netlist.Net(v)]
+			}
+		}
+		varNets[ui] = vn
+		addFn := func(key string) {
+			fi := fnInfo{unit: ui, key: key, name: key, net: -1, depth: -1}
+			if u.Netlist.HasNet(key) {
+				fi.net = remap[u.Netlist.Net(key)]
+				fi.name = merged.NetNames[fi.net]
+			}
+			fi.trs = u.Transitions[key]
+			fns = append(fns, fi)
+			if fi.net >= 0 {
+				forced[fi.net] = true
+			}
+		}
+		for _, out := range u.Outputs {
+			addFn(out)
+		}
+		for s := 0; s < u.StateBits; s++ {
+			addFn(fmt.Sprintf("y%d", s))
+		}
+	}
+	res.Stats.Functions = len(fns)
+
+	// Schedule the ternary passes, function by function so a batch's
+	// lanes for one function are contiguous.
+	var passes []tpass
+	for fi := range fns {
+		fn := &fns[fi]
+		if len(fn.trs) == 0 {
+			continue
+		}
+		if fn.net < 0 || drv[fn.net] < 0 {
+			rep.Warnf(Loc{Fn: fn.name, Tr: -1, FnOrd: fi}, "HZ100",
+				"function net %q missing or undriven; %d bursts not verified", fn.name, len(fn.trs))
+			res.Stats.Unverified += len(fn.trs)
+			continue
+		}
+		for ti, t := range fn.trs {
+			ch := t.Changed()
+			passes = append(passes,
+				tpass{fn: int32(fi), tr: int32(ti), kind: passStart},
+				tpass{fn: int32(fi), tr: int32(ti), kind: passEnd})
+			if t.From == t.To {
+				if len(ch) > 0 {
+					passes = append(passes, tpass{fn: int32(fi), tr: int32(ti), kind: passStatic})
+				}
+			} else if len(ch) >= 2 {
+				for _, v := range ch {
+					passes = append(passes, tpass{fn: int32(fi), tr: int32(ti), kind: passSub, vhold: int32(v)})
+				}
+			}
+			fn.burst++
+			res.Stats.Bursts++
+		}
+	}
+	res.Stats.Passes = len(passes)
+
+	// Evaluate: compiled 64-lane dual-rail when the circuit compiles,
+	// interpreted ternary settle otherwise (or when forced, as the
+	// fuzz oracle).
+	var prog *gates.Program
+	if !opt.Interpreted {
+		p, err := gates.Compile(merged, lib, forced)
+		if err != nil {
+			rep.Warnf(NoLoc, "HZ101", "compiled ternary evaluation unavailable (%v); verified on the interpreted path", err)
+		} else {
+			prog = p
+		}
+	}
+	res.Stats.Compiled = prog != nil
+
+	a := &auditor{
+		units: units, fns: fns, varNets: varNets, passes: passes,
+		merged: merged, drv: drv, lib: lib, forced: forced, prog: prog,
+	}
+	outs := a.run(ctx, opt.Pool)
+	for _, o := range outs {
+		for _, d := range o.diags {
+			rep.Report(d)
+		}
+	}
+	for fi := range a.fns {
+		if d := a.fns[fi].depth; d > res.Stats.MaxXDepth {
+			res.Stats.MaxXDepth = d
+		}
+	}
+
+	// The static report, with the per-function depth table.
+	rep.Infof(NoLoc, "HZ200", "static hazard report: %s", res.Stats)
+	for fi := range a.fns {
+		fn := &a.fns[fi]
+		if fn.burst == 0 && fn.depth < 0 {
+			continue
+		}
+		d := fn.depth
+		if d < 0 {
+			d = 0
+		}
+		rep.Note("%s: %d bursts, worst X-depth %d", fn.name, fn.burst, d)
+	}
+	if res.Stats.Skipped > 0 {
+		rep.Note("%d hand-library circuits carry no burst provenance and are verified dynamically (simulation), not statically", res.Stats.Skipped)
+	}
+
+	res.Diags = rep.Diags()
+	diag.Sort(res.Diags)
+	return res
+}
+
+// auditor carries the immutable evaluation inputs shared by the
+// parallel batch workers.
+type auditor struct {
+	units   []Unit
+	fns     []fnInfo
+	varNets [][]int
+	passes  []tpass
+	merged  *gates.Netlist
+	drv     []int
+	lib     *cell.Library
+	forced  map[int]bool
+	prog    *gates.Program
+}
+
+// batchGroup batches per worker leaf: each leaf compiles its own
+// evaluation state and walks a contiguous slice of batches, so output
+// order is deterministic regardless of scheduling.
+const (
+	lanes      = 64
+	batchGroup = 8
+)
+
+type batchOut struct {
+	diags []Diag
+	depth []int32 // per fn, -1 untouched
+}
+
+// run evaluates every scheduled pass and returns per-group outputs in
+// group order. Worker errors are impossible by construction — every
+// failure becomes a diagnostic — so the MapCtx error is only context
+// cancellation, which yields zero-valued outputs and a truncated
+// (but still deterministic-prefix) diagnostic set.
+func (a *auditor) run(ctx context.Context, pool *parallel.Pool) []batchOut {
+	nBatches := (len(a.passes) + lanes - 1) / lanes
+	groups := (nBatches + batchGroup - 1) / batchGroup
+	if groups == 0 {
+		return nil
+	}
+	outs, _ := parallel.MapCtx(ctx, pool, groups, func(g int) (batchOut, error) {
+		out := batchOut{depth: make([]int32, len(a.fns))}
+		for i := range out.depth {
+			out.depth[i] = -1
+		}
+		if a.prog != nil {
+			ev := a.prog.NewTernaryEval()
+			for b := g * batchGroup; b < (g+1)*batchGroup && b < nBatches; b++ {
+				a.runBatch(ev, b, &out)
+			}
+		} else {
+			vals := make([]uint8, len(a.merged.NetNames))
+			xd := make([]uint8, len(a.merged.NetNames))
+			for b := g * batchGroup; b < (g+1)*batchGroup && b < nBatches; b++ {
+				lo, hi := b*lanes, (b+1)*lanes
+				if hi > len(a.passes) {
+					hi = len(a.passes)
+				}
+				for pi := lo; pi < hi; pi++ {
+					a.runInterp(vals, xd, &a.passes[pi], &out)
+				}
+			}
+		}
+		// Merge per-fn observations into the fn table later, in
+		// deterministic group order.
+		return out, nil
+	})
+	for _, o := range outs {
+		for fi, d := range o.depth {
+			if int(d) > a.fns[fi].depth {
+				a.fns[fi].depth = int(d)
+			}
+		}
+	}
+	return outs
+}
+
+// assignment returns the ternary variable assignment of one pass over
+// the pass's unit variables, reusing the transition's own burst-cube
+// math (hfmin.Transition.Cube): start/end points are the binary
+// endpoints, the static pass is the transition supercube (changed
+// variables at X), and the subcube pass holds one changed variable at
+// its start value inside that supercube.
+func (a *auditor) assignment(p *tpass) logic.Cube {
+	t := &a.fns[p.fn].trs[p.tr]
+	switch p.kind {
+	case passStart:
+		return logic.Point(t.Start)
+	case passEnd:
+		return logic.Point(t.End)
+	case passStatic:
+		return t.Cube()
+	default: // passSub
+		c := t.Cube()
+		c[p.vhold] = logic.Point(t.Start)[p.vhold]
+		return c
+	}
+}
+
+func litTern(l logic.Lit) uint8 {
+	switch l {
+	case logic.Zero:
+		return gates.T0
+	case logic.One:
+		return gates.T1
+	default:
+		return gates.TX
+	}
+}
+
+// want returns the binary value the specification requires for one
+// pass: From at the start point and everywhere on the transition
+// except the end point, To at the end point.
+func (a *auditor) want(p *tpass) bool {
+	t := &a.fns[p.fn].trs[p.tr]
+	if p.kind == passEnd {
+		return t.To
+	}
+	return t.From
+}
+
+// runBatch evaluates up to 64 passes bit-parallel on the compiled
+// dual-rail evaluator and judges each lane.
+func (a *auditor) runBatch(ev *gates.TernaryEval, b int, out *batchOut) {
+	lo, hi := b*lanes, (b+1)*lanes
+	if hi > len(a.passes) {
+		hi = len(a.passes)
+	}
+	ev.Reset()
+	for pi := lo; pi < hi; pi++ {
+		p := &a.passes[pi]
+		cube := a.assignment(p)
+		vn := a.varNets[a.fns[p.fn].unit]
+		ln := uint(pi - lo)
+		for j, net := range vn {
+			if net >= 0 {
+				ev.Assign(net, ln, litTern(cube[j]))
+			}
+		}
+	}
+	ev.Run()
+	// Judge contiguous runs of lanes that share a function, reading
+	// the driver rails once per run.
+	for pi := lo; pi < hi; {
+		fi := a.passes[pi].fn
+		end := pi
+		var mask uint64
+		for end < hi && a.passes[end].fn == fi {
+			mask |= 1 << uint(end-lo)
+			end++
+		}
+		fn := &a.fns[fi]
+		dhi, dlo, _ := ev.Driver(fn.net)
+		for p := pi; p < end; p++ {
+			ln := uint(p - lo)
+			v := gates.T0
+			switch {
+			case dhi>>ln&1 != 0 && dlo>>ln&1 != 0:
+				v = gates.TX
+			case dhi>>ln&1 != 0:
+				v = gates.T1
+			}
+			a.judge(&a.passes[p], v, func() []int {
+				return traceX(a.merged, a.drv, a.forced, fn.net, func(n int) uint8 { return ev.At(n, ln) })
+			}, out)
+		}
+		if d := ev.DriverXDepth(fn.net, mask); int32(d) > out.depth[fi] {
+			out.depth[fi] = int32(d)
+		}
+		pi = end
+	}
+}
+
+// runInterp evaluates one pass on the interpreted ternary settle
+// oracle and judges it. vals and xd are per-worker scratch.
+func (a *auditor) runInterp(vals, xd []uint8, p *tpass, out *batchOut) {
+	for i := range vals {
+		vals[i] = gates.TX
+	}
+	fn := &a.fns[p.fn]
+	cube := a.assignment(p)
+	vn := a.varNets[fn.unit]
+	for j, net := range vn {
+		if net >= 0 {
+			vals[net] = litTern(cube[j])
+		}
+	}
+	if err := gates.SettleTernary(a.merged, a.lib, a.forced, vals); err != nil {
+		out.diags = append(out.diags, Diag{
+			Loc: a.loc(p), Severity: SevError, Code: "HZ000",
+			Message: fmt.Sprintf("ternary evaluation failed: %v", err),
+		})
+		return
+	}
+	v, ok := gates.DriveTernary(a.merged, a.lib, a.drv, vals, fn.net)
+	if !ok {
+		return
+	}
+	a.judge(p, v, func() []int {
+		return traceX(a.merged, a.drv, a.forced, fn.net, func(n int) uint8 { return vals[n] })
+	}, out)
+	if d := a.interpDepth(vals, xd, fn.net, v); int32(d) > out.depth[p.fn] {
+		out.depth[p.fn] = int32(d)
+	}
+}
+
+// loc builds the diagnostic location of a pass.
+func (a *auditor) loc(p *tpass) Loc {
+	fn := &a.fns[p.fn]
+	t := &fn.trs[p.tr]
+	return Loc{Fn: fn.name, Tr: int(p.tr), Burst: renderBurst(a.units[fn.unit].Vars, t), FnOrd: int(p.fn)}
+}
+
+// renderBurst shows a transition as its changing variables with
+// direction: "req+ ack-". Static transitions with no changing
+// variable render as "steady".
+func renderBurst(vars []string, t *hfmin.Transition) string {
+	var b strings.Builder
+	for _, v := range t.Changed() {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		name := fmt.Sprintf("v%d", v)
+		if v < len(vars) {
+			name = vars[v]
+		}
+		b.WriteString(name)
+		if t.End[v] {
+			b.WriteByte('+')
+		} else {
+			b.WriteByte('-')
+		}
+	}
+	if b.Len() == 0 {
+		return "steady"
+	}
+	return b.String()
+}
+
+// judge turns one pass's ternary verdict into diagnostics. culprit is
+// evaluated lazily — only when a hazard is being reported — and
+// returns the X chain from the function's driver toward its sources.
+func (a *auditor) judge(p *tpass, v uint8, culprit func() []int, out *batchOut) {
+	want := gates.T0
+	if a.want(p) {
+		want = gates.T1
+	}
+	if v == want {
+		return
+	}
+	fn := &a.fns[p.fn]
+	switch p.kind {
+	case passStart, passEnd:
+		point := "start"
+		if p.kind == passEnd {
+			point = "end"
+		}
+		out.diags = append(out.diags, Diag{
+			Loc: a.loc(p), Severity: SevError, Code: "HZ003",
+			Message: fmt.Sprintf("mapped logic evaluates to %s at the burst %s point; specification requires %s",
+				gates.TernString(v), point, gates.TernString(want)),
+		})
+	case passStatic:
+		if v != gates.TX {
+			return // wrong binary value surfaces as HZ003 at the endpoints
+		}
+		d := Diag{
+			Loc: a.loc(p), Severity: SevError, Code: "HZ001",
+			Message: fmt.Sprintf("static hazard: function must hold %s across the burst but evaluates to X%s",
+				gates.TernString(want), throughNet(a.merged, culprit())),
+		}
+		a.notePath(&d, culprit())
+		out.diags = append(out.diags, d)
+	default: // passSub
+		if v != gates.TX {
+			return // wrong binary value surfaces as HZ003 at the start point
+		}
+		held := fmt.Sprintf("v%d", p.vhold)
+		if vars := a.units[fn.unit].Vars; int(p.vhold) < len(vars) {
+			held = vars[p.vhold]
+		}
+		d := Diag{
+			Loc: a.loc(p), Severity: SevError, Code: "HZ002",
+			Message: fmt.Sprintf("dynamic hazard: with %q still at its start value the function must hold %s but evaluates to X%s",
+				held, gates.TernString(want), throughNet(a.merged, culprit())),
+		}
+		a.notePath(&d, culprit())
+		out.diags = append(out.diags, d)
+	}
+}
+
+// throughNet names the offending net — the X-valued gate output
+// closest to the function's driver — for the one-line message.
+func throughNet(nl *gates.Netlist, chain []int) string {
+	if len(chain) == 0 {
+		return " (X enters through the function's own feedback)"
+	}
+	return fmt.Sprintf(" (X enters through net %q)", nl.NetNames[chain[0]])
+}
+
+// notePath attaches the full X chain as a note when it is longer than
+// the single net the message names.
+func (a *auditor) notePath(d *Diag, chain []int) {
+	if len(chain) < 2 {
+		return
+	}
+	names := make([]string, len(chain))
+	for i, n := range chain {
+		names[i] = a.merged.NetNames[n]
+	}
+	d.Notes = append(d.Notes, fmt.Sprintf("X path to the function: %s", strings.Join(names, " <- ")))
+}
+
+// traceX walks the X chain from a forced net's driver toward its
+// sources: at each gate it descends into an X-valued input,
+// preferring one that is itself gate-driven (deeper in the cone), and
+// returns the visited nets in driver-to-source order. An empty chain
+// means the only X feeding the driver is the forced net's own
+// feedback value.
+func traceX(nl *gates.Netlist, drv []int, forced map[int]bool, net int, at func(int) uint8) []int {
+	var chain []int
+	seen := map[int]bool{net: true}
+	cur := net
+	for {
+		di := drv[cur]
+		if di < 0 {
+			return chain
+		}
+		next := -1
+		for _, in := range nl.Instances[di].Inputs {
+			if seen[in] || at(in) != gates.TX {
+				continue
+			}
+			if next < 0 {
+				next = in
+			}
+			if drv[in] >= 0 && !forced[in] {
+				next = in
+				break
+			}
+		}
+		if next < 0 {
+			return chain
+		}
+		seen[next] = true
+		chain = append(chain, next)
+		if drv[next] < 0 || forced[next] {
+			return chain
+		}
+		cur = next
+	}
+}
+
+// interpDepth mirrors TernaryEval.DriverXDepth on the interpreted
+// path: the longest chain of X nets feeding the function's driver,
+// plus one when the driver output itself is X.
+func (a *auditor) interpDepth(vals, xd []uint8, net int, v uint8) int {
+	a.interpXD(vals, xd)
+	di := a.drv[net]
+	if di < 0 {
+		return 0
+	}
+	best := 0
+	for _, in := range a.merged.Instances[di].Inputs {
+		if vals[in] == gates.TX {
+			if d := int(xd[in]); d > best {
+				best = d
+			}
+		}
+	}
+	if v == gates.TX {
+		best++
+	}
+	return best
+}
+
+// interpXD computes per-net X depths into xd by fixed-point sweeps:
+// an X net computed by a gate sits one above its deepest X input;
+// sources and binary nets are depth 0. The forced cut makes the
+// graph acyclic, so the sweep converges.
+func (a *auditor) interpXD(vals, xd []uint8) {
+	for i := range xd {
+		xd[i] = 0
+	}
+	limit := 4*len(a.merged.Instances) + 16
+	for iter := 0; iter < limit; iter++ {
+		changed := false
+		for i := range a.merged.Instances {
+			inst := &a.merged.Instances[i]
+			out := inst.Output
+			if a.forced[out] || a.drv[out] != i || vals[out] != gates.TX {
+				continue
+			}
+			d := uint8(0)
+			for _, in := range inst.Inputs {
+				if vals[in] == gates.TX && xd[in] > d {
+					d = xd[in]
+				}
+			}
+			if d < 255 {
+				d++
+			}
+			if xd[out] != d {
+				xd[out] = d
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}

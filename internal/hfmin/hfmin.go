@@ -43,13 +43,13 @@ type Transition struct {
 	To    bool   // function value at B
 }
 
-// cube returns the transition supercube T.
-func (t Transition) cube() logic.Cube {
+// Cube returns the transition supercube T.
+func (t Transition) Cube() logic.Cube {
 	return logic.Point(t.Start).Supercube(logic.Point(t.End))
 }
 
-// changed lists the variables that differ between Start and End.
-func (t Transition) changed() []int {
+// Changed lists the variables that differ between Start and End.
+func (t Transition) Changed() []int {
 	var out []int
 	for i := range t.Start {
 		if t.Start[i] != t.End[i] {
@@ -79,8 +79,8 @@ func (p *Problem) sets() (on, off, required logic.Cover, priv []privileged, err 
 		if len(t.Start) != p.Vars || len(t.End) != p.Vars {
 			return nil, nil, nil, nil, fmt.Errorf("hfmin: transition %d has wrong arity", i)
 		}
-		T := t.cube()
-		ch := t.changed()
+		T := t.Cube()
+		ch := t.Changed()
 		if len(ch) == 0 && t.From != t.To {
 			return nil, nil, nil, nil, fmt.Errorf("hfmin: transition %d changes value without input change", i)
 		}
@@ -862,7 +862,7 @@ func solveCover(rows [][]int, nCols int) (cols []int, nodes int64, exact bool) {
 // to audit technology-mapped logic (Section 5 of the paper).
 func CheckCover(cover logic.Cover, transitions []Transition) error {
 	for i, t := range transitions {
-		T := t.cube()
+		T := t.Cube()
 		switch {
 		case t.From && t.To:
 			contained := false
@@ -885,7 +885,7 @@ func CheckCover(cover logic.Cover, transitions []Transition) error {
 					return fmt.Errorf("1→0 transition %d: product %s intersects %s without its start point", i, c, T)
 				}
 			}
-			for _, v := range t.changed() {
+			for _, v := range t.Changed() {
 				sub := T.Clone()
 				if t.Start[v] {
 					sub[v] = logic.One
@@ -910,7 +910,7 @@ func CheckCover(cover logic.Cover, transitions []Transition) error {
 			if !cover.Eval(t.End) {
 				return fmt.Errorf("0→1 transition %d: cover 0 at end point", i)
 			}
-			for _, v := range t.changed() {
+			for _, v := range t.Changed() {
 				sub := T.Clone()
 				if t.Start[v] {
 					sub[v] = logic.One

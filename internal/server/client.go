@@ -65,6 +65,16 @@ func (c *Client) Netlint(ctx context.Context, req api.NetlintRequest) (*api.Netl
 	return &out, nil
 }
 
+// Hazver synthesizes a design on the daemon (no simulation) and
+// returns its static hazard verification (POST /api/v1/hazver).
+func (c *Client) Hazver(ctx context.Context, req api.HazverRequest) (*api.HazverResultJSON, error) {
+	var out api.HazverResultJSON
+	if err := c.do(ctx, http.MethodPost, "/api/v1/hazver", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // do issues one request and decodes the JSON response into out
 // (skipped when out is nil). Non-2xx responses decode the server's
 // error body into the returned error.

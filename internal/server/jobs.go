@@ -184,6 +184,10 @@ type Manager struct {
 	// spec diagnostics (BMxxx) from the post-compile bmlint gates.
 	// Exported as balsabmd_bmlint_diags_total{code=...}.
 	bmlintDiags map[string]int64
+	// hazverDiags tallies static hazard-verification diagnostics
+	// (HZxxx) from the post-mapping hazver gates. Exported as
+	// balsabmd_hazver_diags_total{code=...}.
+	hazverDiags map[string]int64
 
 	dedupHits   parallel.Counter
 	dedupMisses parallel.Counter
@@ -227,6 +231,7 @@ func NewManager(cfg Config) *Manager {
 		jobs:         map[string]*Job{},
 		netlintDiags: map[string]int64{},
 		bmlintDiags:  map[string]int64{},
+		hazverDiags:  map[string]int64{},
 	}
 	if cfg.Store != nil {
 		m.ctl = cfg.Store
@@ -343,6 +348,12 @@ func (m *Manager) hookJob(j *Job) {
 		d := api.FromBmlintDiag(f.Diag)
 		d.Spec = f.Unit()
 		j.events.publish(api.Event{Type: "lint", Bmlint: &d})
+	})
+	// And the hazver gate's, tagged with the verified circuit.
+	j.met.NotifyHazver(func(f flow.HazverFinding) {
+		d := api.FromHazverDiag(f.Diag)
+		d.Circuit = f.Circuit()
+		j.events.publish(api.Event{Type: "lint", Hazver: &d})
 	})
 }
 
@@ -466,6 +477,7 @@ func (m *Manager) run(j *Job) {
 		m.ctlResynth.Add(j.met.ControllersResynthesized.Load())
 		m.countNetlint(j.met.NetlintFindings(), err)
 		m.countBmlint(j.met.BmlintFindings(), err)
+		m.countHazver(j.met.HazverFindings(), err)
 	}
 	switch {
 	case err == nil:
@@ -563,6 +575,27 @@ func (m *Manager) countBmlint(fs []flow.BmlintFinding, err error) {
 	}
 }
 
+// countHazver folds one executed job's static hazard-verification
+// diagnostics into the daemon-wide per-code counters: the non-error
+// findings its hazver gates recorded, plus the error findings when the
+// gate failed the job.
+func (m *Manager) countHazver(fs []flow.HazverFinding, err error) {
+	var he *flow.HazverError
+	if len(fs) == 0 && !errors.As(err, &he) {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range fs {
+		m.hazverDiags[f.Diag.Code]++
+	}
+	if he != nil {
+		for _, d := range he.Diags {
+			m.hazverDiags[d.Code]++
+		}
+	}
+}
+
 // Metrics snapshots the daemon-wide counters.
 func (m *Manager) Metrics() *api.MetricsJSON {
 	out := &api.MetricsJSON{
@@ -615,6 +648,12 @@ func (m *Manager) Metrics() *api.MetricsJSON {
 		out.BmlintDiags = make(map[string]int64, len(m.bmlintDiags))
 		for code, n := range m.bmlintDiags {
 			out.BmlintDiags[code] = n
+		}
+	}
+	if len(m.hazverDiags) > 0 {
+		out.HazverDiags = make(map[string]int64, len(m.hazverDiags))
+		for code, n := range m.hazverDiags {
+			out.HazverDiags[code] = n
 		}
 	}
 	m.mu.Unlock()
@@ -803,6 +842,16 @@ func runSynth(ctx context.Context, n *core.Netlist, mode string, cfg api.FlowCon
 	}
 	rep := api.NetlintReport(nlres)
 	out.Netlint = &rep
+	// Post-mapping hazver gate, mirroring the flow's runDesign: a
+	// statically detectable hazard on a specified burst fails the job;
+	// warnings stream to subscribers and count toward the daemon's
+	// per-code totals; the verification report rides on the result.
+	hzres, err := flow.HazverGate(ctx, "synth", mode, n, tmMode, opts)
+	if err != nil {
+		return nil, err
+	}
+	hz := api.HazverReport(hzres)
+	out.Hazver = &hz
 	for i, nl := range mapped {
 		out.Controllers = append(out.Controllers, api.SynthControllerJSON{
 			Controller: api.FromControllerResult(ctrls[i]),
@@ -868,6 +917,47 @@ func RunNetlint(ctx context.Context, req api.NetlintRequest) (*api.NetlintResult
 		return nil, err
 	}
 	return api.NetlintResult(mode, ctrls, merged), nil
+}
+
+// RunHazver synthesizes a submitted design without simulation, maps
+// each distinct controller shape in the requested arm's mode, and
+// statically verifies the mapped logic hazard-free on every specified
+// burst by two-pass ternary evaluation. Unlike the job-queue gate,
+// error findings do not fail the request — the report is the product.
+// Both the POST /api/v1/hazver handler and the local `balsabm hazver`
+// path call this one function, so the two answer byte-identical
+// reports.
+func RunHazver(ctx context.Context, req api.HazverRequest) (*api.HazverResultJSON, error) {
+	n, err := parseSource(api.JobRequest{Source: req.Source, Format: req.Format, Name: req.Name})
+	if err != nil {
+		return nil, err
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = api.ModeOpt
+	}
+	if mode != api.ModeOpt && mode != api.ModeUnopt {
+		return nil, fmt.Errorf("server: unknown mode %q", req.Mode)
+	}
+	name := req.Name
+	if name == "" {
+		name = "design"
+	}
+	tmMode := techmap.AreaShared
+	if mode == api.ModeOpt {
+		tmMode = techmap.SpeedSplit
+		n, _, err = core.OptimizeOpt(n, core.Options{
+			MaxStates: req.Config.MaxStates, Workers: req.Config.Workers, Ctx: ctx,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, err := flow.HazverNetlist(ctx, name, mode, n, tmMode, req.Config.Options(nil))
+	if err != nil {
+		return nil, err
+	}
+	return api.HazverResult(mode, res), nil
 }
 
 // RunBmlint compiles a submitted design's components to Burst-Mode

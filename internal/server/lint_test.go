@@ -156,6 +156,7 @@ func TestLintWarningsStreamAsEvents(t *testing.T) {
 	var lints []api.DiagJSON
 	var netlints []api.NetlintDiagJSON
 	var bmlints []api.BmlintDiagJSON
+	var hazvers []api.HazverDiagJSON
 	for _, line := range strings.Split(string(body), "\n") {
 		if !strings.HasPrefix(line, "data: ") {
 			continue
@@ -172,6 +173,8 @@ func TestLintWarningsStreamAsEvents(t *testing.T) {
 				netlints = append(netlints, *ev.Netlint)
 			case ev.Bmlint != nil:
 				bmlints = append(bmlints, *ev.Bmlint)
+			case ev.Hazver != nil:
+				hazvers = append(hazvers, *ev.Hazver)
 			default:
 				t.Fatalf("lint event without payload: %+v", ev)
 			}
@@ -210,5 +213,16 @@ func TestLintWarningsStreamAsEvents(t *testing.T) {
 		if !found {
 			t.Errorf("missing BM200 bmlint event for %s: %+v", spec, bmlints)
 		}
+	}
+	// The post-mapping hazver gate streams its findings there too: the
+	// HZ200 static report of the verified circuit.
+	found = false
+	for _, d := range hazvers {
+		if d.Code == "HZ200" && d.Circuit == "synth.unopt" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing HZ200 hazver event for synth.unopt: %+v", hazvers)
 	}
 }

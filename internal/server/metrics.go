@@ -104,6 +104,17 @@ func PrometheusText(m *api.MetricsJSON) string {
 		line("balsabmd_bmlint_diags_total{code=%q} %d", c, m.BmlintDiags[c])
 	}
 
+	line("# HELP balsabmd_hazver_diags_total Static hazard-verification diagnostics surfaced by the hazver gates, by code.")
+	line("# TYPE balsabmd_hazver_diags_total counter")
+	hzCodes := make([]string, 0, len(m.HazverDiags))
+	for c := range m.HazverDiags {
+		hzCodes = append(hzCodes, c)
+	}
+	sort.Strings(hzCodes)
+	for _, c := range hzCodes {
+		line("balsabmd_hazver_diags_total{code=%q} %d", c, m.HazverDiags[c])
+	}
+
 	line("# HELP balsabmd_netlint_diags_total Netlist diagnostics surfaced by the netlint gates, by code.")
 	line("# TYPE balsabmd_netlint_diags_total counter")
 	codes := make([]string, 0, len(m.NetlintDiags))

@@ -24,6 +24,10 @@
 //	                                run the netlint structural audit on every
 //	                                mapped controller plus the merged
 //	                                circuit; body is a NetlintRequest
+//	POST   /api/v1/hazver           synthesize a design (no simulation) and
+//	                                statically verify every controller's
+//	                                mapped logic hazard-free on its specified
+//	                                bursts; body is a HazverRequest
 //	GET    /api/v1/designs          built-in benchmark design names
 //	GET    /api/v1/metrics          daemon counters as JSON
 //	GET    /metrics                 same counters, Prometheus text format
@@ -60,6 +64,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /api/v1/lint", s.handleLint)
 	s.mux.HandleFunc("POST /api/v1/bmlint", s.handleBmlint)
 	s.mux.HandleFunc("POST /api/v1/netlint", s.handleNetlint)
+	s.mux.HandleFunc("POST /api/v1/hazver", s.handleHazver)
 	s.mux.HandleFunc("GET /api/v1/designs", s.handleDesigns)
 	s.mux.HandleFunc("GET /api/v1/metrics", s.handleMetricsJSON)
 	s.mux.HandleFunc("GET /metrics", s.handleMetricsText)
@@ -296,6 +301,29 @@ func (s *Server) handleNetlint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, err := RunNetlint(r.Context(), req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleHazver synthesizes a submitted design synchronously (no
+// simulation, no job queue) and answers its static hazard
+// verification. The body is api.Encode(api.HazverResult(...)), the
+// same struct and encoder `balsabm hazver -json` prints, so the two
+// surfaces answer byte-identical reports for the same source.
+// Error-severity findings are reported, not failed: this endpoint
+// exists to look at them.
+func (s *Server) handleHazver(w http.ResponseWriter, r *http.Request) {
+	var req api.HazverRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	res, err := RunHazver(r.Context(), req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return

@@ -8,10 +8,11 @@ import (
 	"strings"
 )
 
-// diagcodeAnalyzer keeps the three lint tiers' code registries honest.
+// diagcodeAnalyzer keeps the lint tiers' code registries honest.
 // Each linter package (internal/analysis, internal/netlint,
-// internal/bmlint) declares a package-level `Codes` map from stable
-// diagnostic codes (CHxxx/NLxxx/BMxxx) to one-line doc strings; those
+// internal/bmlint, internal/hazver) declares a package-level `Codes`
+// map from stable diagnostic codes (CHxxx/NLxxx/BMxxx/HZxxx) to
+// one-line doc strings; those
 // tables feed suppressions, the /metrics labels and the docs, so they
 // must match what the passes actually emit. In any package declaring
 // such a table, this analyzer flags:
@@ -25,11 +26,11 @@ import (
 // Packages without a Codes table are exempt, as are _test.go files.
 var diagcodeAnalyzer = &Analyzer{
 	Name: "diagcode",
-	Doc:  "check CHxxx/NLxxx/BMxxx diagnostic codes against the package's Codes registry",
+	Doc:  "check CHxxx/NLxxx/BMxxx/HZxxx diagnostic codes against the package's Codes registry",
 	Run:  runDiagcode,
 }
 
-var diagCodeRe = regexp.MustCompile(`^(CH|NL|BM)[0-9]{3}$`)
+var diagCodeRe = regexp.MustCompile(`^(CH|NL|BM|HZ)[0-9]{3}$`)
 
 func runDiagcode(pass *Pass) {
 	type entry struct {

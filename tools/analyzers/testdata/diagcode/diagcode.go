@@ -8,6 +8,7 @@ var Codes = map[string]string{
 	"CH001": "documented and constructed",
 	"CH002": "",                                 // want `diagnostic code "CH002" has an empty doc string`
 	"CH003": "registered but never constructed", // want `diagnostic code "CH003" is registered in Codes but never constructed in this package`
+	"HZ001": "hazver-tier code, documented and constructed",
 }
 
 func report(code string) {}
@@ -16,6 +17,8 @@ func use() {
 	report("CH001")
 	report("CH002")
 	report("CH999") // want `diagnostic code "CH999" constructed but not registered in this package's Codes table`
+	report("HZ001")
+	report("HZ999") // want `diagnostic code "HZ999" constructed but not registered in this package's Codes table`
 	report("not a code")
 	report("CH12")   // shape mismatch: silent
 	report("CH1234") // shape mismatch: silent
